@@ -1,0 +1,98 @@
+// Experiment E10 — Section V data-structure ablation: the dual-heap
+// ("calendar queue + deadline heap") versus the augmented balanced tree
+// (ref. [16]) implementations of the real-time request set.
+//
+// Two views:
+//   * isolated — raw update / query / erase cycles on the structures with
+//     synthetic (e, d) requests;
+//   * end-to-end — a full H-FSC scheduler configured with each structure
+//     under an all-backlogged workload.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/eligible_set.hpp"
+#include "core/hfsc.hpp"
+#include "util/rng.hpp"
+
+namespace hfsc {
+namespace {
+
+void isolated(benchmark::State& state, EligibleSetKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  auto set = make_eligible_set(kind);
+  Rng rng(7);
+  TimeNs now = 0;
+  // Steady state: n requests resident.
+  for (int i = 1; i <= n; ++i) {
+    set->update(static_cast<ClassId>(i), rng.uniform(0, msec(10)),
+                rng.uniform(msec(10), msec(30)), now);
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    now += usec(10);
+    const ClassId cls = 1 + (i % static_cast<std::uint32_t>(n));
+    set->update(cls, now + rng.uniform(0, msec(10)),
+                now + rng.uniform(msec(10), msec(30)), now);
+    auto got = set->min_deadline_eligible(now);
+    benchmark::DoNotOptimize(got);
+    ++i;
+  }
+}
+
+void BM_EligibleDualHeap(benchmark::State& state) {
+  isolated(state, EligibleSetKind::kDualHeap);
+}
+void BM_EligibleAugTree(benchmark::State& state) {
+  isolated(state, EligibleSetKind::kAugTree);
+}
+void BM_EligibleCalendar(benchmark::State& state) {
+  isolated(state, EligibleSetKind::kCalendar);
+}
+
+void end_to_end(benchmark::State& state, EligibleSetKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  const RateBps link = gbps(1);
+  Hfsc sched(link, kind);
+  std::vector<ClassId> cls;
+  for (int i = 0; i < n; ++i) {
+    const RateBps r = link / static_cast<RateBps>(n);
+    cls.push_back(sched.add_class(
+        kRootClass, ClassConfig::both(ServiceCurve{2 * r, msec(5), r})));
+  }
+  TimeNs now = 0;
+  std::uint64_t seq = 0;
+  for (int r = 0; r < 4; ++r) {
+    for (ClassId c : cls) sched.enqueue(now, Packet{c, 1000, now, seq++});
+  }
+  const TimeNs step = tx_time(1000, link);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    now += step;
+    sched.enqueue(now, Packet{cls[i % cls.size()], 1000, now, seq++});
+    auto p = sched.dequeue(now);
+    benchmark::DoNotOptimize(p);
+    ++i;
+  }
+}
+
+void BM_HfscDualHeap(benchmark::State& state) {
+  end_to_end(state, EligibleSetKind::kDualHeap);
+}
+void BM_HfscAugTree(benchmark::State& state) {
+  end_to_end(state, EligibleSetKind::kAugTree);
+}
+void BM_HfscCalendar(benchmark::State& state) {
+  end_to_end(state, EligibleSetKind::kCalendar);
+}
+
+BENCHMARK(BM_EligibleDualHeap)->RangeMultiplier(4)->Range(16, 4096);
+BENCHMARK(BM_EligibleAugTree)->RangeMultiplier(4)->Range(16, 4096);
+BENCHMARK(BM_EligibleCalendar)->RangeMultiplier(4)->Range(16, 4096);
+BENCHMARK(BM_HfscDualHeap)->RangeMultiplier(4)->Range(16, 4096);
+BENCHMARK(BM_HfscAugTree)->RangeMultiplier(4)->Range(16, 4096);
+BENCHMARK(BM_HfscCalendar)->RangeMultiplier(4)->Range(16, 4096);
+
+}  // namespace
+}  // namespace hfsc

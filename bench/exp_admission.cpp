@@ -1,0 +1,148 @@
+// Experiment E12 (extension) — Section II's utilization claim:
+// "With nonlinear service curves, both delay and bandwidth allocation are
+//  taken into account in an integrated fashion, yet the allocation
+//  policies for these two resources are decoupled.  This increases the
+//  resource management flexibility and the resource utilization inside
+//  the network."
+//
+// Scenario: a 10 Mb/s link must carry N = 20 audio sessions (160 B
+// packets, 64 kb/s sustained, 5 ms delay target) plus as many guaranteed
+// 1 Mb/s bulk sessions as admission control allows (Σ curves <= link
+// curve, the SCED/H-FSC feasibility condition).
+//
+//   * coupled (linear curves only): the only way to give audio 5 ms is a
+//     256 kb/s linear reservation (u/d) per session — 4x its real rate;
+//   * coupled, bandwidth-first: reserve the true 64 kb/s — the delay
+//     bound balloons to u/r = 20 ms;
+//   * decoupled (H-FSC curves): concave {256 kb/s for 5 ms, then
+//     64 kb/s} per audio session, convex {0 until 5 ms, then 1 Mb/s}
+//     bulk curves that dodge the audio burst window.
+//
+// The analytical delay bound for each audio session (token bucket
+// (160 B, 64 kb/s) into its curve) and a simulation of the fully-admitted
+// decoupled configuration validate the numbers.
+#include <cstdio>
+
+#include "core/hfsc.hpp"
+#include "curve/piecewise.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+using namespace hfsc;
+
+namespace {
+
+constexpr RateBps kLink = mbps(10);
+constexpr int kAudioN = 20;
+constexpr Bytes kAudioPkt = 160;
+constexpr TimeNs kAudioDelay = msec(5);
+constexpr RateBps kAudioRate = kbps(64);
+const ServiceCurve kBulkLinear = ServiceCurve::linear(mbps(1));
+const ServiceCurve kBulkConvex{0, msec(5), mbps(1)};
+
+struct WorldResult {
+  int audio_admitted = 0;
+  int bulk_admitted = 0;
+  double audio_bound_ms = 0;
+  double reserved_tail_mbps = 0;  // long-term rate actually committed
+};
+
+WorldResult fill(const ServiceCurve& audio_sc, const ServiceCurve& bulk_sc) {
+  AdmissionControl ac(kLink);
+  WorldResult r;
+  for (int i = 0; i < kAudioN && ac.admit(audio_sc); ++i) ++r.audio_admitted;
+  while (ac.admit(bulk_sc)) ++r.bulk_admitted;
+  const auto bound =
+      delay_bound(kAudioPkt, kAudioRate, audio_sc, 1500, kLink);
+  r.audio_bound_ms =
+      bound ? static_cast<double>(*bound) / 1e6 : -1.0;
+  r.reserved_tail_mbps = ac.utilization() * 10.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12: admission with coupled vs decoupled curves "
+              "(10 Mb/s link; %d audio sessions wanting %d B within 5 ms "
+              "at 64 kb/s, then as many 1 Mb/s guaranteed bulk sessions "
+              "as fit)\n\n",
+              kAudioN, static_cast<int>(kAudioPkt));
+
+  // u/d = 256 kb/s: the linear rate needed for the 5 ms bound.
+  const RateBps coupled_rate = static_cast<RateBps>(
+      muldiv_ceil(kAudioPkt, kNsPerSec, kAudioDelay));
+  const ServiceCurve audio_concave = from_udr(kAudioPkt, kAudioDelay,
+                                              kAudioRate);
+
+  TablePrinter table({"world", "audio_curve", "audio_admitted",
+                      "audio_bound_ms", "bulk_admitted",
+                      "committed_mbps"});
+  {
+    const WorldResult r =
+        fill(ServiceCurve::linear(coupled_rate), kBulkLinear);
+    table.add_row({"coupled, delay-first", "linear 256kbps",
+                   std::to_string(r.audio_admitted),
+                   TablePrinter::fmt(r.audio_bound_ms),
+                   std::to_string(r.bulk_admitted),
+                   TablePrinter::fmt(r.reserved_tail_mbps, 2)});
+  }
+  {
+    const WorldResult r =
+        fill(ServiceCurve::linear(kAudioRate), kBulkLinear);
+    table.add_row({"coupled, rate-first", "linear 64kbps",
+                   std::to_string(r.audio_admitted),
+                   TablePrinter::fmt(r.audio_bound_ms),
+                   std::to_string(r.bulk_admitted),
+                   TablePrinter::fmt(r.reserved_tail_mbps, 2)});
+  }
+  WorldResult decoupled;
+  {
+    decoupled = fill(audio_concave, kBulkConvex);
+    table.add_row({"decoupled (H-FSC)", "concave 256k/5ms/64k",
+                   std::to_string(decoupled.audio_admitted),
+                   TablePrinter::fmt(decoupled.audio_bound_ms),
+                   std::to_string(decoupled.bulk_admitted),
+                   TablePrinter::fmt(decoupled.reserved_tail_mbps, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Validate the decoupled world by running it: every admitted session
+  // greedy/CBR, audio delays must respect the analytical bound.
+  Hfsc sched(kLink);
+  std::vector<ClassId> audio, bulk;
+  for (int i = 0; i < decoupled.audio_admitted; ++i) {
+    audio.push_back(
+        sched.add_class(kRootClass, ClassConfig::both(audio_concave)));
+  }
+  for (int i = 0; i < decoupled.bulk_admitted; ++i) {
+    bulk.push_back(
+        sched.add_class(kRootClass, ClassConfig::both(kBulkConvex)));
+  }
+  Simulator sim(kLink, sched);
+  for (std::size_t i = 0; i < audio.size(); ++i) {
+    sim.add<CbrSource>(audio[i], kAudioRate, kAudioPkt,
+                       usec(137) * static_cast<TimeNs>(i), sec(5));
+  }
+  for (ClassId b : bulk) sim.add<GreedySource>(b, 1500, 4, 0, sec(5));
+  sim.run(sec(5));
+  double worst_audio = 0, bulk_total = 0;
+  for (ClassId a : audio) {
+    worst_audio = std::max(worst_audio, sim.tracker().max_delay_ms(a));
+  }
+  for (ClassId b : bulk) {
+    bulk_total += sim.tracker().rate_mbps(b, sec(1), sec(5));
+  }
+  std::printf("simulation of the decoupled world: worst audio delay "
+              "%.3f ms (analytical bound %.3f ms); bulk aggregate "
+              "%.2f Mb/s; link busy %.1f%%\n\n",
+              worst_audio, decoupled.audio_bound_ms, bulk_total,
+              100.0 * static_cast<double>(sim.link().busy_time()) /
+                  static_cast<double>(sec(5)));
+  std::printf("expected shape (Section II): the coupled delay-first world "
+              "wastes 4x the audio bandwidth and admits fewer bulk "
+              "sessions; the rate-first world meets the bandwidth but "
+              "blows the delay target 4x; only decoupled curves deliver "
+              "the 5 ms bound AND fill the link with guaranteed bulk.\n");
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Experiment E7 — Theorem 2: "the H-FSC algorithm guarantees that the
+// deadline of any packet is not missed by more than tau_max", the time to
+// transmit one maximum-length packet.
+//
+// We sweep randomized two-level hierarchies and adversarial traffic mixes
+// and measure, via the definition-(1) GuaranteeChecker, the worst service
+// deficit any leaf ever accumulates relative to its curve shifted by an
+// allowance.  Sweeping the allowance from 0 up to 2*tau_max shows the
+// bound is tight: violations vanish at (about) tau_max and not before.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/hfsc.hpp"
+#include "sim/guarantee_checker.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace hfsc;
+
+namespace {
+
+constexpr RateBps kLink = mbps(100);
+constexpr Bytes kMaxPkt = 1500;
+
+struct SweepResult {
+  std::size_t leaves_checked = 0;
+  std::size_t leaves_violating = 0;
+  Bytes worst_deficit = 0;
+};
+
+SweepResult run_seed(std::uint64_t seed, TimeNs allowance) {
+  Rng rng(seed);
+  const int num_orgs = 2 + static_cast<int>(rng.uniform(0, 2));
+  const int per_org = 2 + static_cast<int>(rng.uniform(0, 3));
+  const int n = num_orgs * per_org;
+  const RateBps slice = kLink * 6 / 10 / static_cast<RateBps>(n);
+
+  Hfsc sched(kLink);
+  std::vector<ClassId> leaves;
+  std::vector<ServiceCurve> curves;
+  for (int o = 0; o < num_orgs; ++o) {
+    const ClassId org = sched.add_class(
+        kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(
+                        slice * static_cast<RateBps>(per_org))));
+    for (int l = 0; l < per_org; ++l) {
+      ServiceCurve sc =
+          rng.chance(0.5)
+              ? ServiceCurve{slice + rng.uniform(1, slice),
+                             msec(2) + rng.uniform(0, msec(8)),
+                             1 + rng.uniform(0, slice - 1)}
+              : ServiceCurve{0, msec(1) + rng.uniform(0, msec(9)),
+                             1 + rng.uniform(0, slice - 1)};
+      curves.push_back(sc);
+      leaves.push_back(sched.add_class(org, ClassConfig::both(sc)));
+    }
+  }
+
+  Simulator sim(kLink, sched);
+  std::vector<std::unique_ptr<GuaranteeChecker>> checkers;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    checkers.push_back(
+        std::make_unique<GuaranteeChecker>(curves[i], allowance));
+    GuaranteeChecker* c = checkers.back().get();
+    const ClassId cls = leaves[i];
+    sim.link().add_arrival_hook([c, cls](TimeNs t, const Packet& p) {
+      if (p.cls == cls) c->on_arrival(t, p.len);
+    });
+    sim.link().add_departure_hook([c, cls](TimeNs t, const Packet& p) {
+      if (p.cls == cls) c->on_departure(t, p.len);
+    });
+  }
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        sim.add<OnOffSource>(leaves[i], curves[i].m2 * 2,
+                             600 + rng.uniform(0, 900), msec(20), msec(20),
+                             0, sec(2), seed * 37 + i);
+        break;
+      case 1:
+        sim.add<PoissonSource>(leaves[i], curves[i].m2,
+                               400 + rng.uniform(0, 1100), 0, sec(2),
+                               seed * 53 + i);
+        break;
+      case 2:
+        sim.add<GreedySource>(leaves[i], kMaxPkt, 4,
+                              rng.uniform(0, msec(50)), sec(2));
+        break;
+    }
+  }
+  sim.run_all();
+
+  SweepResult r;
+  for (const auto& c : checkers) {
+    ++r.leaves_checked;
+    if (!c->violations().empty()) {
+      ++r.leaves_violating;
+      r.worst_deficit = std::max(r.worst_deficit, c->max_deficit());
+    }
+  }
+  return r;
+}
+
+// The deterministic worst case behind Theorem 2: a max-length packet of a
+// bulk class starts transmitting an instant before an urgent small packet
+// (steep concave curve) arrives.  Non-preemption makes the urgent packet
+// finish up to tau_max late; the sweep shows at which allowance the
+// deficit disappears.
+Bytes nonpreemption_deficit(TimeNs allowance) {
+  Hfsc sched(kLink);
+  const ServiceCurve bulk_sc = ServiceCurve::linear(kLink / 2);
+  const ServiceCurve urgent_sc{kLink / 2, msec(1), kbps(64)};
+  const ClassId bulk = sched.add_class(kRootClass, ClassConfig::both(bulk_sc));
+  const ClassId urgent =
+      sched.add_class(kRootClass, ClassConfig::both(urgent_sc));
+  Simulator sim(kLink, sched);
+  GuaranteeChecker checker(urgent_sc, allowance);
+  sim.link().add_arrival_hook([&](TimeNs t, const Packet& p) {
+    if (p.cls == urgent) checker.on_arrival(t, p.len);
+  });
+  sim.link().add_departure_hook([&](TimeNs t, const Packet& p) {
+    if (p.cls == urgent) checker.on_departure(t, p.len);
+  });
+  sim.add<GreedySource>(bulk, kMaxPkt, 4, 0, msec(100));
+  // One urgent packet, 1 us after the first bulk packet started.
+  sim.add<TraceSource>(urgent,
+                       std::vector<TraceSource::Item>{{usec(1), 160}});
+  sim.run_all();
+  return checker.max_deficit();
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs tau_max = tx_time(kMaxPkt, kLink);
+  std::printf("E7: Theorem 2 bound — worst curve deficit vs allowance "
+              "(100 Mb/s link, tau_max = %llu us for 1500 B)\n\n",
+              static_cast<unsigned long long>(tau_max / 1000));
+  TablePrinter table({"allowance", "leaves", "violating_leaves",
+                      "worst_deficit_B"});
+  const std::vector<std::pair<const char*, TimeNs>> allowances = {
+      {"0", 0},
+      {"tau/4", tau_max / 4},
+      {"tau/2", tau_max / 2},
+      {"tau+5us", tau_max + usec(5)},
+      {"2tau", 2 * tau_max}};
+  for (const auto& [label, allowance] : allowances) {
+    SweepResult total;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      const SweepResult r = run_seed(seed, allowance);
+      total.leaves_checked += r.leaves_checked;
+      total.leaves_violating += r.leaves_violating;
+      total.worst_deficit = std::max(total.worst_deficit, r.worst_deficit);
+    }
+    table.add_row({label, std::to_string(total.leaves_checked),
+                   std::to_string(total.leaves_violating),
+                   std::to_string(total.worst_deficit)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("randomized loads keep headroom, so deficits are already "
+              "zero; the deterministic non-preemption adversary below "
+              "exhibits the actual bound.\n\n");
+
+  TablePrinter tight({"allowance", "urgent_class_deficit_B"});
+  for (const auto& [label, allowance] : allowances) {
+    tight.add_row({label, std::to_string(nonpreemption_deficit(allowance))});
+  }
+  std::printf("%s\n", tight.to_string().c_str());
+  std::printf("expected shape (Theorem 2): the urgent packet finishes up "
+              "to tau_max late because a 1500 B packet occupies the wire "
+              "(deficit ~ m1 * tau_max at allowance 0), and the deficit "
+              "vanishes once the allowance reaches tau_max (+eps for "
+              "fixed-point rounding) — the bound is tight.\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Experiment E4 — the paper's first simulation experiment (Section VII):
+// real-time + priority performance on the Fig. 1 link-sharing hierarchy.
+//
+// A 45 Mb/s link shared by two organizations (CMU 25 / U.Pitt 20).  CMU
+// carries a 64 kb/s distinguished-lecture audio session (160 B packets,
+// wants 5 ms), a 1 Mb/s distinguished-lecture video session (30 fps
+// frames, wants 10 ms per frame) and greedy data; U.Pitt carries greedy
+// data.  The same workload runs under H-FSC, H-PFQ (WF2Q+ at every node)
+// and FIFO.
+//
+// Claim reproduced: with H-PFQ the only way to lower a session's delay is
+// to raise its rate, so the low-bandwidth audio session sees delays an
+// order of magnitude above its target; H-FSC meets both sessions' delay
+// targets with the same long-term rates, at no cost to data throughput.
+#include <cstdio>
+
+#include "core/hfsc.hpp"
+#include "sched/cbq.hpp"
+#include "sched/fifo.hpp"
+#include "sched/hpfq.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+using namespace hfsc;
+
+namespace {
+
+constexpr RateBps kLink = mbps(45);
+constexpr TimeNs kDuration = sec(10);
+constexpr RateBps kAudioRate = kbps(64);
+constexpr Bytes kAudioPkt = 160;
+constexpr RateBps kVideoRate = mbps(2);  // covers worst frame at 30 fps
+constexpr Bytes kVideoFrameMean = 3400;  // ~0.86 Mb/s offered at 30 fps
+constexpr Bytes kVideoFrameMax = 8000;
+
+struct Row {
+  const char* sched;
+  double audio_mean, audio_p99, audio_max;
+  double video_mean, video_p99, video_max;
+  double cmu_data_mbps, pitt_data_mbps;
+};
+
+struct Ids {
+  ClassId audio, video, cmu_data, pitt_data;
+};
+
+Row drive(const char* name, Scheduler& sched, Ids ids) {
+  Simulator sim(kLink, sched);
+  sim.add<CbrSource>(ids.audio, kAudioRate, kAudioPkt, 0, kDuration);
+  sim.add<VideoSource>(ids.video, 30.0, kVideoFrameMean, kVideoFrameMax,
+                       1500, 0, kDuration, 90210);
+  sim.add<GreedySource>(ids.cmu_data, 1500, 10, 0, kDuration);
+  sim.add<GreedySource>(ids.pitt_data, 1500, 10, 0, kDuration);
+  sim.run(kDuration);
+  const auto& t = sim.tracker();
+  return Row{name,
+             t.mean_delay_ms(ids.audio),
+             t.delay_quantile_ms(ids.audio, 0.99),
+             t.max_delay_ms(ids.audio),
+             t.mean_delay_ms(ids.video),
+             t.delay_quantile_ms(ids.video, 0.99),
+             t.max_delay_ms(ids.video),
+             t.rate_mbps(ids.cmu_data, sec(1), kDuration),
+             t.rate_mbps(ids.pitt_data, sec(1), kDuration)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: delay decoupling on the Fig. 1 hierarchy (45 Mb/s "
+              "link)\n");
+  std::printf("  audio: 64 kb/s CBR, 160 B packets, target 5 ms\n");
+  std::printf("  video: ~0.9 Mb/s offered, 2 Mb/s reserved, 30 fps frames <= "
+              "8 kB, target 10 ms per frame\n");
+  std::printf("  CMU data / U.Pitt data: greedy FTP\n\n");
+
+  std::vector<Row> rows;
+
+  {
+    Fifo fifo;
+    rows.push_back(drive("FIFO", fifo, Ids{1, 2, 3, 4}));
+  }
+  {
+    HPfq hpfq(kLink);
+    const ClassId cmu = hpfq.add_class(kRootClass, mbps(25));
+    const ClassId pitt = hpfq.add_class(kRootClass, mbps(20));
+    Ids ids;
+    ids.audio = hpfq.add_class(cmu, kAudioRate);
+    ids.video = hpfq.add_class(cmu, kVideoRate);
+    ids.cmu_data = hpfq.add_class(cmu, mbps(25) - kAudioRate - kVideoRate);
+    ids.pitt_data = hpfq.add_class(pitt, mbps(20));
+    rows.push_back(drive("H-PFQ", hpfq, ids));
+  }
+  {
+    Cbq cbq(kLink);
+    const ClassId cmu = cbq.add_class(kRootClass, mbps(25));
+    const ClassId pitt = cbq.add_class(kRootClass, mbps(20));
+    Ids ids;
+    ids.audio = cbq.add_class(cmu, kAudioRate);
+    ids.video = cbq.add_class(cmu, kVideoRate);
+    ids.cmu_data = cbq.add_class(cmu, mbps(25) - kAudioRate - kVideoRate);
+    ids.pitt_data = cbq.add_class(pitt, mbps(20));
+    rows.push_back(drive("CBQ", cbq, ids));
+  }
+  {
+    Hfsc hfsc(kLink);
+    const ClassId cmu = hfsc.add_class(
+        kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(25))));
+    const ClassId pitt = hfsc.add_class(
+        kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(20))));
+    Ids ids;
+    // Same long-term rates as H-PFQ, plus concave burst terms: that is
+    // the entire difference.
+    ids.audio = hfsc.add_class(
+        cmu, ClassConfig::both(from_udr(kAudioPkt, msec(5), kAudioRate)));
+    ids.video = hfsc.add_class(
+        cmu,
+        ClassConfig::both(from_udr(kVideoFrameMax, msec(10), kVideoRate)));
+    ids.cmu_data = hfsc.add_class(
+        cmu, ClassConfig::link_share_only(
+                 ServiceCurve::linear(mbps(25) - kAudioRate - kVideoRate)));
+    ids.pitt_data = hfsc.add_class(
+        pitt, ClassConfig::link_share_only(ServiceCurve::linear(mbps(20))));
+    rows.push_back(drive("H-FSC", hfsc, ids));
+  }
+
+  TablePrinter table({"sched", "audio_mean_ms", "audio_p99_ms",
+                      "audio_max_ms", "video_mean_ms", "video_p99_ms",
+                      "video_max_ms", "cmu_ftp_mbps", "pitt_ftp_mbps"});
+  for (const Row& r : rows) {
+    table.add_row({r.sched, TablePrinter::fmt(r.audio_mean),
+                   TablePrinter::fmt(r.audio_p99),
+                   TablePrinter::fmt(r.audio_max),
+                   TablePrinter::fmt(r.video_mean),
+                   TablePrinter::fmt(r.video_p99),
+                   TablePrinter::fmt(r.video_max),
+                   TablePrinter::fmt(r.cmu_data_mbps, 2),
+                   TablePrinter::fmt(r.pitt_data_mbps, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("expected shape (paper): H-FSC audio max <= ~5 ms and video "
+              "max <= ~10 ms; H-PFQ delays for the same rates are several "
+              "times larger (delay coupled to bandwidth); FIFO offers no "
+              "isolation at all (all classes see the shared-queue delay); "
+              "FTP throughput identical across the hierarchical "
+              "schedulers.  CBQ's WRR serves a sparse flow quickly at this "
+              "scale but provides no guarantee — its delay is coupled to "
+              "the round length, as the sweep below shows.\n\n");
+
+  // --- CBQ vs H-FSC: audio delay as competing classes multiply ---------
+  // CBQ's per-packet delay grows with the WRR round (one quantum per
+  // active class); H-FSC's real-time criterion keeps the audio bound
+  // independent of the fan-out.
+  TablePrinter sweep({"ftp_classes", "cbq_audio_max_ms", "hfsc_audio_max_ms"});
+  for (int n : {4, 16, 64}) {
+    double cbq_max, hfsc_max;
+    {
+      Cbq cbq(kLink);
+      const ClassId audio = cbq.add_class(kRootClass, kAudioRate);
+      std::vector<ClassId> ftps;
+      for (int i = 0; i < n; ++i) {
+        ftps.push_back(cbq.add_class(
+            kRootClass, (kLink - kAudioRate) / static_cast<RateBps>(n)));
+      }
+      Simulator sim(kLink, cbq);
+      sim.add<CbrSource>(audio, kAudioRate, kAudioPkt, 0, sec(5));
+      for (ClassId f : ftps) sim.add<GreedySource>(f, 1500, 4, 0, sec(5));
+      sim.run(sec(5));
+      cbq_max = sim.tracker().max_delay_ms(audio);
+    }
+    {
+      Hfsc hfsc(kLink);
+      const ClassId audio = hfsc.add_class(
+          kRootClass, ClassConfig::both(from_udr(kAudioPkt, msec(5),
+                                                 kAudioRate)));
+      std::vector<ClassId> ftps;
+      for (int i = 0; i < n; ++i) {
+        ftps.push_back(hfsc.add_class(
+            kRootClass,
+            ClassConfig::link_share_only(ServiceCurve::linear(
+                (kLink - kAudioRate) / static_cast<RateBps>(n)))));
+      }
+      Simulator sim(kLink, hfsc);
+      sim.add<CbrSource>(audio, kAudioRate, kAudioPkt, 0, sec(5));
+      for (ClassId f : ftps) sim.add<GreedySource>(f, 1500, 4, 0, sec(5));
+      sim.run(sec(5));
+      hfsc_max = sim.tracker().max_delay_ms(audio);
+    }
+    sweep.add_row({std::to_string(n), TablePrinter::fmt(cbq_max),
+                   TablePrinter::fmt(hfsc_max)});
+  }
+  std::printf("%s\n", sweep.to_string().c_str());
+  std::printf("expected shape: CBQ's audio delay grows with the number of "
+              "competing classes (WRR round length); H-FSC's stays at the "
+              "curve bound.\n");
+  return 0;
+}

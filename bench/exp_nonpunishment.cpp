@@ -1,0 +1,103 @@
+// Experiment E11 — Section III-B's motivation for fairness: "a video
+// application may choose to make reservation only for its minimal
+// transmission quality and use the excess service to increase its
+// quality.  In a system which penalizes a session for using excess
+// service, such an adaptive application runs the risk of not receiving
+// its minimum bandwidth."
+//
+// Scenario: an adaptive video class reserves 2 Mb/s but opportunistically
+// fills the whole 10 Mb/s link while FTP is idle.  FTP (6 Mb/s share)
+// wakes at t = 2 s.  We measure the video class's throughput around the
+// transition under Virtual Clock, SCED, and H-FSC, and in particular its
+// worst 100 ms window after the wake-up — the "did I drop below my
+// reservation?" number an adaptive codec cares about.
+#include <cstdio>
+
+#include "core/hfsc.hpp"
+#include "sched/sced.hpp"
+#include "sched/virtual_clock.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+using namespace hfsc;
+
+namespace {
+
+constexpr RateBps kLink = mbps(10);
+constexpr TimeNs kWake = sec(2);
+constexpr TimeNs kEnd = sec(4);
+const ServiceCurve kVideoSc = ServiceCurve::linear(mbps(2));
+const ServiceCurve kFtpSc = ServiceCurve::linear(mbps(6));
+
+struct Result {
+  double before_mbps;     // video rate while alone
+  double worst_window;    // worst 100 ms video window after wake
+  double after_mbps;      // steady-state video rate after wake
+  double ftp_mbps;        // steady-state ftp rate after wake
+};
+
+Result drive(Scheduler& sched, ClassId video, ClassId ftp) {
+  Simulator sim(kLink, sched);
+  sim.add<GreedySource>(video, 1250, 6, 0, kEnd);  // adaptive: always more
+  sim.add<GreedySource>(ftp, 1500, 6, kWake, kEnd);
+  sim.run(kEnd);
+  const auto& t = sim.tracker();
+  double worst = 1e9;
+  for (TimeNs w = kWake; w + msec(100) <= kEnd; w += msec(100)) {
+    worst = std::min(worst, t.rate_mbps(video, w, w + msec(100)));
+  }
+  return Result{t.rate_mbps(video, msec(200), kWake), worst,
+                t.rate_mbps(video, kWake + msec(500), kEnd),
+                t.rate_mbps(ftp, kWake + msec(500), kEnd)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E11: adaptive application using excess bandwidth (video "
+              "reserves 2 Mb/s, FTP 6 Mb/s wakes at t=2 s, 10 Mb/s "
+              "link)\n\n");
+  TablePrinter table({"sched", "video_before_mbps", "video_worst_100ms",
+                      "video_after_mbps", "ftp_after_mbps"});
+
+  {
+    VirtualClock vc;
+    const ClassId video = vc.add_session(mbps(2));
+    const ClassId ftp = vc.add_session(mbps(6));
+    const Result r = drive(vc, video, ftp);
+    table.add_row({"VirtualClock", TablePrinter::fmt(r.before_mbps, 2),
+                   TablePrinter::fmt(r.worst_window, 2),
+                   TablePrinter::fmt(r.after_mbps, 2),
+                   TablePrinter::fmt(r.ftp_mbps, 2)});
+  }
+  {
+    Sced sced;
+    const ClassId video = sced.add_session(kVideoSc);
+    const ClassId ftp = sced.add_session(kFtpSc);
+    const Result r = drive(sced, video, ftp);
+    table.add_row({"SCED", TablePrinter::fmt(r.before_mbps, 2),
+                   TablePrinter::fmt(r.worst_window, 2),
+                   TablePrinter::fmt(r.after_mbps, 2),
+                   TablePrinter::fmt(r.ftp_mbps, 2)});
+  }
+  {
+    Hfsc hfsc(kLink);
+    const ClassId video =
+        hfsc.add_class(kRootClass, ClassConfig::both(kVideoSc));
+    const ClassId ftp = hfsc.add_class(kRootClass, ClassConfig::both(kFtpSc));
+    const Result r = drive(hfsc, video, ftp);
+    table.add_row({"H-FSC", TablePrinter::fmt(r.before_mbps, 2),
+                   TablePrinter::fmt(r.worst_window, 2),
+                   TablePrinter::fmt(r.after_mbps, 2),
+                   TablePrinter::fmt(r.ftp_mbps, 2)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("expected shape (paper): under Virtual Clock / SCED the video "
+              "class's worst window after the wake-up drops to ~0 — it is "
+              "punished for its 2 s of excess and briefly loses even its "
+              "2 Mb/s reservation; under H-FSC the worst window stays at "
+              "(or above) the reservation.  Steady state is 2.5/7.5 by the "
+              "2:6 curves for all three.\n");
+  return 0;
+}

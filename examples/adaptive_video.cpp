@@ -1,0 +1,74 @@
+// Example: an adaptive video application exploiting fairness.
+//
+// Section III-B's motivating story: a codec reserves only its minimum
+// quality (1 Mb/s) and opportunistically raises quality whenever the link
+// has spare capacity — safe under H-FSC because a class is never punished
+// for having used excess service.  The program runs the codec against a
+// bulk class that cycles on and off, and prints the video class's
+// throughput (the quality level it can sustain) across phases, plus the
+// crucial number: its worst 100 ms window right after bulk returns.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/hfsc.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+using namespace hfsc;
+
+int main() {
+  const RateBps link = mbps(10);
+  Hfsc sched(link);
+
+  // Reservation: concave curve — 8 kB burst within 20 ms, then 1 Mb/s.
+  const ClassId video = sched.add_class(
+      kRootClass, ClassConfig::both(from_udr(8000, msec(20), mbps(1))));
+  const ClassId bulk = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(9))));
+
+  const TimeNs end = sec(8);
+  Simulator sim(link, sched);
+  // The adaptive codec: always has more to send (quality scales with
+  // whatever it gets).
+  sim.add<GreedySource>(video, 1250, 6, 0, end);
+  // Bulk: on during (0,2) and (4,6), off otherwise.
+  sim.add<GreedySource>(bulk, 1500, 8, 0, sec(2));
+  sim.add<GreedySource>(bulk, 1500, 8, sec(4), sec(6));
+  sim.run(end);
+
+  const auto& t = sim.tracker();
+  std::printf("adaptive video with a 1 Mb/s reservation on a 10 Mb/s "
+              "link\n\n");
+  TablePrinter table({"phase", "bulk", "video_mbps", "video_quality"});
+  auto quality = [](double mbps_val) {
+    if (mbps_val > 6) return "1080p";
+    if (mbps_val > 2.5) return "720p";
+    if (mbps_val > 0.9) return "480p";
+    return "STALLED";
+  };
+  struct Phase {
+    const char* label;
+    TimeNs a, b;
+    const char* bulk;
+  };
+  for (const Phase& p : {Phase{"0-2s", msec(100), sec(2), "on"},
+                         Phase{"2-4s", sec(2) + msec(100), sec(4), "off"},
+                         Phase{"4-6s", sec(4) + msec(100), sec(6), "on"},
+                         Phase{"6-8s", sec(6) + msec(100), end, "off"}}) {
+    const double r = t.rate_mbps(video, p.a, p.b);
+    table.add_row({p.label, p.bulk, TablePrinter::fmt(r, 2), quality(r)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  double worst = 1e9;
+  for (TimeNs w = sec(4); w + msec(100) <= sec(6); w += msec(100)) {
+    worst = std::min(worst, t.rate_mbps(video, w, w + msec(100)));
+  }
+  std::printf("worst 100 ms video window after bulk returns at t=4s: "
+              "%.2f Mb/s\n", worst);
+  std::printf("=> using the idle link during 2-4s cost the codec nothing: "
+              "it never dropped below its 1 Mb/s reservation (no "
+              "punishment).  Under Virtual Clock or SCED the same codec "
+              "would stall  — see bench/exp_nonpunishment.\n");
+  return 0;
+}

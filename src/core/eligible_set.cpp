@@ -1,0 +1,295 @@
+#include "core/eligible_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hfsc {
+
+// ---------------------------------------------------------------- DualHeap
+
+void DualHeapEligibleSet::update(ClassId cls, TimeNs e, TimeNs d, TimeNs now) {
+  if (cls >= deadline_of_.size()) deadline_of_.resize(cls + 1, 0);
+  deadline_of_[cls] = d;
+  if (pending_.contains(cls)) pending_.erase(cls);
+  if (ready_.contains(cls)) ready_.erase(cls);
+  if (e <= now) {
+    ready_.push(cls, d);
+  } else {
+    pending_.push(cls, e);
+  }
+}
+
+void DualHeapEligibleSet::erase(ClassId cls) {
+  if (pending_.contains(cls)) pending_.erase(cls);
+  if (ready_.contains(cls)) ready_.erase(cls);
+}
+
+std::optional<ClassId> DualHeapEligibleSet::min_deadline_eligible(TimeNs now) {
+  while (!pending_.empty() && pending_.top_key() <= now) {
+    const ClassId cls = pending_.pop();
+    ready_.push(cls, deadline_of_[cls]);
+  }
+  if (ready_.empty()) return std::nullopt;
+  return ready_.top_id();
+}
+
+TimeNs DualHeapEligibleSet::next_eligible_time() const {
+  if (!ready_.empty()) return 0;
+  if (pending_.empty()) return kTimeInfinity;
+  return pending_.top_key();
+}
+
+// ----------------------------------------------------------------- AugTree
+
+struct AugTreeEligibleSet::Node {
+  TimeNs e = 0;
+  TimeNs d = 0;
+  TimeNs min_d = 0;  // min deadline in this subtree
+  ClassId cls = 0;
+  std::uint64_t prio = 0;
+  Node* left = nullptr;
+  Node* right = nullptr;
+};
+
+AugTreeEligibleSet::AugTreeEligibleSet() = default;
+
+AugTreeEligibleSet::~AugTreeEligibleSet() { destroy(root_); }
+
+void AugTreeEligibleSet::destroy(Node* n) {
+  if (!n) return;
+  destroy(n->left);
+  destroy(n->right);
+  delete n;
+}
+
+std::uint64_t AugTreeEligibleSet::next_priority() {
+  // xorshift64*
+  std::uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+void AugTreeEligibleSet::pull(Node* n) {
+  n->min_d = n->d;
+  if (n->left) n->min_d = std::min(n->min_d, n->left->min_d);
+  if (n->right) n->min_d = std::min(n->min_d, n->right->min_d);
+}
+
+AugTreeEligibleSet::Node* AugTreeEligibleSet::merge(Node* a, Node* b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->prio > b->prio) {
+    a->right = merge(a->right, b);
+    pull(a);
+    return a;
+  }
+  b->left = merge(a, b->left);
+  pull(b);
+  return b;
+}
+
+void AugTreeEligibleSet::split(Node* n, TimeNs e, ClassId cls, Node** l,
+                               Node** r) {
+  if (!n) {
+    *l = *r = nullptr;
+    return;
+  }
+  const bool goes_left = n->e < e || (n->e == e && n->cls < cls);
+  if (goes_left) {
+    split(n->right, e, cls, &n->right, r);
+    *l = n;
+    pull(n);
+  } else {
+    split(n->left, e, cls, l, &n->left);
+    *r = n;
+    pull(n);
+  }
+}
+
+void AugTreeEligibleSet::update(ClassId cls, TimeNs e, TimeNs d,
+                                TimeNs /*now*/) {
+  erase(cls);
+  if (cls >= node_of_.size()) node_of_.resize(cls + 1, nullptr);
+  Node* fresh = new Node{e, d, d, cls, next_priority(), nullptr, nullptr};
+  node_of_[cls] = fresh;
+  Node *l, *r;
+  split(root_, e, cls, &l, &r);
+  root_ = merge(merge(l, fresh), r);
+}
+
+void AugTreeEligibleSet::erase(ClassId cls) {
+  if (cls >= node_of_.size() || node_of_[cls] == nullptr) return;
+  const Node* target = node_of_[cls];
+  Node *l, *mid, *r;
+  split(root_, target->e, target->cls, &l, &mid);
+  // mid's leftmost node is exactly (e, cls); split it off.
+  split(mid, target->e, target->cls + 1, &mid, &r);
+  assert(mid != nullptr && mid->cls == cls && !mid->left && !mid->right);
+  delete mid;
+  node_of_[cls] = nullptr;
+  root_ = merge(l, r);
+}
+
+bool AugTreeEligibleSet::contains(ClassId cls) const {
+  return cls < node_of_.size() && node_of_[cls] != nullptr;
+}
+
+bool AugTreeEligibleSet::empty() const { return root_ == nullptr; }
+
+std::optional<ClassId> AugTreeEligibleSet::min_deadline_eligible(TimeNs now) {
+  // Find the minimum deadline among nodes with e <= now by walking the
+  // tree: at each node, the left subtree is entirely eligible if we later
+  // move right, and we track the best candidate found so far.
+  Node* n = root_;
+  const Node* best = nullptr;
+  auto consider = [&](const Node* cand) {
+    if (cand && (!best || cand->d < best->d ||
+                 (cand->d == best->d && cand->cls < best->cls))) {
+      best = cand;
+    }
+  };
+  // First pass: find the best over the eligible prefix.
+  while (n) {
+    if (n->e <= now) {
+      // n and its whole left subtree are eligible.
+      consider(n);
+      if (n->left) {
+        // The left subtree is fully eligible; its min_d is usable, but we
+        // need the concrete node — descend for it only if it can win.
+        if (!best || n->left->min_d < best->d) {
+          // Locate a node achieving min_d in the (fully eligible) subtree.
+          Node* m = n->left;
+          const TimeNs want = n->left->min_d;
+          while (m) {
+            if (m->d == want) {
+              consider(m);
+              break;
+            }
+            if (m->left && m->left->min_d == want) {
+              m = m->left;
+            } else {
+              m = m->right;
+            }
+          }
+        }
+      }
+      n = n->right;
+    } else {
+      n = n->left;
+    }
+  }
+  if (!best) return std::nullopt;
+  return best->cls;
+}
+
+TimeNs AugTreeEligibleSet::next_eligible_time() const {
+  if (!root_) return kTimeInfinity;
+  const Node* n = root_;
+  while (n->left) n = n->left;
+  return n->e;
+}
+
+// ---------------------------------------------------------------- Calendar
+
+CalendarEligibleSet::CalendarEligibleSet(TimeNs bucket_width,
+                                         std::size_t num_buckets)
+    : width_(bucket_width), buckets_(num_buckets) {
+  assert(bucket_width > 0 && num_buckets > 0);
+}
+
+bool CalendarEligibleSet::contains(ClassId cls) const {
+  return cls < req_.size() && req_[cls].present;
+}
+
+void CalendarEligibleSet::update(ClassId cls, TimeNs e, TimeNs d, TimeNs now) {
+  erase(cls);
+  if (cls >= req_.size()) req_.resize(cls + 1);
+  Request& r = req_[cls];
+  r.e = e;
+  r.d = d;
+  r.present = true;
+  ++size_;
+  if (e <= now) {
+    r.in_ready = true;
+    ready_.push(cls, d);
+  } else {
+    r.in_ready = false;
+    r.bucket = bucket_of(e);
+    buckets_[r.bucket].push_back(cls);
+  }
+}
+
+void CalendarEligibleSet::erase(ClassId cls) {
+  if (!contains(cls)) return;
+  Request& r = req_[cls];
+  if (r.in_ready) {
+    ready_.erase(cls);
+  } else {
+    auto& b = buckets_[r.bucket];
+    const auto it = std::find(b.begin(), b.end(), cls);
+    assert(it != b.end());
+    *it = b.back();
+    b.pop_back();
+  }
+  r.present = false;
+  --size_;
+}
+
+void CalendarEligibleSet::migrate(TimeNs now) {
+  if (now <= migrated_until_) return;
+  // Scan each calendar bucket covering (migrated_until_, now] — at most
+  // one full revolution.
+  const std::size_t n = buckets_.size();
+  std::size_t first = static_cast<std::size_t>(migrated_until_ / width_);
+  std::size_t last = static_cast<std::size_t>(now / width_);
+  if (last - first >= n) first = last - (n - 1);  // cap at one revolution
+  for (std::size_t day_slot = first; day_slot <= last; ++day_slot) {
+    auto& b = buckets_[day_slot % n];
+    for (std::size_t i = 0; i < b.size();) {
+      const ClassId cls = b[i];
+      Request& r = req_[cls];
+      if (r.e <= now) {
+        r.in_ready = true;
+        ready_.push(cls, r.d);
+        b[i] = b.back();
+        b.pop_back();
+      } else {
+        ++i;  // a future-revolution entry sharing the bucket
+      }
+    }
+  }
+  migrated_until_ = now;
+}
+
+std::optional<ClassId> CalendarEligibleSet::min_deadline_eligible(TimeNs now) {
+  migrate(now);
+  if (ready_.empty()) return std::nullopt;
+  return ready_.top_id();
+}
+
+TimeNs CalendarEligibleSet::next_eligible_time() const {
+  if (!ready_.empty()) return 0;
+  if (size_ == 0) return kTimeInfinity;
+  TimeNs best = kTimeInfinity;
+  for (const auto& b : buckets_) {
+    for (const ClassId cls : b) best = std::min(best, req_[cls].e);
+  }
+  return best;
+}
+
+std::unique_ptr<EligibleSet> make_eligible_set(EligibleSetKind kind) {
+  switch (kind) {
+    case EligibleSetKind::kAugTree:
+      return std::make_unique<AugTreeEligibleSet>();
+    case EligibleSetKind::kCalendar:
+      return std::make_unique<CalendarEligibleSet>();
+    case EligibleSetKind::kDualHeap:
+      break;
+  }
+  return std::make_unique<DualHeapEligibleSet>();
+}
+
+}  // namespace hfsc

@@ -1,0 +1,145 @@
+// Real-time request structures for H-FSC (paper Section V).
+//
+// The real-time criterion needs, at each dequeue:
+//     among classes with eligible time e <= now, the minimum deadline d.
+//
+// The paper proposes two implementations; both are provided behind one
+// interface so the ablation bench (E10) can compare them:
+//
+//  * DualHeapEligibleSet — "a calendar queue for keeping track of the
+//    eligible times in conjunction with a heap for maintaining the
+//    requests' deadlines": a pending heap keyed by e plus a ready heap
+//    keyed by d; requests migrate as the clock passes their eligible
+//    time.  (We use an indexed heap rather than a literal calendar queue;
+//    same O(log n) bound, simpler memory behavior.)
+//
+//  * AugTreeEligibleSet — "an augmented binary tree data structure as the
+//    one described in [16]": a balanced search tree ordered by e where
+//    every node also stores the minimum d in its subtree; the query walks
+//    the e <= now prefix in O(log n) without any state migration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sched/packet.hpp"
+#include "util/indexed_heap.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+class EligibleSet {
+ public:
+  virtual ~EligibleSet() = default;
+
+  // Inserts or updates the (e, d) request of `cls`.
+  virtual void update(ClassId cls, TimeNs e, TimeNs d, TimeNs now) = 0;
+  virtual void erase(ClassId cls) = 0;
+  virtual bool contains(ClassId cls) const = 0;
+  virtual bool empty() const = 0;
+
+  // The class with the smallest deadline among those with e <= now, if any.
+  virtual std::optional<ClassId> min_deadline_eligible(TimeNs now) = 0;
+
+  // Earliest time at which min_deadline_eligible() could start returning a
+  // class: 0 if one is already eligible, kTimeInfinity if empty.
+  virtual TimeNs next_eligible_time() const = 0;
+};
+
+class DualHeapEligibleSet final : public EligibleSet {
+ public:
+  void update(ClassId cls, TimeNs e, TimeNs d, TimeNs now) override;
+  void erase(ClassId cls) override;
+  bool contains(ClassId cls) const override {
+    return pending_.contains(cls) || ready_.contains(cls);
+  }
+  bool empty() const override { return pending_.empty() && ready_.empty(); }
+  std::optional<ClassId> min_deadline_eligible(TimeNs now) override;
+  TimeNs next_eligible_time() const override;
+
+ private:
+  IndexedHeap<TimeNs> pending_;  // e > last seen now, keyed by e
+  IndexedHeap<TimeNs> ready_;    // eligible, keyed by d
+  std::vector<TimeNs> deadline_of_;  // ClassId -> d (for promotions)
+};
+
+class AugTreeEligibleSet final : public EligibleSet {
+ public:
+  AugTreeEligibleSet();
+  ~AugTreeEligibleSet() override;
+
+  void update(ClassId cls, TimeNs e, TimeNs d, TimeNs now) override;
+  void erase(ClassId cls) override;
+  bool contains(ClassId cls) const override;
+  bool empty() const override;
+  std::optional<ClassId> min_deadline_eligible(TimeNs now) override;
+  TimeNs next_eligible_time() const override;
+
+ private:
+  struct Node;
+  // Treap ordered by (e, cls) with subtree-min-deadline augmentation.
+  Node* root_ = nullptr;
+  std::vector<Node*> node_of_;  // ClassId -> node (null if absent)
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ULL;
+
+  std::uint64_t next_priority();
+  static void pull(Node* n);
+  static Node* merge(Node* a, Node* b);
+  // Splits by key (e, cls): left gets keys < (e, cls), right the rest.
+  static void split(Node* n, TimeNs e, ClassId cls, Node** l, Node** r);
+  Node* insert_node(Node* n, Node* fresh);
+  void destroy(Node* n);
+};
+
+// The literal structure of Section V's second alternative: "a calendar
+// queue for keeping track of the eligible times in conjunction with a
+// heap for maintaining the requests' deadlines".  Pending requests hash
+// into fixed-width time buckets (Brown's calendar queue, simplified to a
+// fixed bucket count with lazy day-rollover) and migrate into the
+// deadline heap as the clock passes them; min_deadline_eligible() is the
+// same O(log n) pop, but the pending side costs O(1) per insert instead
+// of O(log n).
+class CalendarEligibleSet final : public EligibleSet {
+ public:
+  // bucket_width: the calendar's time granularity; requests whose
+  // eligible times fall in the same bucket migrate together (they are
+  // re-checked exactly, so correctness does not depend on the width).
+  explicit CalendarEligibleSet(TimeNs bucket_width = usec(100),
+                               std::size_t num_buckets = 256);
+
+  void update(ClassId cls, TimeNs e, TimeNs d, TimeNs now) override;
+  void erase(ClassId cls) override;
+  bool contains(ClassId cls) const override;
+  bool empty() const override { return size_ == 0; }
+  std::optional<ClassId> min_deadline_eligible(TimeNs now) override;
+  TimeNs next_eligible_time() const override;
+
+ private:
+  struct Request {
+    TimeNs e = 0;
+    TimeNs d = 0;
+    bool present = false;
+    bool in_ready = false;
+    std::size_t bucket = 0;
+  };
+
+  std::size_t bucket_of(TimeNs e) const noexcept {
+    return static_cast<std::size_t>(e / width_) % buckets_.size();
+  }
+  void migrate(TimeNs now);
+
+  TimeNs width_;
+  std::vector<std::vector<ClassId>> buckets_;  // pending, by eligible time
+  IndexedHeap<TimeNs> ready_;                  // eligible, keyed by deadline
+  std::vector<Request> req_;                   // ClassId -> request
+  std::size_t size_ = 0;
+  TimeNs migrated_until_ = 0;  // clock position of the calendar scan
+};
+
+enum class EligibleSetKind { kDualHeap, kAugTree, kCalendar };
+
+std::unique_ptr<EligibleSet> make_eligible_set(EligibleSetKind kind);
+
+}  // namespace hfsc

@@ -1,0 +1,323 @@
+#include "core/hfsc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hfsc {
+
+namespace {
+// Overflow-free average of two u64 values.
+constexpr TimeNs avg(TimeNs a, TimeNs b) noexcept {
+  return a / 2 + b / 2 + (a & b & 1);
+}
+}  // namespace
+
+Hfsc::Hfsc(RateBps link_rate, EligibleSetKind kind, SystemVtPolicy vt_policy)
+    : link_rate_(link_rate), vt_policy_(vt_policy),
+      rt_requests_(make_eligible_set(kind)) {
+  assert(link_rate > 0);
+  nodes_.emplace_back();  // root
+}
+
+ClassId Hfsc::add_class(ClassId parent, ClassConfig cfg) {
+  assert(parent < nodes_.size());
+  assert(!queues_.has(parent) &&
+         "cannot add children under a class that queues packets");
+  assert((parent == kRootClass || nodes_[parent].has_ls()) &&
+         "interior classes need a link-sharing curve");
+  assert(cfg.rt.is_zero() || cfg.rt.is_supported());
+  assert(cfg.ls.is_zero() || cfg.ls.is_supported());
+  assert(cfg.ul.is_zero() || cfg.ul.is_supported());
+  assert((!cfg.rt.is_zero() || !cfg.ls.is_zero()) &&
+         "a class needs at least one of rt/ls to ever receive service");
+
+  Node n;
+  n.parent = parent;
+  n.cfg = cfg;
+  n.idx_in_parent = static_cast<std::uint32_t>(nodes_[parent].children.size());
+  // Anchor all runtime curves at the origin; the becomes-active min-fold
+  // re-anchors them (min(S(t), S(t - a) + c) == S(t - a) + c at first
+  // activation, so no special first-time flag is needed).
+  if (!cfg.rt.is_zero()) {
+    n.dc = RuntimeCurve(cfg.rt, 0, 0);
+    n.ec = RuntimeCurve(cfg.rt, 0, 0);
+    if (cfg.rt.m1 < cfg.rt.m2) n.ec.flatten_to_second_slope();
+  }
+  if (!cfg.ls.is_zero()) n.vc = RuntimeCurve(cfg.ls, 0, 0);
+  if (!cfg.ul.is_zero()) n.uc = RuntimeCurve(cfg.ul, 0, 0);
+
+  nodes_.push_back(std::move(n));
+  const ClassId id = static_cast<ClassId>(nodes_.size() - 1);
+  nodes_[parent].children.push_back(id);
+  queues_.ensure(id);
+  return id;
+}
+
+TimeNs Hfsc::system_vt(const Node& p) const noexcept {
+  // Section IV-C: v_max is the running watermark, which also carries the
+  // virtual clock across the parent's idle periods; v_min is the top of
+  // the active-children heap.  The paper's policy is the midpoint.
+  if (p.active_children.empty()) return p.vt_watermark;
+  switch (vt_policy_) {
+    case SystemVtPolicy::kMin:
+      return p.active_children.top_key();
+    case SystemVtPolicy::kMax:
+      return p.vt_watermark;
+    case SystemVtPolicy::kMidpoint:
+      break;
+  }
+  return avg(p.active_children.top_key(), p.vt_watermark);
+}
+
+void Hfsc::update_ed(ClassId cls, TimeNs now) {
+  Node& n = nodes_[cls];
+  assert(n.has_rt() && queues_.has(cls));
+  n.dc.min_with(n.cfg.rt, now, n.cumul);
+  n.ec.min_with(n.cfg.rt, now, n.cumul);
+  if (n.cfg.rt.m1 < n.cfg.rt.m2) n.ec.flatten_to_second_slope();
+  n.e = n.ec.y2x(n.cumul);
+  n.d = n.dc.y2x(sat_add(n.cumul, queues_.head(cls).len));
+  rt_requests_->update(cls, n.e, n.d, now);
+}
+
+void Hfsc::update_d(ClassId cls) {
+  Node& n = nodes_[cls];
+  assert(n.has_rt() && queues_.has(cls));
+  n.d = n.dc.y2x(sat_add(n.cumul, queues_.head(cls).len));
+}
+
+void Hfsc::activate_ls_path(ClassId cls, TimeNs now) {
+  for (ClassId c = cls; c != kRootClass && !nodes_[c].active;) {
+    Node& n = nodes_[c];
+    Node& p = nodes_[n.parent];
+    const TimeNs v = system_vt(p);
+    n.vc.min_with(n.cfg.ls, v, n.total);
+    n.vt = n.vc.y2x(n.total);
+    if (n.has_ul()) {
+      n.uc.min_with(n.cfg.ul, now, n.total);
+      n.fit = n.uc.y2x(n.total);
+    }
+    n.active = true;
+    p.active_children.push(n.idx_in_parent, n.vt);
+    p.vt_watermark = std::max(p.vt_watermark, n.vt);
+    c = n.parent;
+  }
+  nodes_[kRootClass].active = true;
+}
+
+void Hfsc::charge_total(ClassId cls, Bytes len, TimeNs /*now*/) {
+  for (ClassId c = cls;; c = nodes_[c].parent) {
+    Node& n = nodes_[c];
+    n.total += len;
+    if (c != kRootClass && n.active) {
+      Node& p = nodes_[n.parent];
+      n.vt = n.vc.y2x(n.total);
+      p.active_children.update(n.idx_in_parent, n.vt);
+      p.vt_watermark = std::max(p.vt_watermark, n.vt);
+    }
+    if (n.has_ul()) n.fit = n.uc.y2x(n.total);
+    if (c == kRootClass) break;
+  }
+}
+
+void Hfsc::set_passive(ClassId cls) {
+  for (ClassId c = cls; c != kRootClass;) {
+    Node& n = nodes_[c];
+    if (!n.active) break;
+    Node& p = nodes_[n.parent];
+    n.active = false;
+    p.active_children.erase(n.idx_in_parent);
+    if (!p.active_children.empty()) return;
+    c = n.parent;
+  }
+  nodes_[kRootClass].active = false;
+}
+
+std::optional<ClassId> Hfsc::ls_select(TimeNs now) {
+  ls_next_fit_ = kTimeInfinity;
+  if (!nodes_[kRootClass].active) return std::nullopt;
+  ClassId c = kRootClass;
+  while (!nodes_[c].children.empty()) {
+    Node& n = nodes_[c];
+    if (n.active_children.empty()) return std::nullopt;
+    // Pop upper-limit-blocked children aside until a serviceable one
+    // surfaces, then restore them.
+    std::vector<std::pair<std::uint32_t, TimeNs>> blocked;
+    std::optional<std::uint32_t> chosen;
+    while (!n.active_children.empty()) {
+      const std::uint32_t idx = n.active_children.top_id();
+      const ClassId child = n.children[idx];
+      if (!nodes_[child].has_ul() || nodes_[child].fit <= now) {
+        chosen = idx;
+        break;
+      }
+      ls_next_fit_ = std::min(ls_next_fit_, nodes_[child].fit);
+      blocked.emplace_back(idx, n.active_children.top_key());
+      n.active_children.pop();
+    }
+    for (const auto& [idx, key] : blocked) n.active_children.push(idx, key);
+    if (!chosen) return std::nullopt;
+    c = n.children[*chosen];
+  }
+  return c;
+}
+
+std::optional<Packet> Hfsc::serve(ClassId leaf, Criterion crit, TimeNs now) {
+  Node& n = nodes_[leaf];
+  Packet p = queues_.pop(leaf);
+  if (crit == Criterion::kRealTime) {
+    n.cumul += p.len;
+    ++rt_selections_;
+  } else {
+    ++ls_selections_;
+  }
+  ++n.pkts_sent;
+  charge_total(leaf, p.len, now);
+  if (queues_.has(leaf)) {
+    if (n.has_rt()) {
+      if (crit == Criterion::kRealTime) {
+        // Fig. 5(a) tail: new head under the real-time criterion.
+        n.e = n.ec.y2x(n.cumul);
+      }
+      // Fig. 5(b): after a link-sharing service only the deadline moves
+      // (c did not change but the head packet's length may differ).
+      update_d(leaf);
+      rt_requests_->update(leaf, n.e, n.d, now);
+    }
+  } else {
+    if (n.has_rt()) rt_requests_->erase(leaf);
+    if (n.active) set_passive(leaf);
+  }
+  last_criterion_ = crit;
+  return p;
+}
+
+void Hfsc::change_class(TimeNs now, ClassId cls, ClassConfig cfg) {
+  assert(cls > 0 && cls < nodes_.size() && !nodes_[cls].deleted);
+  Node& n = nodes_[cls];
+  assert(cfg.rt.is_zero() || cfg.rt.is_supported());
+  assert(cfg.ls.is_zero() || cfg.ls.is_supported());
+  assert(cfg.ul.is_zero() || cfg.ul.is_supported());
+  assert((n.children.empty() || !cfg.ls.is_zero()) &&
+         "interior classes need a link-sharing curve");
+  assert((n.children.empty() ? (!cfg.rt.is_zero() || !cfg.ls.is_zero())
+                             : true) &&
+         "a leaf needs at least one of rt/ls");
+
+  const bool had_ls = n.has_ls();
+  n.cfg = cfg;
+
+  // Real-time side: re-anchor at (now, c).
+  if (n.has_rt()) {
+    n.dc = RuntimeCurve(cfg.rt, now, n.cumul);
+    n.ec = RuntimeCurve(cfg.rt, now, n.cumul);
+    if (cfg.rt.m1 < cfg.rt.m2) n.ec.flatten_to_second_slope();
+    if (queues_.has(cls)) {
+      n.e = n.ec.y2x(n.cumul);
+      n.d = n.dc.y2x(sat_add(n.cumul, queues_.head(cls).len));
+      rt_requests_->update(cls, n.e, n.d, now);
+    }
+  } else if (rt_requests_->contains(cls)) {
+    rt_requests_->erase(cls);
+  }
+
+  // Link-sharing side: re-anchor at (v, w).
+  if (n.has_ls()) {
+    n.vc = RuntimeCurve(cfg.ls, n.vt, n.total);
+    if (n.active) {
+      n.vt = n.vc.y2x(n.total);
+      Node& p = nodes_[n.parent];
+      p.active_children.update(n.idx_in_parent, n.vt);
+      p.vt_watermark = std::max(p.vt_watermark, n.vt);
+    } else if (queues_.has(cls)) {
+      activate_ls_path(cls, now);
+    }
+  } else if (had_ls && n.active) {
+    set_passive(cls);
+  }
+
+  // Upper limit: re-anchor at (now, w).
+  if (n.has_ul()) {
+    n.uc = RuntimeCurve(cfg.ul, now, n.total);
+    n.fit = n.uc.y2x(n.total);
+  } else {
+    n.fit = 0;
+  }
+}
+
+void Hfsc::delete_class(ClassId cls) {
+  assert(cls > 0 && cls < nodes_.size() && !nodes_[cls].deleted);
+  Node& n = nodes_[cls];
+  assert(n.children.empty() && "delete children first");
+
+  // Purge queued packets, counting them as drops.
+  while (queues_.has(cls)) {
+    const Packet p = queues_.pop(cls);
+    ++n.pkts_dropped;
+    n.bytes_dropped += p.len;
+  }
+  if (rt_requests_->contains(cls)) rt_requests_->erase(cls);
+  if (n.active) set_passive(cls);
+
+  // Detach from the parent: swap-remove from the children vector and fix
+  // the displaced sibling's index (including its heap entry if active).
+  Node& p = nodes_[n.parent];
+  const std::uint32_t idx = n.idx_in_parent;
+  const std::uint32_t last = static_cast<std::uint32_t>(p.children.size() - 1);
+  if (idx != last) {
+    const ClassId moved = p.children[last];
+    p.children[idx] = moved;
+    Node& m = nodes_[moved];
+    if (m.active) {
+      const TimeNs key = p.active_children.key_of(m.idx_in_parent);
+      p.active_children.erase(m.idx_in_parent);
+      p.active_children.push(idx, key);
+    }
+    m.idx_in_parent = idx;
+  }
+  p.children.pop_back();
+  n.deleted = true;
+}
+
+void Hfsc::set_queue_limit(ClassId cls, std::size_t max_packets) {
+  assert(cls > 0 && cls < nodes_.size());
+  nodes_[cls].queue_limit = max_packets;
+}
+
+void Hfsc::enqueue(TimeNs now, Packet pkt) {
+  assert(pkt.cls > 0 && pkt.cls < nodes_.size());
+  assert(nodes_[pkt.cls].children.empty() && "only leaves carry packets");
+  Node& n = nodes_[pkt.cls];
+  if (n.queue_limit != 0 && queues_.queue_len(pkt.cls) >= n.queue_limit) {
+    ++n.pkts_dropped;
+    n.bytes_dropped += pkt.len;
+    return;
+  }
+  const bool was_empty = !queues_.has(pkt.cls);
+  queues_.push(pkt);
+  if (!was_empty) return;
+  if (n.has_rt()) update_ed(pkt.cls, now);
+  if (n.has_ls()) activate_ls_path(pkt.cls, now);
+}
+
+std::optional<Packet> Hfsc::dequeue(TimeNs now) {
+  if (queues_.packets() == 0) return std::nullopt;
+  // Real-time criterion: used exactly when some leaf is eligible — i.e.
+  // when leaving the choice to link-sharing could endanger a guarantee.
+  if (auto cls = rt_requests_->min_deadline_eligible(now)) {
+    return serve(*cls, Criterion::kRealTime, now);
+  }
+  if (auto leaf = ls_select(now)) {
+    return serve(*leaf, Criterion::kLinkShare, now);
+  }
+  // Backlogged but nothing may be sent now (rt-only classes not yet
+  // eligible and/or upper limits blocking); next_wakeup() says when to
+  // try again.
+  return std::nullopt;
+}
+
+TimeNs Hfsc::next_wakeup(TimeNs /*now*/) const noexcept {
+  return std::min(rt_requests_->next_eligible_time(), ls_next_fit_);
+}
+
+}  // namespace hfsc

@@ -1,0 +1,233 @@
+// H-FSC — the Hierarchical Fair Service Curve scheduler (paper Section IV).
+//
+// Each leaf class with a real-time service curve maintains a deadline
+// curve D, an eligible curve E and a cumulative real-time service counter
+// c; the head packet carries
+//
+//     e = E^{-1}(c)          d = D^{-1}(c + len)
+//
+// (Fig. 5).  Every class additionally maintains a virtual curve V, a total
+// service counter w (both criteria) and a virtual time v = V^{-1}(w)
+// (Fig. 6).  get_packet (Fig. 4) serves by the *real-time criterion* —
+// smallest deadline among eligible leaves — whenever some leaf is
+// eligible, which is exactly when letting link-sharing decide could
+// endanger a leaf's guarantee; otherwise it applies the *link-sharing
+// criterion*, descending from the root picking the active child with the
+// smallest virtual time (SSF with system virtual time
+// (v_min + v_max) / 2, Section IV-C).
+//
+// Guarantees (Section VI): every leaf's real-time curve is met to within
+// one maximum-length packet time (Theorems 1, 2), independent of the
+// leaf's depth; interior classes receive service that tracks the FSC
+// link-sharing model with bounded discrepancy; a class is never punished
+// for having used excess service.
+//
+// Extension beyond the paper's algorithm description: an optional
+// *upper-limit* service curve per class caps the service a class may take
+// through the link-sharing criterion (the feature the authors shipped in
+// their ALTQ/NetBSD implementation).  A class whose fit time f = U^{-1}(w)
+// lies in the future is skipped by the link-sharing criterion; real-time
+// guarantees are unaffected.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/eligible_set.hpp"
+#include "curve/runtime_curve.hpp"
+#include "sched/class_queues.hpp"
+#include "sched/scheduler.hpp"
+#include "util/indexed_heap.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+// Which criterion released a packet; exposed for instrumentation.
+enum class Criterion { kRealTime, kLinkShare };
+
+struct ClassConfig {
+  // Real-time curve (leaf classes only): guaranteed regardless of the
+  // rest of the hierarchy.  Zero means the class has no guarantee of its
+  // own and is served purely by link-sharing.
+  ServiceCurve rt{};
+  // Link-sharing curve: the class's share in the FSC link-sharing model.
+  // Zero means the class never competes for excess bandwidth (it must
+  // then have an rt curve to receive any service at all).
+  ServiceCurve ls{};
+  // Upper-limit curve (extension, see header comment).  Zero = unlimited.
+  ServiceCurve ul{};
+
+  // Convenience: one curve used for both rt and ls — the configuration
+  // the paper analyses ("we choose to use the same curve for both the
+  // real-time and link-sharing policies", Section IV-A).
+  static ClassConfig both(const ServiceCurve& sc) {
+    return ClassConfig{sc, sc, ServiceCurve{}};
+  }
+  static ClassConfig link_share_only(const ServiceCurve& sc) {
+    return ClassConfig{ServiceCurve{}, sc, ServiceCurve{}};
+  }
+  static ClassConfig real_time_only(const ServiceCurve& sc) {
+    return ClassConfig{sc, ServiceCurve{}, ServiceCurve{}};
+  }
+};
+
+// How an interior class's system virtual time is derived from its active
+// children.  The paper (Section IV-C) uses the midpoint (v_min + v_max)/2
+// and notes that using either extreme alone makes the sibling virtual-time
+// discrepancy grow with the number of siblings; kMin/kMax exist for the
+// E8 ablation experiment.
+enum class SystemVtPolicy { kMin, kMax, kMidpoint };
+
+class Hfsc final : public Scheduler {
+ public:
+  explicit Hfsc(RateBps link_rate,
+                EligibleSetKind kind = EligibleSetKind::kDualHeap,
+                SystemVtPolicy vt_policy = SystemVtPolicy::kMidpoint);
+
+  // Adds a class under `parent` (kRootClass for top level).  Only leaf
+  // classes may receive packets; interior classes' rt curves are ignored
+  // (the paper's architecture applies the real-time criterion to leaves
+  // only).  A class that has queued packets must remain a leaf.
+  ClassId add_class(ClassId parent, ClassConfig cfg);
+
+  // Caps a leaf's queue at `max_packets` (0 = unlimited, the default).
+  // Arrivals beyond the cap are tail-dropped and counted.
+  void set_queue_limit(ClassId cls, std::size_t max_packets);
+
+  // Replaces a class's service curves at runtime (the authors'
+  // implementation exposes this as HFSC_CHANGE_SC).  Runtime curves are
+  // re-anchored at the class's current operating point — (now, c) for the
+  // deadline/eligible pair, (v, w) for the virtual curve — so guarantees
+  // resume from the present instead of re-crediting the past.  An
+  // interior class must keep a link-sharing curve.
+  void change_class(TimeNs now, ClassId cls, ClassConfig cfg);
+
+  // Deletes a leaf class: queued packets are dropped (counted against the
+  // class), the class is detached from the tree and its id becomes
+  // invalid.  Interior classes must have their children deleted first.
+  void delete_class(ClassId cls);
+
+  bool is_deleted(ClassId cls) const { return nodes_[cls].deleted; }
+
+  void enqueue(TimeNs now, Packet pkt) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t backlog_packets() const noexcept override {
+    return queues_.packets();
+  }
+  Bytes backlog_bytes() const noexcept override { return queues_.bytes(); }
+  TimeNs next_wakeup(TimeNs now) const noexcept override;
+  std::string name() const override { return "H-FSC"; }
+
+  // --- Introspection (tests, experiments) ---------------------------------
+  RateBps link_rate() const noexcept { return link_rate_; }
+  std::size_t num_classes() const noexcept { return nodes_.size(); }
+  bool is_leaf(ClassId cls) const { return nodes_[cls].children.empty(); }
+  ClassId parent_of(ClassId cls) const { return nodes_[cls].parent; }
+  const ClassConfig& config_of(ClassId cls) const { return nodes_[cls].cfg; }
+  // Total service (both criteria) delivered to the class's subtree.
+  Bytes total_work(ClassId cls) const { return nodes_[cls].total; }
+  // Service delivered to a leaf by the real-time criterion.
+  Bytes rt_work(ClassId cls) const { return nodes_[cls].cumul; }
+  TimeNs vtime(ClassId cls) const { return nodes_[cls].vt; }
+  TimeNs eligible_of(ClassId cls) const { return nodes_[cls].e; }
+  TimeNs deadline_of(ClassId cls) const { return nodes_[cls].d; }
+  bool active(ClassId cls) const { return nodes_[cls].active; }
+  // Packets / bytes delivered and dropped, kernel-statistics style.
+  std::uint64_t packets_sent(ClassId cls) const {
+    return nodes_[cls].pkts_sent;
+  }
+  std::uint64_t packets_dropped(ClassId cls) const {
+    return nodes_[cls].pkts_dropped;
+  }
+  Bytes bytes_dropped(ClassId cls) const { return nodes_[cls].bytes_dropped; }
+  std::uint64_t rt_selections() const noexcept { return rt_selections_; }
+  std::uint64_t ls_selections() const noexcept { return ls_selections_; }
+  // Criterion that released the most recent packet.
+  Criterion last_criterion() const noexcept { return last_criterion_; }
+
+ private:
+  struct Node {
+    ClassId parent = kRootClass;
+    std::uint32_t idx_in_parent = 0;  // dense index in parent's heap
+    std::vector<ClassId> children;
+    ClassConfig cfg;
+
+    // Real-time state (leaves with rt curve).
+    RuntimeCurve dc;  // deadline curve D
+    RuntimeCurve ec;  // eligible curve E
+    Bytes cumul = 0;  // c: service received via the real-time criterion
+    TimeNs e = 0;     // eligible time of the head packet
+    TimeNs d = 0;     // deadline of the head packet
+
+    // Link-sharing state.
+    RuntimeCurve vc;  // virtual curve V
+    Bytes total = 0;  // w: total service received (both criteria)
+    TimeNs vt = 0;    // virtual time v = V^{-1}(w)
+
+    // Upper-limit state (extension).
+    RuntimeCurve uc;
+    TimeNs fit = 0;  // f = U^{-1}(w); class may use link-sharing once
+                     // fit <= now
+
+    // As a parent: heap of active children keyed by vt (ids are
+    // idx_in_parent), plus the watermark used for the system virtual
+    // time (v_min + v_max)/2.
+    IndexedHeap<TimeNs> active_children;
+    TimeNs vt_watermark = 0;
+
+    // Buffer management and statistics.
+    std::size_t queue_limit = 0;  // max queued packets; 0 = unlimited
+    std::uint64_t pkts_sent = 0;
+    std::uint64_t pkts_dropped = 0;
+    Bytes bytes_dropped = 0;
+
+    bool active = false;       // leaf: backlogged; interior: any active child
+    bool ever_active = false;  // curves initialized
+    bool deleted = false;
+    bool has_rt() const noexcept { return !cfg.rt.is_zero(); }
+    bool has_ls() const noexcept { return !cfg.ls.is_zero(); }
+    bool has_ul() const noexcept { return !cfg.ul.is_zero(); }
+  };
+
+  // System virtual time of interior class p (Section IV-C).
+  TimeNs system_vt(const Node& p) const noexcept;
+
+  // Fig. 5(a): fold the rt curve into D and E at (now, c) and recompute
+  // (e, d) for the head packet.
+  void update_ed(ClassId cls, TimeNs now);
+  // Fig. 5(b): recompute d only (head changed after a link-sharing
+  // service; c did not move, so e is unchanged).
+  void update_d(ClassId cls);
+  // Fig. 6: activate `cls` and any passive ancestors in the link-sharing
+  // tree.
+  void activate_ls_path(ClassId cls, TimeNs now);
+  // Charge `len` bytes of total service along the path to the root,
+  // updating virtual times and fit times.
+  void charge_total(ClassId cls, Bytes len, TimeNs now);
+  // Leaf drained: remove from the rt set and deactivate the path as far
+  // up as subtrees empty out.
+  void set_passive(ClassId cls);
+
+  // Link-sharing descent (Fig. 4 get_packet, else-branch): the active
+  // leaf reached by repeatedly taking the smallest-vt child whose fit
+  // time allows service; fails only if upper limits block every branch
+  // or no class has an ls curve active.  Records the earliest blocking
+  // fit time in ls_next_fit_ for next_wakeup().
+  std::optional<ClassId> ls_select(TimeNs now);
+
+  std::optional<Packet> serve(ClassId leaf, Criterion crit, TimeNs now);
+
+  RateBps link_rate_;
+  SystemVtPolicy vt_policy_;
+  std::vector<Node> nodes_;  // nodes_[0] = root
+  ClassQueues queues_;
+  std::unique_ptr<EligibleSet> rt_requests_;
+  TimeNs ls_next_fit_ = kTimeInfinity;
+  std::uint64_t rt_selections_ = 0;
+  std::uint64_t ls_selections_ = 0;
+  Criterion last_criterion_ = Criterion::kLinkShare;
+};
+
+}  // namespace hfsc

@@ -1,0 +1,193 @@
+#include "curve/piecewise.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hfsc {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<Piece> pieces)
+    : pieces_(std::move(pieces)) {
+  assert(!pieces_.empty() && pieces_.front().x == 0);
+  normalize();
+}
+
+void PiecewiseLinear::normalize() {
+  // Drop zero-length pieces and merge consecutive pieces with equal
+  // slopes; keep values consistent.
+  std::vector<Piece> out;
+  for (const Piece& p : pieces_) {
+    if (!out.empty() && p.x == out.back().x) {
+      out.back() = p;  // later piece at the same x wins
+      continue;
+    }
+    if (!out.empty() && p.slope == out.back().slope) {
+      // Only merge when the value is continuous (it always is for curves
+      // built through the public constructors).
+      const Piece& prev = out.back();
+      const Bytes expect = sat_add(prev.y, seg_x2y(p.x - prev.x, prev.slope));
+      if (expect == p.y) continue;
+    }
+    out.push_back(p);
+  }
+  pieces_ = std::move(out);
+}
+
+PiecewiseLinear PiecewiseLinear::from_service_curve(const ServiceCurve& sc) {
+  if (sc.is_linear()) {
+    return PiecewiseLinear({Piece{0, 0, sc.d == 0 ? sc.m2 : sc.m1}});
+  }
+  return PiecewiseLinear(
+      {Piece{0, 0, sc.m1}, Piece{sc.d, seg_x2y(sc.d, sc.m1), sc.m2}});
+}
+
+PiecewiseLinear PiecewiseLinear::token_bucket(Bytes burst, RateBps rate) {
+  return PiecewiseLinear({Piece{0, burst, rate}});
+}
+
+Bytes PiecewiseLinear::eval(TimeNs t) const noexcept {
+  // Find the piece containing t (last piece with x <= t).
+  const Piece* p = &pieces_.front();
+  for (const Piece& q : pieces_) {
+    if (q.x > t) break;
+    p = &q;
+  }
+  return sat_add(p->y, seg_x2y(t - p->x, p->slope));
+}
+
+TimeNs PiecewiseLinear::inverse(Bytes y) const noexcept {
+  if (y <= pieces_.front().y) return 0;
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    const Piece& p = pieces_[i];
+    const Bytes end_val = i + 1 < pieces_.size()
+                              ? pieces_[i + 1].y
+                              : kBytesInfinity;
+    if (y <= end_val || i + 1 == pieces_.size()) {
+      const TimeNs dt = seg_y2x(y - p.y, p.slope);
+      if (dt == kTimeInfinity) {
+        // Flat piece: the target may still be reached by a later piece.
+        if (i + 1 < pieces_.size()) continue;
+        return kTimeInfinity;
+      }
+      const TimeNs t = sat_add(p.x, dt);
+      // Clamp into the piece (rounding may push just past the boundary —
+      // the next piece handles the remainder exactly).
+      if (i + 1 < pieces_.size() && t > pieces_[i + 1].x) continue;
+      return t;
+    }
+  }
+  return kTimeInfinity;
+}
+
+PiecewiseLinear PiecewiseLinear::sum(const PiecewiseLinear& other) const {
+  std::vector<TimeNs> xs;
+  for (const Piece& p : pieces_) xs.push_back(p.x);
+  for (const Piece& p : other.pieces_) xs.push_back(p.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  auto slope_at = [](const PiecewiseLinear& c, TimeNs x) {
+    const Piece* p = &c.pieces_.front();
+    for (const Piece& q : c.pieces_) {
+      if (q.x > x) break;
+      p = &q;
+    }
+    return p->slope;
+  };
+
+  std::vector<Piece> out;
+  for (const TimeNs x : xs) {
+    out.push_back(Piece{x, sat_add(eval(x), other.eval(x)),
+                        slope_at(*this, x) + slope_at(other, x)});
+  }
+  return PiecewiseLinear(std::move(out));
+}
+
+bool PiecewiseLinear::dominates(const PiecewiseLinear& other) const {
+  // Piecewise linear: it suffices to compare at every breakpoint of both
+  // curves and the tail slopes.  (A crossing inside a segment implies one
+  // endpoint of that segment already violates.)
+  auto check_points = [&](const PiecewiseLinear& c) {
+    for (const Piece& p : c.pieces_) {
+      if (eval(p.x) < other.eval(p.x)) return false;
+    }
+    return true;
+  };
+  if (!check_points(*this) || !check_points(other)) return false;
+  if (tail_rate() < other.tail_rate()) return false;
+  // Equal tail rates: values at the last breakpoint already compared.
+  return true;
+}
+
+std::optional<TimeNs> PiecewiseLinear::max_horizontal_gap(
+    const PiecewiseLinear& service) const {
+  const PiecewiseLinear& arrival = *this;
+  if (arrival.tail_rate() > service.tail_rate()) return std::nullopt;
+
+  TimeNs worst = 0;
+  // Candidate maxima occur at breakpoints of the arrival curve (where A
+  // jumps slope) and at arrival times mapping to service breakpoints.
+  auto consider = [&](TimeNs t) -> bool {
+    const Bytes a = arrival.eval(t);
+    const TimeNs reach = service.inverse(a);
+    if (reach == kTimeInfinity) return false;
+    worst = std::max(worst, reach > t ? reach - t : 0);
+    return true;
+  };
+  for (const Piece& p : arrival.pieces_) {
+    if (!consider(p.x)) return std::nullopt;
+  }
+  for (const Piece& p : service.pieces_) {
+    // The arrival instant whose cumulative value the service curve
+    // reaches exactly at this breakpoint.
+    const TimeNs t = arrival.inverse(p.y);
+    if (t != kTimeInfinity && !consider(t)) return std::nullopt;
+    // Also probe just after the last arrival breakpoint region: tails are
+    // handled below.
+  }
+  // Tail: if the tail rates are equal the gap can keep growing towards a
+  // limit; probe a far point to capture the asymptotic gap.
+  const TimeNs far =
+      std::max(arrival.pieces_.back().x, service.pieces_.back().x) + sec(10);
+  if (!consider(far)) return std::nullopt;
+  return worst;
+}
+
+bool AdmissionControl::admit(const ServiceCurve& sc) {
+  assert(sc.is_supported());
+  const PiecewiseLinear cand =
+      sum_.sum(PiecewiseLinear::from_service_curve(sc));
+  if (!link_.dominates(cand)) return false;
+  sum_ = cand;
+  curves_.push_back(sc);
+  ++admitted_count_;
+  return true;
+}
+
+void AdmissionControl::release(const ServiceCurve& sc) {
+  const auto it = std::find(curves_.begin(), curves_.end(), sc);
+  assert(it != curves_.end() && "releasing a curve that was not admitted");
+  curves_.erase(it);
+  --admitted_count_;
+  // Recompute the sum (exact, avoids subtraction rounding drift).
+  sum_ = PiecewiseLinear();
+  for (const ServiceCurve& c : curves_) {
+    sum_ = sum_.sum(PiecewiseLinear::from_service_curve(c));
+  }
+}
+
+double AdmissionControl::utilization() const noexcept {
+  const double link = static_cast<double>(link_.tail_rate());
+  return link == 0.0 ? 0.0 : static_cast<double>(sum_.tail_rate()) / link;
+}
+
+std::optional<TimeNs> delay_bound(Bytes burst, RateBps rate,
+                                  const ServiceCurve& sc, Bytes max_pkt,
+                                  RateBps link_rate) {
+  const auto gap = PiecewiseLinear::token_bucket(burst, rate)
+                       .max_horizontal_gap(
+                           PiecewiseLinear::from_service_curve(sc));
+  if (!gap) return std::nullopt;
+  return sat_add(*gap, tx_time(max_pkt, link_rate));
+}
+
+}  // namespace hfsc

@@ -1,0 +1,116 @@
+// General piecewise-linear nondecreasing curves.
+//
+// The two-piece family (service_curve.hpp) is closed under the runtime
+// min-fold, but two jobs in the paper need full piecewise-linear
+// arithmetic:
+//
+//  * admission control — SCED/H-FSC can guarantee all real-time curves
+//    iff their SUM stays below the server's curve (Section II, eq. (5)'s
+//    discussion): sums of two-piece curves have up to one breakpoint per
+//    session;
+//
+//  * analytical delay bounds — for a session with arrival envelope A
+//    (e.g. a token bucket) and guaranteed service curve S, the
+//    worst-case delay is the maximum horizontal deviation
+//    h(A, S) = sup_t inf { d : A(t) <= S(t + d) }  (Cruz's calculus,
+//    the foundation cited in Section II).
+//
+// A curve is stored as breakpoints (x_i, y_i) with a slope after each;
+// it is defined for x >= 0, starts at (0, y_0) and extends to infinity
+// with the last slope.  All values use the same fixed-point conventions
+// as the rest of the library.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "curve/service_curve.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+class PiecewiseLinear {
+ public:
+  struct Piece {
+    TimeNs x = 0;      // start of the piece
+    Bytes y = 0;       // value at x
+    RateBps slope = 0; // slope on [x, next x)
+  };
+
+  PiecewiseLinear() : pieces_{Piece{0, 0, 0}} {}
+  explicit PiecewiseLinear(std::vector<Piece> pieces);
+
+  // The service curve S(t) of Fig. 7 as a piecewise curve.
+  static PiecewiseLinear from_service_curve(const ServiceCurve& sc);
+
+  // Token-bucket arrival envelope A(t) = burst + rate * t (A(0) = burst).
+  static PiecewiseLinear token_bucket(Bytes burst, RateBps rate);
+
+  Bytes eval(TimeNs t) const noexcept;
+
+  // Smallest t with eval(t) >= y; kTimeInfinity if never reached.
+  TimeNs inverse(Bytes y) const noexcept;
+
+  // Pointwise sum (for admission: the aggregate obligation).
+  PiecewiseLinear sum(const PiecewiseLinear& other) const;
+
+  // True iff this(t) >= other(t) for all t >= 0 (including the tails).
+  bool dominates(const PiecewiseLinear& other) const;
+
+  // Maximum horizontal deviation sup_t [ S^{-1}(A(t)) - t ]: the
+  // worst-case delay of a session with arrival envelope *this guaranteed
+  // service curve `service`.  nullopt when unbounded (arrival tail rate
+  // exceeds the service tail rate, or service flatlines below the
+  // envelope).
+  std::optional<TimeNs> max_horizontal_gap(
+      const PiecewiseLinear& service) const;
+
+  const std::vector<Piece>& pieces() const noexcept { return pieces_; }
+  RateBps tail_rate() const noexcept { return pieces_.back().slope; }
+
+ private:
+  void normalize();
+
+  std::vector<Piece> pieces_;  // sorted by x; pieces_[0].x == 0
+};
+
+// Admission control for a link's real-time obligations (Section II's
+// feasibility condition).  Tracks the running sum of admitted service
+// curves and admits a new one only while  sum + candidate <= link curve.
+class AdmissionControl {
+ public:
+  explicit AdmissionControl(RateBps link_rate)
+      : link_(PiecewiseLinear::from_service_curve(
+            ServiceCurve::linear(link_rate))),
+        sum_() {}
+
+  // Attempts to admit; returns false (and changes nothing) if the
+  // aggregate would exceed the link curve somewhere.
+  bool admit(const ServiceCurve& sc);
+
+  // Releases a previously admitted curve (sessions leaving).
+  void release(const ServiceCurve& sc);
+
+  // Fraction of the link's long-term rate currently reserved, in
+  // [0, 1+] (long-term slopes only).
+  double utilization() const noexcept;
+
+  std::size_t admitted() const noexcept { return admitted_count_; }
+  const PiecewiseLinear& aggregate() const noexcept { return sum_; }
+
+ private:
+  PiecewiseLinear link_;
+  PiecewiseLinear sum_;
+  std::vector<ServiceCurve> curves_;  // for release-by-recompute
+  std::size_t admitted_count_ = 0;
+};
+
+// Worst-case queueing delay of a session with token-bucket envelope
+// (burst, rate) under guaranteed service curve sc, plus one max-packet
+// transmission time (Theorem 2's non-preemption term).  nullopt when the
+// envelope overruns the curve.
+std::optional<TimeNs> delay_bound(Bytes burst, RateBps rate,
+                                  const ServiceCurve& sc, Bytes max_pkt,
+                                  RateBps link_rate);
+
+}  // namespace hfsc

@@ -1,0 +1,46 @@
+#include "curve/service_curve.hpp"
+
+#include <cstdio>
+
+namespace hfsc {
+
+ServiceCurve from_udr(Bytes u, TimeNs d, RateBps r) noexcept {
+  if (d == 0 || u == 0) {
+    // No burst/delay requirement: plain linear rate guarantee.
+    return ServiceCurve::linear(r);
+  }
+  // Compare u/d (bytes per ns) against r (bytes per s): u * 1e9 vs r * d,
+  // in 128-bit to avoid overflow.
+  const unsigned __int128 lhs = static_cast<unsigned __int128>(u) * kNsPerSec;
+  const unsigned __int128 rhs = static_cast<unsigned __int128>(r) * d;
+  if (lhs > rhs) {
+    // Fig. 7(a): concave — serve u within d (slope u/d), then rate r.
+    const RateBps m1 = static_cast<RateBps>(lhs / d);
+    return ServiceCurve{m1, d, r};
+  }
+  // Fig. 7(b): convex — idle until d - u/r, then rate r; by then the first
+  // u bytes complete exactly at d.
+  const TimeNs offset = sat_sub(d, seg_y2x(u, r));
+  return ServiceCurve{0, offset, r};
+}
+
+std::string to_string(const ServiceCurve& sc) {
+  auto rate_str = [](RateBps r) {
+    char buf[48];
+    const double bits = static_cast<double>(r) * 8.0;
+    if (bits >= 1e9) {
+      std::snprintf(buf, sizeof(buf), "%.2fGb/s", bits / 1e9);
+    } else if (bits >= 1e6) {
+      std::snprintf(buf, sizeof(buf), "%.2fMb/s", bits / 1e6);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.2fkb/s", bits / 1e3);
+    }
+    return std::string(buf);
+  };
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(sc.d) / 1e6);
+  return "[m1=" + rate_str(sc.m1) + " d=" + buf + " m2=" + rate_str(sc.m2) +
+         "]";
+}
+
+}  // namespace hfsc

@@ -1,0 +1,86 @@
+// Two-piece linear service curves (paper Sections II and V, Fig. 7).
+//
+// A service curve S is a nondecreasing function of time; S(t) is the
+// minimum amount of service a backlogged session must have received t after
+// the start of a backlogged period.  Following Section V we restrict to the
+// two-piece linear family
+//
+//     S(t) = m1 * t                      for t <  d
+//     S(t) = m1 * d + m2 * (t - d)       for t >= d
+//
+// which is closed under the runtime updates used by SCED and H-FSC when the
+// curve is concave (m1 >= m2), or convex with a flat first segment
+// (m1 == 0 <= m2) — the only convex shape the closure property admits
+// (Section V).
+//
+// A session's user-facing requirement is the (u, d, r) triple of Fig. 7:
+// the largest unit of work u needing a delay guarantee, the guaranteed
+// delay d for that unit, and the long-term rate r.  from_udr() maps the
+// triple onto the curve of Fig. 7: concave when u/d > r, convex otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace hfsc {
+
+struct ServiceCurve {
+  RateBps m1 = 0;  // slope of the first segment (bytes/s)
+  TimeNs d = 0;    // x-coordinate of the inflection point (ns)
+  RateBps m2 = 0;  // slope of the second segment (bytes/s)
+
+  constexpr bool is_zero() const noexcept {
+    return (m1 == 0 || d == 0) && m2 == 0;
+  }
+  constexpr bool is_linear() const noexcept { return m1 == m2 || d == 0; }
+  constexpr bool is_concave() const noexcept { return m1 >= m2 || d == 0; }
+  constexpr bool is_convex() const noexcept { return m1 <= m2 || d == 0; }
+
+  // True for the shapes the runtime algebra supports (see header comment).
+  constexpr bool is_supported() const noexcept {
+    return is_concave() || m1 == 0;
+  }
+
+  // S(t); floor rounding.
+  constexpr Bytes eval(TimeNs t) const noexcept {
+    if (t < d) return seg_x2y(t, m1);
+    return sat_add(seg_x2y(d, m1), seg_x2y(t - d, m2));
+  }
+
+  // Smallest t with S(t) >= y (the paper's inverse definition, Section II);
+  // kTimeInfinity if S never reaches y.
+  constexpr TimeNs inverse(Bytes y) const noexcept {
+    if (y == 0) return 0;
+    const Bytes knee = seg_x2y(d, m1);
+    if (y <= knee) {
+      return seg_y2x(y, m1);
+    }
+    const TimeNs tail = seg_y2x(y - knee, m2);
+    if (tail == kTimeInfinity) return kTimeInfinity;
+    return sat_add(d, tail);
+  }
+
+  // Asymptotic (long-term) rate.
+  constexpr RateBps rate() const noexcept { return m2; }
+
+  // Linear curve of rate r through the origin (the fair-queueing /
+  // virtual-clock special case of Section II).
+  static constexpr ServiceCurve linear(RateBps r) noexcept {
+    return ServiceCurve{r, 0, r};
+  }
+
+  friend constexpr bool operator==(const ServiceCurve&,
+                                   const ServiceCurve&) noexcept = default;
+};
+
+// Fig. 7 mapping from the (u, d, r) session requirement to a curve:
+// concave {m1 = u/d, d, m2 = r} when u/d > r, else convex
+// {m1 = 0, d - u/r, m2 = r}.
+ServiceCurve from_udr(Bytes u, TimeNs d, RateBps r) noexcept;
+
+// Human-readable rendering, e.g. "[m1=1.50Mb/s d=10ms m2=300.00kb/s]".
+std::string to_string(const ServiceCurve& sc);
+
+}  // namespace hfsc

@@ -1,0 +1,58 @@
+// Per-class FIFO packet queues shared by all the flat schedulers.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <vector>
+
+#include "sched/packet.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+class ClassQueues {
+ public:
+  void ensure(ClassId cls) {
+    if (cls >= q_.size()) q_.resize(cls + 1);
+  }
+
+  void push(Packet pkt) {
+    ensure(pkt.cls);
+    bytes_ += pkt.len;
+    ++packets_;
+    q_[pkt.cls].push_back(pkt);
+  }
+
+  bool has(ClassId cls) const noexcept {
+    return cls < q_.size() && !q_[cls].empty();
+  }
+
+  const Packet& head(ClassId cls) const {
+    assert(has(cls));
+    return q_[cls].front();
+  }
+
+  Packet pop(ClassId cls) {
+    assert(has(cls));
+    Packet p = q_[cls].front();
+    q_[cls].pop_front();
+    bytes_ -= p.len;
+    --packets_;
+    return p;
+  }
+
+  std::size_t queue_len(ClassId cls) const noexcept {
+    return cls < q_.size() ? q_[cls].size() : 0;
+  }
+
+  std::size_t packets() const noexcept { return packets_; }
+  Bytes bytes() const noexcept { return bytes_; }
+  std::size_t num_classes() const noexcept { return q_.size(); }
+
+ private:
+  std::vector<std::deque<Packet>> q_;
+  std::size_t packets_ = 0;
+  Bytes bytes_ = 0;
+};
+
+}  // namespace hfsc

@@ -1,0 +1,91 @@
+#include "sched/classifier.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hfsc {
+
+namespace {
+bool prefix_match(std::uint32_t want, std::uint8_t prefix,
+                  std::uint32_t got) noexcept {
+  if (want == 0) return true;  // wildcard
+  if (prefix == 0) return true;
+  const std::uint32_t mask =
+      prefix >= 32 ? 0xFFFFFFFFu : ~(0xFFFFFFFFu >> prefix);
+  return (want & mask) == (got & mask);
+}
+}  // namespace
+
+bool Filter::matches(const FlowKey& k) const noexcept {
+  if (!prefix_match(src_ip, src_prefix, k.src_ip)) return false;
+  if (!prefix_match(dst_ip, dst_prefix, k.dst_ip)) return false;
+  if (src_port != 0 && src_port != k.src_port) return false;
+  if (dst_port != 0 && dst_port != k.dst_port) return false;
+  if (proto != 0 && proto != k.proto) return false;
+  return true;
+}
+
+bool Filter::is_exact() const noexcept {
+  return src_ip != 0 && src_prefix >= 32 && dst_ip != 0 && dst_prefix >= 32 &&
+         src_port != 0 && dst_port != 0 && proto != 0;
+}
+
+std::uint32_t Classifier::add_filter(const Filter& f, ClassId cls) {
+  const Entry e{f, cls, next_id_++};
+  if (f.is_exact()) {
+    const FlowKey key{f.src_ip, f.dst_ip, f.src_port, f.dst_port, f.proto};
+    exact_[key] = e;
+  } else {
+    // Insert keeping (-priority, id) order so the scan can stop at the
+    // first hit.
+    const auto pos = std::lower_bound(
+        wildcard_.begin(), wildcard_.end(), e,
+        [](const Entry& a, const Entry& b) {
+          if (a.filter.priority != b.filter.priority) {
+            return a.filter.priority > b.filter.priority;
+          }
+          return a.id < b.id;
+        });
+    wildcard_.insert(pos, e);
+  }
+  return e.id;
+}
+
+void Classifier::remove(std::uint32_t filter_id) {
+  for (auto it = exact_.begin(); it != exact_.end(); ++it) {
+    if (it->second.id == filter_id) {
+      exact_.erase(it);
+      return;
+    }
+  }
+  const auto it = std::find_if(
+      wildcard_.begin(), wildcard_.end(),
+      [filter_id](const Entry& e) { return e.id == filter_id; });
+  if (it != wildcard_.end()) wildcard_.erase(it);
+}
+
+ClassId Classifier::classify(const FlowKey& key) const {
+  const auto hit = exact_.find(key);
+  // An exact hit wins unless a wildcard filter has strictly higher
+  // priority (ALTQ semantics: filters are consulted by priority; the
+  // exact table is just an index over the fully-specified ones, which
+  // default to priority 0 like everything else).
+  int exact_prio = std::numeric_limits<int>::min();
+  if (hit != exact_.end()) exact_prio = hit->second.filter.priority;
+  for (const Entry& e : wildcard_) {
+    if (e.filter.priority < exact_prio) break;  // sorted descending
+    if (hit != exact_.end() && e.filter.priority == exact_prio &&
+        e.id > hit->second.id) {
+      break;  // the exact filter was installed first at this priority
+    }
+    if (e.filter.matches(key)) return e.cls;
+  }
+  if (hit != exact_.end()) return hit->second.cls;
+  return default_class_;
+}
+
+std::size_t Classifier::num_filters() const noexcept {
+  return exact_.size() + wildcard_.size();
+}
+
+}  // namespace hfsc

@@ -1,0 +1,92 @@
+// Packet classifier: maps flows to scheduling classes.
+//
+// The authors' ALTQ framework pairs the H-FSC queueing discipline with a
+// filter-based classifier; this is the equivalent substrate.  A filter
+// matches on the usual 5-tuple with wildcards (0 = any) and an optional
+// source/destination prefix length; among matching filters the one with
+// the highest priority wins (ties broken by insertion order, first wins).
+//
+// Exact-match (fully specified, /32) filters are indexed in a hash table;
+// wildcard filters fall back to a priority-ordered linear scan — the same
+// two-tier structure ALTQ used.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/packet.hpp"
+
+namespace hfsc {
+
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+// Protocol numbers used in examples/tests.
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+struct Filter {
+  // 0 means wildcard for ips/ports/proto; prefix lengths narrow the ip
+  // match (ignored when the ip is 0).
+  std::uint32_t src_ip = 0;
+  std::uint8_t src_prefix = 32;
+  std::uint32_t dst_ip = 0;
+  std::uint8_t dst_prefix = 32;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+  int priority = 0;
+
+  bool matches(const FlowKey& k) const noexcept;
+  // Fully specified => eligible for the exact-match fast path.
+  bool is_exact() const noexcept;
+};
+
+class Classifier {
+ public:
+  // Registers a filter routing matching packets to `cls`.  Returns a
+  // filter id usable with remove().
+  std::uint32_t add_filter(const Filter& f, ClassId cls);
+  void remove(std::uint32_t filter_id);
+
+  // The class for this flow, or default_class() if nothing matches.
+  ClassId classify(const FlowKey& key) const;
+
+  void set_default_class(ClassId cls) noexcept { default_class_ = cls; }
+  ClassId default_class() const noexcept { return default_class_; }
+  std::size_t num_filters() const noexcept;
+
+ private:
+  struct Entry {
+    Filter filter;
+    ClassId cls = 0;
+    std::uint32_t id = 0;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const FlowKey& k) const noexcept {
+      std::uint64_t h = k.src_ip;
+      h = h * 0x9E3779B97F4A7C15ULL + k.dst_ip;
+      h = h * 0x9E3779B97F4A7C15ULL +
+          ((static_cast<std::uint64_t>(k.src_port) << 24) ^
+           (static_cast<std::uint64_t>(k.dst_port) << 8) ^ k.proto);
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
+  std::unordered_map<FlowKey, Entry, KeyHash> exact_;
+  std::vector<Entry> wildcard_;  // kept sorted by (-priority, id)
+  ClassId default_class_ = 0;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace hfsc

@@ -1,0 +1,63 @@
+#include "sched/conditioning.hpp"
+
+#include <algorithm>
+
+namespace hfsc {
+
+void Policed::set_policer(ClassId cls, Bytes burst, RateBps rate) {
+  if (cls >= state_.size()) state_.resize(cls + 1);
+  state_[cls].enabled = true;
+  state_[cls].bucket = TokenBucket(burst, rate);
+}
+
+void Policed::enqueue(TimeNs now, Packet pkt) {
+  if (pkt.cls < state_.size() && state_[pkt.cls].enabled) {
+    State& s = state_[pkt.cls];
+    if (!s.bucket.conforms(now, pkt.len)) {
+      ++s.dropped;
+      return;
+    }
+    ++s.passed;
+  }
+  inner_.enqueue(now, pkt);
+}
+
+void Red::configure(ClassId cls, const RedParams& params) {
+  if (cls >= state_.size()) state_.resize(cls + 1);
+  state_[cls].enabled = true;
+  state_[cls].params = params;
+}
+
+void Red::enqueue(TimeNs now, Packet pkt) {
+  if (pkt.cls < state_.size() && state_[pkt.cls].enabled) {
+    State& s = state_[pkt.cls];
+    // EWMA on every arrival (instantaneous queue before this packet).
+    s.avg += s.params.weight * (static_cast<double>(s.queued) - s.avg);
+    bool drop = false;
+    if (s.avg >= static_cast<double>(s.params.max_th)) {
+      drop = true;
+    } else if (s.avg > static_cast<double>(s.params.min_th)) {
+      const double frac =
+          (s.avg - static_cast<double>(s.params.min_th)) /
+          static_cast<double>(s.params.max_th - s.params.min_th);
+      drop = rng_.chance(frac * s.params.max_p);
+    }
+    if (drop) {
+      ++s.dropped;
+      return;
+    }
+    s.queued += pkt.len;
+  }
+  inner_.enqueue(now, pkt);
+}
+
+std::optional<Packet> Red::dequeue(TimeNs now) {
+  auto p = inner_.dequeue(now);
+  if (p && p->cls < state_.size() && state_[p->cls].enabled) {
+    State& s = state_[p->cls];
+    s.queued = s.queued >= p->len ? s.queued - p->len : 0;
+  }
+  return p;
+}
+
+}  // namespace hfsc

@@ -1,0 +1,153 @@
+// Traffic conditioning elements: token-bucket policing and RED, as
+// decorators over any Scheduler.
+//
+// The service-curve guarantees of Section II are promises about *service*;
+// they only translate into delay bounds when the arrivals stay inside an
+// envelope (the (u, d, r) triple of Fig. 7 presumes conformant sources,
+// and curve/piecewise.hpp computes the bound from a token-bucket
+// envelope).  The authors' ALTQ framework pairs the scheduler with
+// conditioners for exactly this reason; these decorators provide the
+// equivalent substrate:
+//
+//  * Policed — per-class token bucket; nonconforming packets are dropped
+//    before they can poison the class's queue (and its guarantee).
+//  * Red — per-class Random Early Detection on the queue the decorator
+//    tracks; drops probabilistically between min_th and max_th of EWMA
+//    queue occupancy (Floyd & Jacobson 1993), keeping bulk TCP-like
+//    classes from standing-queue buildup.
+//
+// Decorators stack: Red(Policed(Hfsc)) works.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+// Stand-alone token bucket, also usable directly (tests, sources).
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(Bytes burst, RateBps rate)
+      : burst_(burst), rate_(rate), tokens_(burst) {}
+
+  // True (and consumes tokens) iff a len-byte packet conforms at `now`.
+  bool conforms(TimeNs now, Bytes len) noexcept {
+    refill(now);
+    if (len > tokens_) return false;
+    tokens_ -= len;
+    return true;
+  }
+
+  Bytes tokens(TimeNs now) noexcept {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(TimeNs now) noexcept {
+    if (now <= last_) return;
+    tokens_ = std::min(burst_, sat_add(tokens_, seg_x2y(now - last_, rate_)));
+    last_ = now;
+  }
+
+  Bytes burst_ = 0;
+  RateBps rate_ = 0;
+  Bytes tokens_ = 0;
+  TimeNs last_ = 0;
+};
+
+class Policed final : public Scheduler {
+ public:
+  explicit Policed(Scheduler& inner) : inner_(inner) {}
+
+  // Installs a (burst, rate) bucket for a class.  Classes without a
+  // bucket pass through untouched.
+  void set_policer(ClassId cls, Bytes burst, RateBps rate);
+
+  void enqueue(TimeNs now, Packet pkt) override;
+  std::optional<Packet> dequeue(TimeNs now) override {
+    return inner_.dequeue(now);
+  }
+  std::size_t backlog_packets() const noexcept override {
+    return inner_.backlog_packets();
+  }
+  Bytes backlog_bytes() const noexcept override {
+    return inner_.backlog_bytes();
+  }
+  TimeNs next_wakeup(TimeNs now) const noexcept override {
+    return inner_.next_wakeup(now);
+  }
+  std::string name() const override { return inner_.name() + "+police"; }
+
+  std::uint64_t dropped(ClassId cls) const {
+    return cls < state_.size() ? state_[cls].dropped : 0;
+  }
+  std::uint64_t passed(ClassId cls) const {
+    return cls < state_.size() ? state_[cls].passed : 0;
+  }
+
+ private:
+  struct State {
+    bool enabled = false;
+    TokenBucket bucket;
+    std::uint64_t dropped = 0;
+    std::uint64_t passed = 0;
+  };
+
+  Scheduler& inner_;
+  std::vector<State> state_;
+};
+
+struct RedParams {
+  Bytes min_th = 0;      // EWMA queue depth where dropping starts
+  Bytes max_th = 0;      // depth where drop probability reaches max_p
+  double max_p = 0.1;    // drop probability at max_th
+  double weight = 0.002; // EWMA weight per arrival
+};
+
+class Red final : public Scheduler {
+ public:
+  Red(Scheduler& inner, std::uint64_t seed) : inner_(inner), rng_(seed) {}
+
+  void configure(ClassId cls, const RedParams& params);
+
+  void enqueue(TimeNs now, Packet pkt) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+  std::size_t backlog_packets() const noexcept override {
+    return inner_.backlog_packets();
+  }
+  Bytes backlog_bytes() const noexcept override {
+    return inner_.backlog_bytes();
+  }
+  TimeNs next_wakeup(TimeNs now) const noexcept override {
+    return inner_.next_wakeup(now);
+  }
+  std::string name() const override { return inner_.name() + "+red"; }
+
+  std::uint64_t dropped(ClassId cls) const {
+    return cls < state_.size() ? state_[cls].dropped : 0;
+  }
+  double avg_queue_bytes(ClassId cls) const {
+    return cls < state_.size() ? state_[cls].avg : 0.0;
+  }
+
+ private:
+  struct State {
+    bool enabled = false;
+    RedParams params;
+    double avg = 0.0;       // EWMA of queued bytes
+    Bytes queued = 0;       // actual queued bytes for this class
+    std::uint64_t dropped = 0;
+  };
+
+  Scheduler& inner_;
+  Rng rng_;
+  std::vector<State> state_;
+};
+
+}  // namespace hfsc

@@ -1,0 +1,56 @@
+#include "sched/drr.hpp"
+
+#include <cassert>
+
+namespace hfsc {
+
+ClassId Drr::add_session(Bytes quantum) {
+  assert(quantum > 0);
+  if (sessions_.empty()) sessions_.emplace_back();  // burn id 0
+  sessions_.push_back(Session{quantum, 0, false});
+  const ClassId id = static_cast<ClassId>(sessions_.size() - 1);
+  queues_.ensure(id);
+  return id;
+}
+
+void Drr::enqueue(TimeNs /*now*/, Packet pkt) {
+  assert(pkt.cls < sessions_.size() && sessions_[pkt.cls].quantum > 0);
+  queues_.push(pkt);
+  Session& s = sessions_[pkt.cls];
+  if (!s.in_round) {
+    s.in_round = true;
+    // Classic DRR adds the quantum when the class reaches the head of the
+    // round; granting it at round entry (and again at each rotation, see
+    // dequeue) is equivalent with one-packet-per-call service.
+    s.deficit = s.quantum;
+    round_.push_back(pkt.cls);
+  }
+}
+
+std::optional<Packet> Drr::dequeue(TimeNs /*now*/) {
+  // Each rotation grants the next visit's quantum, so the loop terminates:
+  // after at most one full round some class's deficit covers its head.
+  while (!round_.empty()) {
+    const ClassId cls = round_.front();
+    Session& s = sessions_[cls];
+    assert(queues_.has(cls));
+    const Bytes head = queues_.head(cls).len;
+    if (head <= s.deficit) {
+      s.deficit -= head;
+      Packet p = queues_.pop(cls);
+      if (!queues_.has(cls)) {
+        // Leaving the round forfeits any residual deficit.
+        s.in_round = false;
+        s.deficit = 0;
+        round_.pop_front();
+      }
+      return p;
+    }
+    round_.pop_front();
+    round_.push_back(cls);
+    s.deficit += s.quantum;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hfsc

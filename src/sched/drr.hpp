@@ -1,0 +1,45 @@
+// Deficit Round Robin (Shreedhar & Varghese).
+//
+// O(1) fair queueing baseline: backlogged classes sit on a round-robin
+// list; each visit adds the class's quantum to its deficit counter and
+// sends head packets while the deficit covers them.  Fairness is
+// proportional to quanta but delay is coupled to the round length — the
+// class of algorithms the paper's priority service improves upon.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sched/class_queues.hpp"
+#include "sched/scheduler.hpp"
+
+namespace hfsc {
+
+class Drr final : public Scheduler {
+ public:
+  // Registers a class with the given quantum (bytes added per round).
+  ClassId add_session(Bytes quantum);
+
+  void enqueue(TimeNs now, Packet pkt) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t backlog_packets() const noexcept override {
+    return queues_.packets();
+  }
+  Bytes backlog_bytes() const noexcept override { return queues_.bytes(); }
+  std::string name() const override { return "DRR"; }
+
+ private:
+  struct Session {
+    Bytes quantum = 0;
+    Bytes deficit = 0;
+    bool in_round = false;
+  };
+
+  ClassQueues queues_;
+  std::vector<Session> sessions_;  // index 0 unused
+  std::deque<ClassId> round_;      // active list, round-robin order
+};
+
+}  // namespace hfsc

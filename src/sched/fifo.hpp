@@ -1,0 +1,34 @@
+// Single shared FIFO queue — the no-QoS baseline.
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.hpp"
+
+namespace hfsc {
+
+class Fifo final : public Scheduler {
+ public:
+  void enqueue(TimeNs /*now*/, Packet pkt) override {
+    bytes_ += pkt.len;
+    q_.push_back(pkt);
+  }
+
+  std::optional<Packet> dequeue(TimeNs /*now*/) override {
+    if (q_.empty()) return std::nullopt;
+    Packet p = q_.front();
+    q_.pop_front();
+    bytes_ -= p.len;
+    return p;
+  }
+
+  std::size_t backlog_packets() const noexcept override { return q_.size(); }
+  Bytes backlog_bytes() const noexcept override { return bytes_; }
+  std::string name() const override { return "FIFO"; }
+
+ private:
+  std::deque<Packet> q_;
+  Bytes bytes_ = 0;
+};
+
+}  // namespace hfsc

@@ -1,0 +1,59 @@
+#include "sched/fsc_flat.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hfsc {
+
+ClassId FscFlat::add_session(const ServiceCurve& sc) {
+  assert(sc.is_supported() && !sc.is_zero());
+  if (sessions_.empty()) sessions_.emplace_back();  // burn id 0
+  sessions_.push_back(Session{sc, RuntimeCurve{}, 0, 0, false});
+  const ClassId id = static_cast<ClassId>(sessions_.size() - 1);
+  queues_.ensure(id);
+  return id;
+}
+
+TimeNs FscFlat::system_vt() const noexcept {
+  if (by_vt_.empty()) return vt_watermark_;
+  const TimeNs vmin = by_vt_.top_key();
+  // Average without overflow.
+  return vmin / 2 + vt_watermark_ / 2 + ((vmin & 1) & (vt_watermark_ & 1));
+}
+
+void FscFlat::enqueue(TimeNs /*now*/, Packet pkt) {
+  assert(pkt.cls < sessions_.size());
+  Session& s = sessions_[pkt.cls];
+  const bool was_empty = !queues_.has(pkt.cls);
+  queues_.push(pkt);
+  if (was_empty) {
+    const TimeNs v = system_vt();
+    if (!s.ever_active) {
+      s.vc = RuntimeCurve(s.sc, v, 0);
+      s.ever_active = true;
+    } else {
+      s.vc.min_with(s.sc, v, s.work);  // eq. (12)
+    }
+    s.vt = s.vc.y2x(s.work);
+    by_vt_.push(pkt.cls, s.vt);
+    vt_watermark_ = std::max(vt_watermark_, s.vt);
+  }
+}
+
+std::optional<Packet> FscFlat::dequeue(TimeNs /*now*/) {
+  if (by_vt_.empty()) return std::nullopt;
+  const ClassId cls = by_vt_.top_id();  // SSF: smallest virtual time
+  Session& s = sessions_[cls];
+  Packet p = queues_.pop(cls);
+  s.work += p.len;
+  s.vt = s.vc.y2x(s.work);
+  vt_watermark_ = std::max(vt_watermark_, s.vt);
+  if (queues_.has(cls)) {
+    by_vt_.update(cls, s.vt);
+  } else {
+    by_vt_.erase(cls);
+  }
+  return p;
+}
+
+}  // namespace hfsc

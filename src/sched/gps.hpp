@@ -1,0 +1,63 @@
+// Fluid Generalized Processor Sharing — the idealized fairness reference.
+//
+// Section III-B: "a perfectly fair algorithm distributes the excess
+// service to all backlogged sessions proportional to their minimum
+// guaranteed rates ... Generalized processor sharing (GPS) is such an
+// idealized fair algorithm."
+//
+// FluidGps serves all backlogged sessions *simultaneously*, each at
+// capacity * w_i / sum of backlogged weights, re-solving the shares every
+// time a session drains or new fluid arrives.  It is not a packet
+// Scheduler; the differential tests replay a packet workload through a
+// real discipline and through this fluid server and compare cumulative
+// service — WF2Q+ and H-FSC-with-linear-curves must track GPS to within a
+// couple of maximum packets, while Virtual Clock's punished sessions fall
+// arbitrarily far behind.
+//
+// Fluid amounts are doubles (this is a reference model, not a scheduler;
+// tests carry tolerances).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hfsc {
+
+class FluidGps {
+ public:
+  explicit FluidGps(RateBps capacity)
+      : capacity_(static_cast<double>(capacity)) {}
+
+  std::uint32_t add_session(RateBps weight) {
+    sessions_.push_back(Session{static_cast<double>(weight), 0.0, 0.0});
+    return static_cast<std::uint32_t>(sessions_.size() - 1);
+  }
+
+  // Fluid arrival at time t (>= the last event time seen).
+  void arrive(TimeNs t, std::uint32_t s, Bytes len) {
+    advance(t);
+    sessions_[s].backlog += static_cast<double>(len);
+  }
+
+  // Serves fluid up to time t.
+  void advance(TimeNs t);
+
+  double service(std::uint32_t s) const { return sessions_[s].served; }
+  double backlog(std::uint32_t s) const { return sessions_[s].backlog; }
+  TimeNs now() const noexcept { return now_; }
+
+ private:
+  struct Session {
+    double weight = 0.0;
+    double backlog = 0.0;  // bytes of fluid queued
+    double served = 0.0;   // cumulative bytes served
+  };
+
+  double capacity_;  // bytes per second
+  std::vector<Session> sessions_;
+  TimeNs now_ = 0;
+};
+
+}  // namespace hfsc

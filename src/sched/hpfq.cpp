@@ -1,0 +1,106 @@
+#include "sched/hpfq.hpp"
+
+#include <cassert>
+
+namespace hfsc {
+
+HPfq::HPfq(RateBps link_rate, PfqPolicy policy) : policy_(policy) {
+  Node root;
+  root.server = std::make_unique<PfqServer>(link_rate, policy);
+  root.rate = link_rate;
+  nodes_.push_back(std::move(root));
+}
+
+ClassId HPfq::add_class(ClassId parent, RateBps rate) {
+  assert(parent < nodes_.size());
+  if (nodes_[parent].is_leaf()) {
+    // First child under an interior-to-be class: give it a server.
+    assert(!queues_.has(parent) &&
+           "cannot add children to a class that queues packets");
+    nodes_[parent].server =
+        std::make_unique<PfqServer>(nodes_[parent].rate, policy_);
+  }
+  Node n;
+  n.parent = parent;
+  n.rate = rate;
+  n.idx_in_parent = nodes_[parent].server->add_child(rate);
+  nodes_.push_back(std::move(n));
+  const ClassId id = static_cast<ClassId>(nodes_.size() - 1);
+  nodes_[parent].children.push_back(id);
+  queues_.ensure(id);
+  return id;
+}
+
+bool HPfq::subtree_backlogged(ClassId n) const {
+  const Node& node = nodes_[n];
+  return node.is_leaf() ? queues_.has(n) : node.server->any_backlogged();
+}
+
+Bytes HPfq::head_len(ClassId n) {
+  Node& node = nodes_[n];
+  if (node.is_leaf()) return queues_.head(n).len;
+  // The packet an interior node exposes is the head of the child its
+  // server would pick now.
+  const std::uint32_t c = node.server->pick();
+  return head_len(node.children[c]);
+}
+
+void HPfq::enqueue(TimeNs /*now*/, Packet pkt) {
+  assert(pkt.cls < nodes_.size() && nodes_[pkt.cls].is_leaf());
+  const bool was_empty = !queues_.has(pkt.cls);
+  queues_.push(pkt);
+  if (!was_empty) return;
+  // Propagate the new backlog towards the root until an ancestor that is
+  // already marked backlogged at its parent.  Every node made backlogged
+  // on the way had an empty subtree, so the arriving packet is the head
+  // it exposes.
+  ClassId c = pkt.cls;
+  while (c != kRootClass) {
+    const Node& node = nodes_[c];
+    PfqServer& srv = *nodes_[node.parent].server;
+    if (srv.is_backlogged(node.idx_in_parent)) break;
+    srv.child_backlogged(node.idx_in_parent, pkt.len);
+    c = node.parent;
+  }
+}
+
+std::optional<Packet> HPfq::dequeue(TimeNs /*now*/) {
+  if (!nodes_[kRootClass].server->any_backlogged()) return std::nullopt;
+  // Walk down the hierarchy; every node applies its own WF2Q+ selection.
+  std::vector<ClassId> path;  // interior nodes visited, root first
+  ClassId c = kRootClass;
+  while (!nodes_[c].is_leaf()) {
+    path.push_back(c);
+    const std::uint32_t idx = nodes_[c].server->pick();
+    c = nodes_[c].children[idx];
+  }
+  Packet p = queues_.pop(c);
+  // Charge every server on the path and refresh child state bottom-up so
+  // that an interior child's new exposed head is known when its parent
+  // asks for it.
+  ClassId child = c;
+  for (std::size_t i = path.size(); i-- > 0;) {
+    const ClassId parent = path[i];
+    PfqServer& srv = *nodes_[parent].server;
+    const std::uint32_t idx = nodes_[child].idx_in_parent;
+    srv.charge(p.len);
+    if (subtree_backlogged(child)) {
+      srv.child_next_head(idx, head_len(child));
+    } else {
+      srv.child_empty(idx);
+    }
+    child = parent;
+  }
+  return p;
+}
+
+std::size_t HPfq::depth_of(ClassId cls) const {
+  std::size_t d = 0;
+  while (cls != kRootClass) {
+    cls = nodes_[cls].parent;
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace hfsc

@@ -1,0 +1,25 @@
+// The unit of work every scheduler in this library operates on.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace hfsc {
+
+// Identifies a scheduling class / session.  0 is reserved for the root of
+// hierarchical schedulers; flat schedulers use ids 1..n as well so the same
+// workload can be replayed against any discipline.
+using ClassId = std::uint32_t;
+
+inline constexpr ClassId kRootClass = 0;
+
+struct Packet {
+  ClassId cls = 0;       // leaf class / session the packet belongs to
+  Bytes len = 0;         // size in bytes
+  TimeNs arrival = 0;    // last-bit arrival time (Section VI semantics)
+  std::uint64_t seq = 0; // global arrival sequence number (tie-breaking,
+                         // per-packet bookkeeping in tests)
+};
+
+}  // namespace hfsc

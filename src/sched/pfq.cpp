@@ -1,0 +1,83 @@
+#include "sched/pfq.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hfsc {
+
+std::uint32_t PfqServer::add_child(RateBps weight) {
+  assert(weight > 0);
+  children_.push_back(Child{weight, 0, 0, false});
+  return static_cast<std::uint32_t>(children_.size() - 1);
+}
+
+void PfqServer::insert(std::uint32_t c) {
+  const Child& ch = children_[c];
+  switch (policy_) {
+    case PfqPolicy::SSF:
+      pending_.push(c, ch.start);
+      break;
+    case PfqPolicy::SFF:
+      eligible_.push(c, ch.finish);
+      break;
+    case PfqPolicy::SEFF:
+      if (ch.start <= vt_) {
+        eligible_.push(c, ch.finish);
+      } else {
+        pending_.push(c, ch.start);
+      }
+      break;
+  }
+}
+
+void PfqServer::remove(std::uint32_t c) {
+  if (pending_.contains(c)) pending_.erase(c);
+  if (eligible_.contains(c)) eligible_.erase(c);
+}
+
+void PfqServer::child_backlogged(std::uint32_t c, Bytes head_len) {
+  Child& ch = children_[c];
+  assert(!ch.backlogged);
+  ch.backlogged = true;
+  ++backlogged_;
+  ch.start = std::max(vt_, ch.finish);
+  ch.finish = sat_add(ch.start, seg_y2x(head_len, ch.weight));
+  insert(c);
+}
+
+void PfqServer::child_next_head(std::uint32_t c, Bytes head_len) {
+  Child& ch = children_[c];
+  assert(ch.backlogged);
+  ch.start = ch.finish;
+  ch.finish = sat_add(ch.start, seg_y2x(head_len, ch.weight));
+  remove(c);
+  insert(c);
+}
+
+void PfqServer::child_empty(std::uint32_t c) {
+  Child& ch = children_[c];
+  assert(ch.backlogged);
+  ch.backlogged = false;
+  --backlogged_;
+  remove(c);
+}
+
+std::uint32_t PfqServer::pick() {
+  assert(any_backlogged());
+  if (policy_ == PfqPolicy::SSF) return pending_.top_id();
+  if (policy_ == PfqPolicy::SFF) return eligible_.top_id();
+  // SEFF (WF2Q+): if the server's virtual time fell behind every start
+  // time (after an idle period), re-sync it to the smallest start.
+  if (eligible_.empty()) {
+    assert(!pending_.empty());
+    vt_ = std::max(vt_, pending_.top_key());
+  }
+  // Promote children that have become eligible.
+  while (!pending_.empty() && pending_.top_key() <= vt_) {
+    const std::uint32_t c = pending_.pop();
+    eligible_.push(c, children_[c].finish);
+  }
+  return eligible_.top_id();
+}
+
+}  // namespace hfsc

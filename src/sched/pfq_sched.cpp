@@ -1,0 +1,51 @@
+#include "sched/pfq_sched.hpp"
+
+#include <cassert>
+
+namespace hfsc {
+
+ClassId PfqSched::add_session(RateBps weight) {
+  if (child_of_.empty()) child_of_.push_back(0);  // burn id 0
+  child_of_.push_back(server_.add_child(weight));
+  const ClassId id = static_cast<ClassId>(child_of_.size() - 1);
+  queues_.ensure(id);
+  return id;
+}
+
+void PfqSched::enqueue(TimeNs /*now*/, Packet pkt) {
+  assert(pkt.cls >= 1 && pkt.cls < child_of_.size());
+  const bool was_empty = !queues_.has(pkt.cls);
+  queues_.push(pkt);
+  if (was_empty) {
+    server_.child_backlogged(child_of_[pkt.cls], pkt.len);
+  }
+}
+
+std::optional<Packet> PfqSched::dequeue(TimeNs /*now*/) {
+  if (!server_.any_backlogged()) return std::nullopt;
+  const std::uint32_t c = server_.pick();
+  // Child indices are ClassId - 1 by construction.
+  const ClassId cls = static_cast<ClassId>(c + 1);
+  Packet p = queues_.pop(cls);
+  server_.charge(p.len);
+  if (queues_.has(cls)) {
+    server_.child_next_head(c, queues_.head(cls).len);
+  } else {
+    server_.child_empty(c);
+  }
+  return p;
+}
+
+std::string PfqSched::name() const {
+  switch (policy_) {
+    case PfqPolicy::SSF:
+      return "PFQ-SSF";
+    case PfqPolicy::SFF:
+      return "PFQ-SFF";
+    case PfqPolicy::SEFF:
+      return "WF2Q+";
+  }
+  return "PFQ";
+}
+
+}  // namespace hfsc

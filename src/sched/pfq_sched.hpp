@@ -1,0 +1,42 @@
+// Flat packet-fair-queueing scheduler: one PfqServer plus per-session
+// queues.  With policy SEFF this is WF2Q+; SFF gives SFQ-style
+// finish-time scheduling; SSF a start-time scheduler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/class_queues.hpp"
+#include "sched/pfq.hpp"
+#include "sched/scheduler.hpp"
+
+namespace hfsc {
+
+class PfqSched final : public Scheduler {
+ public:
+  PfqSched(RateBps link_rate, PfqPolicy policy)
+      : server_(link_rate, policy), policy_(policy) {}
+
+  // Registers a session with the given weight (bytes/s).
+  ClassId add_session(RateBps weight);
+
+  void enqueue(TimeNs now, Packet pkt) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t backlog_packets() const noexcept override {
+    return queues_.packets();
+  }
+  Bytes backlog_bytes() const noexcept override { return queues_.bytes(); }
+  std::string name() const override;
+
+  TimeNs vtime() const noexcept { return server_.vtime(); }
+
+ private:
+  PfqServer server_;
+  PfqPolicy policy_;
+  ClassQueues queues_;
+  // ClassId -> server child index (ids start at 1, children at 0).
+  std::vector<std::uint32_t> child_of_;
+};
+
+}  // namespace hfsc

@@ -1,0 +1,54 @@
+// The common packet-scheduler interface.
+//
+// A scheduler owns per-class packet queues.  The link model calls
+// enqueue() when a packet's last bit arrives and dequeue() when the
+// transmitter goes idle.  Schedulers are event-driven and passive: all
+// notions of time come in through the `now` arguments.
+//
+// dequeue() may return std::nullopt even when packets are queued — a
+// scheduler with shaping elements (an H-FSC class with only a real-time
+// curve, or an upper-limit curve) can refuse to release work early.  In
+// that case next_wakeup() reports when the decision could change so the
+// link can re-arm its transmitter.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "sched/packet.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Accepts a packet for pkt.cls at time `now` (== pkt.arrival normally).
+  virtual void enqueue(TimeNs now, Packet pkt) = 0;
+
+  // Releases the next packet to transmit, or nullopt if nothing may be
+  // sent at `now`.  `now` must be nondecreasing across calls.
+  virtual std::optional<Packet> dequeue(TimeNs now) = 0;
+
+  virtual std::size_t backlog_packets() const noexcept = 0;
+  virtual Bytes backlog_bytes() const noexcept = 0;
+
+  // Earliest future time at which dequeue() might return a packet when it
+  // just returned nullopt while backlogged.  kTimeInfinity for pure
+  // work-conserving schedulers (never refuse while backlogged).
+  virtual TimeNs next_wakeup(TimeNs /*now*/) const noexcept {
+    return kTimeInfinity;
+  }
+
+  virtual std::string name() const = 0;
+
+  bool empty() const noexcept { return backlog_packets() == 0; }
+};
+
+}  // namespace hfsc

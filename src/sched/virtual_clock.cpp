@@ -1,0 +1,37 @@
+#include "sched/virtual_clock.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hfsc {
+
+ClassId VirtualClock::add_session(RateBps rate) {
+  assert(rate > 0);
+  if (sessions_.empty()) sessions_.emplace_back();  // burn id 0
+  sessions_.push_back(Session{rate, 0, {}});
+  const ClassId id = static_cast<ClassId>(sessions_.size() - 1);
+  queues_.ensure(id);
+  return id;
+}
+
+void VirtualClock::enqueue(TimeNs now, Packet pkt) {
+  assert(pkt.cls < sessions_.size() && sessions_[pkt.cls].rate > 0);
+  Session& s = sessions_[pkt.cls];
+  s.vc = sat_add(std::max(now, s.vc), seg_y2x(pkt.len, s.rate));
+  const bool was_empty = !queues_.has(pkt.cls);
+  queues_.push(pkt);
+  s.tags.push_back(s.vc);
+  if (was_empty) by_tag_.push(pkt.cls, s.tags.front());
+}
+
+std::optional<Packet> VirtualClock::dequeue(TimeNs /*now*/) {
+  if (by_tag_.empty()) return std::nullopt;
+  const ClassId cls = by_tag_.pop();
+  Session& s = sessions_[cls];
+  Packet p = queues_.pop(cls);
+  s.tags.pop_front();
+  if (queues_.has(cls)) by_tag_.push(cls, s.tags.front());
+  return p;
+}
+
+}  // namespace hfsc

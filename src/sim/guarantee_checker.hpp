@@ -1,0 +1,104 @@
+// Empirical service-curve guarantee checker.
+//
+// Implements definition (1) of the paper directly: a session with service
+// curve S is guaranteed if for any packet-departure time t at which the
+// session is backlogged there exists a start t_k <= t of one of its
+// backlogged periods with
+//
+//     w(t) - w(t_k) >= S(t - t_k).
+//
+// Theorem 2 allows H-FSC to miss a deadline by up to tau_max = L_max / C
+// (one maximum-length packet time, non-preemption), and our fixed-point
+// curves round by up to ~1 byte/ns per operation, so the check accepts a
+// lateness allowance: it requires
+//
+//     exists k:  w(t) - w(t_k) >= S(t - t_k - allowance)      (*)
+//
+// with allowance supplied by the caller (typically tau_max plus a small
+// epsilon).
+//
+// Feed arrivals and departures in time order; violations() reports every
+// departure instant at which (*) failed, with the worst-case deficit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "curve/service_curve.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+class GuaranteeChecker {
+ public:
+  struct Violation {
+    TimeNs t = 0;          // departure time of the violating packet
+    Bytes deficit = 0;     // best-case missing service across all t_k
+    TimeNs best_start = 0; // the backlog start that came closest
+  };
+
+  GuaranteeChecker(ServiceCurve sc, TimeNs allowance)
+      : sc_(sc), allowance_(allowance) {}
+
+  void on_arrival(TimeNs t, Bytes len) {
+    if (queued_bytes_ == 0) {
+      backlog_starts_.push_back(t);
+      work_at_start_.push_back(work_);  // w(t_k)
+    }
+    queued_bytes_ += len;
+  }
+
+  // Call with the packet's last-bit departure time.
+  void on_departure(TimeNs t, Bytes len) {
+    work_ += len;
+    queued_bytes_ -= len;
+    check(t);
+  }
+
+  const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  Bytes max_deficit() const noexcept {
+    Bytes worst = 0;
+    for (const auto& v : violations_) worst = std::max(worst, v.deficit);
+    return worst;
+  }
+  Bytes work() const noexcept { return work_; }
+  std::size_t backlog_periods() const noexcept {
+    return backlog_starts_.size();
+  }
+
+ private:
+  void check(TimeNs t) {
+    if (backlog_starts_.empty()) return;
+    Bytes best_deficit = kBytesInfinity;
+    TimeNs best_start = 0;
+    for (std::size_t i = 0; i < backlog_starts_.size(); ++i) {
+      const TimeNs tk = backlog_starts_[i];
+      if (tk > t) break;
+      const Bytes wk = work_at_start_[i];
+      const TimeNs rel = t - tk;
+      const Bytes need =
+          sc_.eval(rel > allowance_ ? rel - allowance_ : TimeNs{0});
+      const Bytes got = work_ - wk;
+      if (got >= need) return;  // some t_k satisfies the definition
+      const Bytes deficit = need - got;
+      if (deficit < best_deficit) {
+        best_deficit = deficit;
+        best_start = tk;
+      }
+    }
+    violations_.push_back(Violation{t, best_deficit, best_start});
+  }
+
+  ServiceCurve sc_;
+  TimeNs allowance_;
+  Bytes queued_bytes_ = 0;
+  Bytes work_ = 0;
+  std::vector<TimeNs> backlog_starts_;
+  std::vector<Bytes> work_at_start_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace hfsc

@@ -1,0 +1,101 @@
+// A non-preemptive output link driven by a Scheduler.
+//
+// Arrivals go straight into the scheduler; whenever the transmitter is
+// idle the link asks the scheduler for the next packet and models its
+// serialization delay (len / capacity).  If the scheduler is backlogged
+// but declines to release a packet (shaping), the link arms a wakeup at
+// scheduler.next_wakeup().
+//
+// Departure observers see every packet with its last-bit departure time —
+// the measurement point of Section VI's delay semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+class Link {
+ public:
+  using DepartureHook = std::function<void(TimeNs, const Packet&)>;
+
+  Link(EventQueue& ev, RateBps capacity, Scheduler& sched)
+      : ev_(ev), capacity_(capacity), sched_(sched) {}
+
+  RateBps capacity() const noexcept { return capacity_; }
+  Scheduler& scheduler() noexcept { return sched_; }
+
+  void add_departure_hook(DepartureHook hook) {
+    hooks_.push_back(std::move(hook));
+  }
+
+  // Arrival observers run before the packet enters the scheduler (used by
+  // the guarantee checkers to track backlog periods).
+  void add_arrival_hook(DepartureHook hook) {
+    arrival_hooks_.push_back(std::move(hook));
+  }
+
+  // Delivers a packet to the scheduler (last bit arrives at `now`).
+  void on_arrival(TimeNs now, Packet pkt) {
+    pkt.arrival = now;
+    for (const auto& hook : arrival_hooks_) hook(now, pkt);
+    sched_.enqueue(now, pkt);
+    try_transmit(now);
+  }
+
+  Bytes bytes_sent() const noexcept { return bytes_sent_; }
+  std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+  // Total time the transmitter spent busy (link utilization numerator).
+  TimeNs busy_time() const noexcept { return busy_time_; }
+
+ private:
+  void try_transmit(TimeNs now) {
+    if (busy_) return;
+    auto pkt = sched_.dequeue(now);
+    if (!pkt) {
+      arm_wakeup(now);
+      return;
+    }
+    busy_ = true;
+    const TimeNs done = now + tx_time(pkt->len, capacity_);
+    busy_time_ += done - now;
+    ev_.schedule(done, [this, p = *pkt](TimeNs t) {
+      busy_ = false;
+      bytes_sent_ += p.len;
+      ++packets_sent_;
+      for (const auto& hook : hooks_) hook(t, p);
+      try_transmit(t);
+    });
+  }
+
+  void arm_wakeup(TimeNs now) {
+    if (sched_.empty()) return;
+    TimeNs at = sched_.next_wakeup(now);
+    if (at == kTimeInfinity) return;
+    if (at <= now) at = now + 1;
+    // Generation counter cancels stale wakeups (an arrival may have
+    // restarted the transmitter in the meantime).
+    const std::uint64_t gen = ++wakeup_gen_;
+    ev_.schedule(at, [this, gen](TimeNs t) {
+      if (gen == wakeup_gen_ && !busy_) try_transmit(t);
+    });
+  }
+
+  EventQueue& ev_;
+  RateBps capacity_;
+  Scheduler& sched_;
+  std::vector<DepartureHook> hooks_;
+  std::vector<DepartureHook> arrival_hooks_;
+  bool busy_ = false;
+  Bytes bytes_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  TimeNs busy_time_ = 0;
+  std::uint64_t wakeup_gen_ = 0;
+};
+
+}  // namespace hfsc

@@ -1,0 +1,328 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace hfsc {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("scenario line " + std::to_string(line) + ": " +
+                           what);
+}
+
+// Splits "<number><suffix>" where number may be decimal.
+bool split_unit(const std::string& tok, double* value, std::string* unit) {
+  std::size_t i = 0;
+  while (i < tok.size() &&
+         (std::isdigit(static_cast<unsigned char>(tok[i])) || tok[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) return false;
+  try {
+    *value = std::stod(tok.substr(0, i));
+  } catch (...) {
+    return false;
+  }
+  *unit = tok.substr(i);
+  return true;
+}
+
+}  // namespace
+
+RateBps parse_rate(const std::string& tok) {
+  double v;
+  std::string unit;
+  if (!split_unit(tok, &v, &unit)) {
+    throw std::runtime_error("bad rate: " + tok);
+  }
+  double bits;
+  if (unit == "bps") {
+    bits = v;
+  } else if (unit == "kbps") {
+    bits = v * 1e3;
+  } else if (unit == "Mbps" || unit == "mbps") {
+    bits = v * 1e6;
+  } else if (unit == "Gbps" || unit == "gbps") {
+    bits = v * 1e9;
+  } else {
+    throw std::runtime_error("bad rate unit: " + tok);
+  }
+  return static_cast<RateBps>(bits / 8.0);
+}
+
+TimeNs parse_time(const std::string& tok) {
+  double v;
+  std::string unit;
+  if (!split_unit(tok, &v, &unit)) {
+    throw std::runtime_error("bad time: " + tok);
+  }
+  double ns;
+  if (unit == "ns") {
+    ns = v;
+  } else if (unit == "us") {
+    ns = v * 1e3;
+  } else if (unit == "ms") {
+    ns = v * 1e6;
+  } else if (unit == "s") {
+    ns = v * 1e9;
+  } else {
+    throw std::runtime_error("bad time unit: " + tok);
+  }
+  return static_cast<TimeNs>(ns);
+}
+
+Bytes parse_bytes(const std::string& tok) {
+  // std::stoull silently accepts a leading '-' (wrapping); reject any
+  // non-digit up front.
+  if (tok.empty() ||
+      !std::all_of(tok.begin(), tok.end(), [](unsigned char c) {
+        return std::isdigit(c);
+      })) {
+    throw std::runtime_error("bad byte count: " + tok);
+  }
+  try {
+    return static_cast<Bytes>(std::stoull(tok));
+  } catch (...) {
+    throw std::runtime_error("bad byte count: " + tok);
+  }
+}
+
+namespace {
+
+ServiceCurve parse_spec(std::istringstream& ls, std::size_t line) {
+  std::string kind;
+  if (!(ls >> kind)) fail(line, "missing curve spec");
+  if (kind == "linear") {
+    std::string r;
+    if (!(ls >> r)) fail(line, "linear needs a rate");
+    return ServiceCurve::linear(parse_rate(r));
+  }
+  if (kind == "curve") {
+    std::string m1, d, m2;
+    if (!(ls >> m1 >> d >> m2)) fail(line, "curve needs <m1> <d> <m2>");
+    const ServiceCurve sc{parse_rate(m1), parse_time(d), parse_rate(m2)};
+    if (!sc.is_supported()) {
+      fail(line, "unsupported curve shape (must be concave, or convex with "
+                 "m1 = 0)");
+    }
+    return sc;
+  }
+  if (kind == "udr") {
+    std::string u, d, r;
+    if (!(ls >> u >> d >> r)) fail(line, "udr needs <u> <d> <r>");
+    return from_udr(parse_bytes(u), parse_time(d), parse_rate(r));
+  }
+  fail(line, "unknown curve spec kind: " + kind);
+}
+
+}  // namespace
+
+Scenario Scenario::parse(std::istream& in) {
+  Scenario sc;
+  std::map<std::string, bool> class_names;
+  std::string raw;
+  std::size_t line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ls(raw);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+
+    if (directive == "link") {
+      std::string r;
+      if (!(ls >> r)) fail(line, "link needs a rate");
+      sc.link_rate = parse_rate(r);
+    } else if (directive == "duration") {
+      std::string t;
+      if (!(ls >> t)) fail(line, "duration needs a time");
+      sc.duration = parse_time(t);
+    } else if (directive == "window") {
+      std::string t;
+      if (!(ls >> t)) fail(line, "window needs a time");
+      sc.window = parse_time(t);
+    } else if (directive == "class") {
+      ScenarioClass c;
+      if (!(ls >> c.name >> c.parent)) {
+        fail(line, "class needs <name> <parent>");
+      }
+      if (class_names.count(c.name)) fail(line, "duplicate class " + c.name);
+      if (c.parent != "root" && !class_names.count(c.parent)) {
+        fail(line, "unknown parent class " + c.parent);
+      }
+      std::string key;
+      while (ls >> key) {
+        if (key == "rt") {
+          c.cfg.rt = parse_spec(ls, line);
+        } else if (key == "ls") {
+          c.cfg.ls = parse_spec(ls, line);
+        } else if (key == "ul") {
+          c.cfg.ul = parse_spec(ls, line);
+        } else if (key == "qlimit") {
+          std::string n;
+          if (!(ls >> n)) fail(line, "qlimit needs a count");
+          c.qlimit = static_cast<std::size_t>(parse_bytes(n));
+        } else {
+          fail(line, "unknown class attribute: " + key);
+        }
+      }
+      if (c.cfg.rt.is_zero() && c.cfg.ls.is_zero()) {
+        fail(line, "class " + c.name + " needs at least one of rt/ls");
+      }
+      class_names[c.name] = true;
+      sc.classes.push_back(std::move(c));
+    } else if (directive == "source") {
+      std::string kind;
+      ScenarioSource s;
+      if (!(ls >> kind >> s.cls)) fail(line, "source needs <kind> <class>");
+      if (!class_names.count(s.cls)) fail(line, "unknown class " + s.cls);
+      auto want = [&](const char* what) -> std::string {
+        std::string tok;
+        if (!(ls >> tok)) fail(line, std::string("source missing ") + what);
+        return tok;
+      };
+      if (kind == "cbr") {
+        s.kind = ScenarioSource::Kind::kCbr;
+        s.rate = parse_rate(want("rate"));
+        s.pkt_len = parse_bytes(want("pkt"));
+        s.start = parse_time(want("start"));
+        s.stop = parse_time(want("stop"));
+      } else if (kind == "poisson") {
+        s.kind = ScenarioSource::Kind::kPoisson;
+        s.rate = parse_rate(want("rate"));
+        s.pkt_len = parse_bytes(want("pkt"));
+        s.start = parse_time(want("start"));
+        s.stop = parse_time(want("stop"));
+        s.seed = parse_bytes(want("seed"));
+      } else if (kind == "onoff") {
+        s.kind = ScenarioSource::Kind::kOnOff;
+        s.rate = parse_rate(want("peak rate"));
+        s.pkt_len = parse_bytes(want("pkt"));
+        s.mean_on = parse_time(want("mean_on"));
+        s.mean_off = parse_time(want("mean_off"));
+        s.start = parse_time(want("start"));
+        s.stop = parse_time(want("stop"));
+        s.seed = parse_bytes(want("seed"));
+      } else if (kind == "greedy") {
+        s.kind = ScenarioSource::Kind::kGreedy;
+        s.pkt_len = parse_bytes(want("pkt"));
+        s.window = static_cast<std::size_t>(parse_bytes(want("window")));
+        s.start = parse_time(want("start"));
+        s.stop = parse_time(want("stop"));
+      } else if (kind == "video") {
+        s.kind = ScenarioSource::Kind::kVideo;
+        s.fps = std::stod(want("fps"));
+        s.mean_frame = parse_bytes(want("mean_frame"));
+        s.max_frame = parse_bytes(want("max_frame"));
+        s.mtu = parse_bytes(want("mtu"));
+        s.start = parse_time(want("start"));
+        s.stop = parse_time(want("stop"));
+        s.seed = parse_bytes(want("seed"));
+      } else {
+        fail(line, "unknown source kind: " + kind);
+      }
+      std::string extra;
+      if (ls >> extra) fail(line, "trailing token: " + extra);
+      sc.sources.push_back(std::move(s));
+    } else {
+      fail(line, "unknown directive: " + directive);
+    }
+  }
+  if (sc.link_rate == 0) throw std::runtime_error("scenario: missing link");
+  if (sc.duration == 0) throw std::runtime_error("scenario: missing duration");
+  if (sc.classes.empty()) throw std::runtime_error("scenario: no classes");
+  return sc;
+}
+
+Scenario Scenario::parse_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open scenario: " + path);
+  return parse(f);
+}
+
+ScenarioResult run_scenario(const Scenario& sc) {
+  Hfsc sched(sc.link_rate);
+  std::map<std::string, ClassId> ids;
+  for (const ScenarioClass& c : sc.classes) {
+    const ClassId parent = c.parent == "root" ? kRootClass : ids.at(c.parent);
+    const ClassId id = sched.add_class(parent, c.cfg);
+    if (c.qlimit != 0) sched.set_queue_limit(id, c.qlimit);
+    ids[c.name] = id;
+  }
+
+  Simulator sim(sc.link_rate, sched, sc.window);
+  for (const ScenarioSource& s : sc.sources) {
+    const ClassId cls = ids.at(s.cls);
+    switch (s.kind) {
+      case ScenarioSource::Kind::kCbr:
+        sim.add<CbrSource>(cls, s.rate, s.pkt_len, s.start, s.stop);
+        break;
+      case ScenarioSource::Kind::kPoisson:
+        sim.add<PoissonSource>(cls, s.rate, s.pkt_len, s.start, s.stop,
+                               s.seed);
+        break;
+      case ScenarioSource::Kind::kOnOff:
+        sim.add<OnOffSource>(cls, s.rate, s.pkt_len, s.mean_on, s.mean_off,
+                             s.start, s.stop, s.seed);
+        break;
+      case ScenarioSource::Kind::kGreedy:
+        sim.add<GreedySource>(cls, s.pkt_len, s.window, s.start, s.stop);
+        break;
+      case ScenarioSource::Kind::kVideo:
+        sim.add<VideoSource>(cls, s.fps, s.mean_frame, s.max_frame, s.mtu,
+                             s.start, s.stop, s.seed);
+        break;
+    }
+  }
+  sim.run(sc.duration);
+
+  ScenarioResult out;
+  const auto& t = sim.tracker();
+  for (const ScenarioClass& c : sc.classes) {
+    const ClassId id = ids.at(c.name);
+    if (!sched.is_leaf(id) && !t.has(id)) continue;  // interior class
+    ScenarioResult::PerClass pc;
+    pc.name = c.name;
+    pc.packets = t.packets(id);
+    pc.bytes = t.bytes(id);
+    pc.dropped = sched.packets_dropped(id);
+    pc.mean_delay_ms = t.mean_delay_ms(id);
+    pc.p99_delay_ms = t.delay_quantile_ms(id, 0.99);
+    pc.max_delay_ms = t.max_delay_ms(id);
+    pc.rate_mbps = t.rate_mbps(id, 0, sc.duration);
+    out.per_class.push_back(std::move(pc));
+  }
+  out.link_utilization = static_cast<double>(sim.link().busy_time()) /
+                         static_cast<double>(sc.duration);
+  return out;
+}
+
+std::string ScenarioResult::to_table() const {
+  TablePrinter table({"class", "packets", "bytes", "dropped", "mean_ms",
+                      "p99_ms", "max_ms", "rate_mbps"});
+  for (const PerClass& pc : per_class) {
+    table.add_row({pc.name, std::to_string(pc.packets),
+                   std::to_string(pc.bytes), std::to_string(pc.dropped),
+                   TablePrinter::fmt(pc.mean_delay_ms),
+                   TablePrinter::fmt(pc.p99_delay_ms),
+                   TablePrinter::fmt(pc.max_delay_ms),
+                   TablePrinter::fmt(pc.rate_mbps, 2)});
+  }
+  std::ostringstream os;
+  os << table.to_string();
+  os << "link utilization: "
+     << TablePrinter::fmt(link_utilization * 100.0, 1) << "%\n";
+  return os.str();
+}
+
+}  // namespace hfsc

@@ -1,0 +1,110 @@
+// Scenario files: a small declarative language for describing an H-FSC
+// hierarchy plus a workload, so experiments can be run without writing
+// C++ (tools/hfsc_sim reads these).
+//
+//     # 45 Mb/s campus link
+//     link 45Mbps
+//     duration 10s
+//     class cmu   root  ls linear 25Mbps
+//     class audio cmu   rt udr 160 5ms 64kbps   ls linear 64kbps
+//     class data  cmu   ls linear 15Mbps  ul linear 20Mbps  qlimit 100
+//     source cbr    audio 64kbps 160 0s 10s
+//     source greedy data  1500 8 0s 10s
+//
+// Grammar (one directive per line, '#' comments):
+//     link <rate>
+//     duration <time>
+//     window <time>                        (throughput window, default 100ms)
+//     class <name> <parent|root> [rt <spec>] [ls <spec>] [ul <spec>]
+//                                [qlimit <packets>]
+//       <spec> := linear <rate>
+//               | curve <m1 rate> <d time> <m2 rate>
+//               | udr <u bytes> <d time> <r rate>     (Fig. 7 mapping)
+//     source cbr     <class> <rate> <pkt bytes> <start> <stop>
+//     source poisson <class> <rate> <pkt bytes> <start> <stop> <seed>
+//     source onoff   <class> <peak rate> <pkt bytes> <mean_on> <mean_off>
+//                    <start> <stop> <seed>
+//     source greedy  <class> <pkt bytes> <window pkts> <start> <stop>
+//     source video   <class> <fps> <mean_frame> <max_frame> <mtu>
+//                    <start> <stop> <seed>
+//
+// Units: rates `bps|kbps|Mbps|Gbps` (decimal allowed), times
+// `ns|us|ms|s`, byte counts plain integers.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/hfsc.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+// Unit parsing helpers (exposed for tests and other tools).
+RateBps parse_rate(const std::string& tok);   // throws std::runtime_error
+TimeNs parse_time(const std::string& tok);    // throws
+Bytes parse_bytes(const std::string& tok);    // throws
+
+struct ScenarioClass {
+  std::string name;
+  std::string parent;  // "root" for top level
+  ClassConfig cfg;
+  std::size_t qlimit = 0;
+};
+
+struct ScenarioSource {
+  enum class Kind { kCbr, kPoisson, kOnOff, kGreedy, kVideo };
+  Kind kind{};
+  std::string cls;
+  RateBps rate = 0;
+  Bytes pkt_len = 0;
+  TimeNs start = 0;
+  TimeNs stop = 0;
+  std::uint64_t seed = 0;
+  TimeNs mean_on = 0;
+  TimeNs mean_off = 0;
+  std::size_t window = 0;  // greedy
+  double fps = 0;          // video
+  Bytes mean_frame = 0;
+  Bytes max_frame = 0;
+  Bytes mtu = 0;
+};
+
+struct Scenario {
+  RateBps link_rate = 0;
+  TimeNs duration = 0;
+  TimeNs window = msec(100);
+  std::vector<ScenarioClass> classes;
+  std::vector<ScenarioSource> sources;
+
+  // Parses a scenario; throws std::runtime_error with a line number on
+  // any malformed directive, unknown class reference, or missing
+  // link/duration.
+  static Scenario parse(std::istream& in);
+  static Scenario parse_file(const std::string& path);
+};
+
+struct ScenarioResult {
+  struct PerClass {
+    std::string name;
+    std::uint64_t packets = 0;
+    Bytes bytes = 0;
+    std::uint64_t dropped = 0;
+    double mean_delay_ms = 0;
+    double p99_delay_ms = 0;
+    double max_delay_ms = 0;
+    double rate_mbps = 0;
+  };
+  std::vector<PerClass> per_class;
+  double link_utilization = 0;  // busy fraction over the run
+
+  // Formatted like the experiment binaries' tables.
+  std::string to_table() const;
+};
+
+// Builds the H-FSC hierarchy, runs the workload, gathers statistics.
+ScenarioResult run_scenario(const Scenario& sc);
+
+}  // namespace hfsc

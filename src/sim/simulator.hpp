@@ -1,0 +1,66 @@
+// Convenience bundle: event queue + link + tracker + owned sources.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//     Hfsc sched(mbps(100));
+//     ... add classes ...
+//     Simulator sim(mbps(100), sched);
+//     sim.add<CbrSource>(audio, kbps(64), 160, 0, sec(10));
+//     sim.run(sec(10));
+//     sim.tracker().mean_delay_ms(audio);
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/flow_stats.hpp"
+#include "sim/link.hpp"
+#include "sim/sources.hpp"
+
+namespace hfsc {
+
+class Simulator {
+ public:
+  Simulator(RateBps link_rate, Scheduler& sched,
+            TimeNs throughput_window = msec(100))
+      : link_(ev_, link_rate, sched), tracker_(throughput_window) {
+    tracker_.attach(link_);
+  }
+
+  // Constructs a source in place and installs it.
+  template <typename SourceT, typename... Args>
+  SourceT& add(Args&&... args) {
+    auto src = std::make_unique<Holder<SourceT>>(
+        SourceT(std::forward<Args>(args)...));
+    SourceT& ref = src->source;
+    sources_.push_back(std::move(src));
+    ref.install(ev_, link_);
+    return ref;
+  }
+
+  void run(TimeNs until) { ev_.run_until(until); }
+  void run_all() { ev_.run_all(); }
+
+  EventQueue& events() noexcept { return ev_; }
+  Link& link() noexcept { return link_; }
+  const FlowTracker& tracker() const noexcept { return tracker_; }
+  TimeNs now() const noexcept { return ev_.now(); }
+
+ private:
+  struct HolderBase {
+    virtual ~HolderBase() = default;
+  };
+  template <typename SourceT>
+  struct Holder : HolderBase {
+    explicit Holder(SourceT s) : source(std::move(s)) {}
+    SourceT source;
+  };
+
+  EventQueue ev_;
+  Link link_;
+  FlowTracker tracker_;
+  std::vector<std::unique_ptr<HolderBase>> sources_;
+};
+
+}  // namespace hfsc

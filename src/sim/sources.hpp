@@ -1,0 +1,139 @@
+// Traffic sources (system S11 in DESIGN.md).
+//
+// Each source installs itself on an EventQueue and emits packets into a
+// Link.  The parameter sets mirror the workloads the paper's evaluation
+// discusses: low-rate small-packet audio, frame-based video, greedy FTP,
+// plus Poisson and trace-driven generators for the property tests.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+// Constant bit-rate: one `pkt_len` packet every pkt_len/rate seconds,
+// from `start` until `stop`.
+class CbrSource {
+ public:
+  CbrSource(ClassId cls, RateBps rate, Bytes pkt_len, TimeNs start,
+            TimeNs stop);
+  void install(EventQueue& ev, Link& link);
+
+ private:
+  void emit(EventQueue& ev, Link& link, TimeNs t);
+
+  ClassId cls_;
+  Bytes pkt_len_;
+  TimeNs interval_;
+  TimeNs start_;
+  TimeNs stop_;
+  std::uint64_t seq_ = 0;
+};
+
+// Poisson arrivals of fixed-size packets at `mean_rate` bytes/s.
+class PoissonSource {
+ public:
+  PoissonSource(ClassId cls, RateBps mean_rate, Bytes pkt_len, TimeNs start,
+                TimeNs stop, std::uint64_t seed);
+  void install(EventQueue& ev, Link& link);
+
+ private:
+  void emit(EventQueue& ev, Link& link, TimeNs t);
+
+  ClassId cls_;
+  Bytes pkt_len_;
+  double mean_gap_ns_;
+  TimeNs start_;
+  TimeNs stop_;
+  Rng rng_;
+  std::uint64_t seq_ = 0;
+};
+
+// Exponential on-off source: CBR at `peak_rate` during on periods
+// (mean `mean_on`), silent during off periods (mean `mean_off`).
+class OnOffSource {
+ public:
+  OnOffSource(ClassId cls, RateBps peak_rate, Bytes pkt_len, TimeNs mean_on,
+              TimeNs mean_off, TimeNs start, TimeNs stop, std::uint64_t seed);
+  void install(EventQueue& ev, Link& link);
+
+ private:
+  void emit(EventQueue& ev, Link& link, TimeNs t);
+
+  ClassId cls_;
+  Bytes pkt_len_;
+  TimeNs interval_;
+  double mean_on_;
+  double mean_off_;
+  TimeNs start_;
+  TimeNs stop_;
+  Rng rng_;
+  TimeNs on_until_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+// Always-backlogged source (greedy FTP): keeps `window` packets queued at
+// the link by refilling on every departure of its own class.
+class GreedySource {
+ public:
+  GreedySource(ClassId cls, Bytes pkt_len, std::size_t window, TimeNs start,
+               TimeNs stop = kTimeInfinity);
+  void install(EventQueue& ev, Link& link);
+
+ private:
+  ClassId cls_;
+  Bytes pkt_len_;
+  std::size_t window_;
+  TimeNs start_;
+  TimeNs stop_;
+  std::uint64_t seq_ = 0;
+};
+
+// Frame-based video: every 1/fps seconds a frame of (mean +- jitter)
+// bytes, cut into MTU-sized packets emitted back to back.  Exercises the
+// paper's "per-frame delay guarantee" use of the (u, d, r) triple, with
+// u = max frame size.
+class VideoSource {
+ public:
+  VideoSource(ClassId cls, double fps, Bytes mean_frame, Bytes max_frame,
+              Bytes mtu, TimeNs start, TimeNs stop, std::uint64_t seed);
+  void install(EventQueue& ev, Link& link);
+
+ private:
+  void emit_frame(EventQueue& ev, Link& link, TimeNs t);
+
+  ClassId cls_;
+  TimeNs frame_interval_;
+  Bytes mean_frame_;
+  Bytes max_frame_;
+  Bytes mtu_;
+  TimeNs start_;
+  TimeNs stop_;
+  Rng rng_;
+  std::uint64_t seq_ = 0;
+};
+
+// Replays an explicit (time, len) schedule; the workhorse of the unit
+// tests and the Fig. 2 / Fig. 3 experiments.
+class TraceSource {
+ public:
+  struct Item {
+    TimeNs t;
+    Bytes len;
+  };
+  TraceSource(ClassId cls, std::vector<Item> items);
+  void install(EventQueue& ev, Link& link);
+
+ private:
+  ClassId cls_;
+  std::vector<Item> items_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace hfsc

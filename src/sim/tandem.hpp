@@ -1,0 +1,97 @@
+// Multi-hop tandem of links: the output of hop k feeds hop k+1.
+//
+// Service-curve guarantees compose across hops (Cruz's calculus, the
+// foundation the paper builds on in Section II), so an H-FSC scheduler at
+// every hop bounds the end-to-end delay by roughly the sum of per-hop
+// bounds; a FIFO tandem does not.  examples/multihop_tandem.cpp and the
+// tandem tests exercise this.
+//
+// Each hop owns its Scheduler (supplied by a factory so every hop gets an
+// identically-configured instance).  End-to-end delay is measured from
+// the packet's first-hop arrival (Packet::arrival is rewritten per hop by
+// the links, so the tandem keeps its own per-seq entry table).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/flow_stats.hpp"
+#include "sim/link.hpp"
+#include "util/stats.hpp"
+
+namespace hfsc {
+
+class Tandem {
+ public:
+  using SchedFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+  Tandem(EventQueue& ev, std::size_t hops, RateBps capacity,
+         SchedFactory factory) {
+    scheds_.reserve(hops);
+    links_.reserve(hops);
+    for (std::size_t h = 0; h < hops; ++h) {
+      scheds_.push_back(factory());
+      links_.push_back(
+          std::make_unique<Link>(ev, capacity, *scheds_.back()));
+    }
+    for (std::size_t h = 0; h + 1 < hops; ++h) {
+      Link* next = links_[h + 1].get();
+      links_[h]->add_departure_hook([next](TimeNs t, const Packet& p) {
+        next->on_arrival(t, p);
+      });
+    }
+    // End-to-end accounting.
+    links_.front()->add_arrival_hook([this](TimeNs t, const Packet& p) {
+      entry_[p.seq ^ (static_cast<std::uint64_t>(p.cls) << 48)] = t;
+    });
+    links_.back()->add_departure_hook([this](TimeNs t, const Packet& p) {
+      const auto key = p.seq ^ (static_cast<std::uint64_t>(p.cls) << 48);
+      const auto it = entry_.find(key);
+      if (it == entry_.end()) return;
+      auto& s = e2e_[p.cls];
+      s.delays.add(static_cast<double>(t - it->second) / 1e6);
+      s.bytes += p.len;
+      entry_.erase(it);
+    });
+  }
+
+  // First-hop ingress.
+  Link& ingress() noexcept { return *links_.front(); }
+  Link& hop(std::size_t h) { return *links_.at(h); }
+  Scheduler& scheduler(std::size_t h) { return *scheds_.at(h); }
+  std::size_t hops() const noexcept { return links_.size(); }
+
+  // End-to-end delay statistics in milliseconds.
+  double e2e_mean_ms(ClassId cls) const {
+    const auto it = e2e_.find(cls);
+    return it == e2e_.end() ? 0.0 : it->second.delays.mean();
+  }
+  double e2e_max_ms(ClassId cls) const {
+    const auto it = e2e_.find(cls);
+    return it == e2e_.end() ? 0.0 : it->second.delays.max();
+  }
+  std::size_t delivered(ClassId cls) const {
+    const auto it = e2e_.find(cls);
+    return it == e2e_.end() ? 0 : it->second.delays.count();
+  }
+  Bytes delivered_bytes(ClassId cls) const {
+    const auto it = e2e_.find(cls);
+    return it == e2e_.end() ? 0 : it->second.bytes;
+  }
+
+ private:
+  struct E2e {
+    SampleSet delays;
+    Bytes bytes = 0;
+  };
+
+  std::vector<std::unique_ptr<Scheduler>> scheds_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<std::uint64_t, TimeNs> entry_;
+  std::unordered_map<ClassId, E2e> e2e_;
+};
+
+}  // namespace hfsc

@@ -1,0 +1,76 @@
+#include "sim/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hfsc {
+
+std::vector<TraceEntry> read_trace(std::istream& in) {
+  std::vector<TraceEntry> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    TimeNs t;
+    ClassId cls;
+    Bytes len;
+    if (!(ls >> t)) {
+      // Blank or comment-only line.
+      std::string rest;
+      if (!(std::istringstream(line) >> rest)) continue;
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": malformed");
+    }
+    if (!(ls >> cls >> len) || len == 0) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": expected <time_ns> <class> <len>");
+    }
+    out.push_back(TraceEntry{t, cls, len});
+  }
+  return out;
+}
+
+std::vector<TraceEntry> read_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(f);
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceEntry>& entries) {
+  out << "# <time_ns> <class_id> <len_bytes>\n";
+  for (const TraceEntry& e : entries) {
+    out << e.t << ' ' << e.cls << ' ' << e.len << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceEntry>& entries) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  write_trace(f, entries);
+}
+
+std::vector<TraceSource::Item> items_for_class(
+    const std::vector<TraceEntry>& entries, ClassId cls) {
+  std::vector<TraceSource::Item> items;
+  for (const TraceEntry& e : entries) {
+    if (e.cls == cls) items.push_back(TraceSource::Item{e.t, e.len});
+  }
+  return items;
+}
+
+void replay_trace(EventQueue& ev, Link& link,
+                  const std::vector<TraceEntry>& entries) {
+  std::uint64_t seq = 0;
+  for (const TraceEntry& e : entries) {
+    ev.schedule(e.t, [&link, e, s = seq++](TimeNs t) {
+      link.on_arrival(t, Packet{e.cls, e.len, t, s});
+    });
+  }
+}
+
+}  // namespace hfsc

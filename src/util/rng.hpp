@@ -1,0 +1,78 @@
+// Small deterministic PRNG (splitmix64 seeding + xoshiro256**) with the
+// distributions the traffic sources need.  Deterministic across platforms so
+// tests and experiment output are reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace hfsc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // splitmix64 to expand the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97f4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t span = hi - lo + 1;
+    return span == 0 ? next_u64() : lo + next_u64() % span;
+  }
+
+  // Exponentially distributed with the given mean (> 0).
+  double exponential(double mean) noexcept {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  // Bernoulli trial.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+  // Pareto with shape alpha (> 0) and scale xm (> 0); heavy-tailed frame
+  // and flow sizes.
+  double pareto(double alpha, double xm) noexcept {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace hfsc

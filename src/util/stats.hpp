@@ -1,0 +1,96 @@
+// Measurement helpers: running scalar statistics, exact-percentile samples,
+// and time-windowed throughput series.  These implement the "measurement"
+// substrate (S12 in DESIGN.md) used to regenerate the paper's figures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hfsc {
+
+// Streaming mean/min/max/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores every sample; supports exact quantiles.  Fine at simulation scale
+// (millions of packets).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  double max() const noexcept;
+  double min() const noexcept;
+  // q in [0, 1]; nearest-rank on the sorted samples.  Returns 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+// Accumulates bytes into fixed-width wall-clock windows; yields a
+// throughput-versus-time series (the paper's link-sharing plots).
+class WindowedThroughput {
+ public:
+  explicit WindowedThroughput(TimeNs window) : window_(window) {}
+
+  void add(TimeNs t, Bytes len);
+
+  TimeNs window() const noexcept { return window_; }
+  std::size_t num_windows() const noexcept { return bytes_.size(); }
+  Bytes bytes_in_window(std::size_t i) const { return bytes_.at(i); }
+
+  // Average rate (bytes/s) over window i.
+  double rate_bps(std::size_t i) const;
+
+  // Average rate over wall-clock interval [t0, t1) computed from the
+  // windows it covers (partial windows weighted by overlap).
+  double rate_over(TimeNs t0, TimeNs t1) const;
+
+ private:
+  TimeNs window_;
+  std::vector<Bytes> bytes_;
+};
+
+// Fixed-format table printer for the experiment binaries: pads columns and
+// keeps the output grep-friendly.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hfsc

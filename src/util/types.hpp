@@ -1,0 +1,92 @@
+// Fundamental fixed-point quantities used throughout libhfsc.
+//
+// The paper's quantities are amounts of service (bytes) and time.  We use
+// 64-bit unsigned nanoseconds for wall-clock and virtual time, 64-bit
+// unsigned bytes for work, and bytes-per-second for curve slopes.  All
+// slope*time products are computed through 128-bit intermediates so no
+// scaling shift (cf. the kernel implementation's SM_SHIFT) is needed.
+//
+// Rounding convention: forward evaluation y = m*t rounds down; inverse
+// evaluation t = y/m rounds up, so that the inverse returns the smallest t
+// with m*t >= y — exactly the definition of the curve inverse in Section II
+// of the paper ("we define S^-1(y) to be the smallest value x such that
+// S(x) = y").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hfsc {
+
+using TimeNs = std::uint64_t;   // wall-clock or virtual time, nanoseconds
+using Bytes = std::uint64_t;    // amount of service
+using RateBps = std::uint64_t;  // slope: bytes per second
+
+inline constexpr TimeNs kNsPerSec = 1'000'000'000ULL;
+inline constexpr TimeNs kTimeInfinity = std::numeric_limits<TimeNs>::max();
+inline constexpr Bytes kBytesInfinity = std::numeric_limits<Bytes>::max();
+
+// Saturating (hi*lo)/div with 128-bit intermediate, rounding down.
+constexpr std::uint64_t muldiv_floor(std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t div) noexcept {
+  const unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+  const unsigned __int128 q = p / div;
+  if (q > std::numeric_limits<std::uint64_t>::max()) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(q);
+}
+
+// Saturating (hi*lo)/div with 128-bit intermediate, rounding up.
+constexpr std::uint64_t muldiv_ceil(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t div) noexcept {
+  const unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+  const unsigned __int128 q = (p + div - 1) / div;
+  if (q > std::numeric_limits<std::uint64_t>::max()) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(q);
+}
+
+// Service delivered by a segment of slope m (bytes/s) over dt nanoseconds.
+constexpr Bytes seg_x2y(TimeNs dt, RateBps m) noexcept {
+  return muldiv_floor(dt, m, kNsPerSec);
+}
+
+// Smallest dt (ns) such that seg_x2y(dt, m) >= dy.  Infinite if m == 0 and
+// dy > 0.
+constexpr TimeNs seg_y2x(Bytes dy, RateBps m) noexcept {
+  if (dy == 0) return 0;
+  if (m == 0) return kTimeInfinity;
+  // smallest dt with floor(dt*m/1e9) >= dy  <=>  dt*m >= dy*1e9
+  return muldiv_ceil(dy, kNsPerSec, m);
+}
+
+// Saturating addition helpers (curves extend to "infinity" on purpose).
+constexpr std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return s < a ? std::numeric_limits<std::uint64_t>::max() : s;
+}
+
+constexpr std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : 0;
+}
+
+// Convenience unit constructors.
+constexpr RateBps kbps(std::uint64_t v) noexcept { return v * 1000 / 8; }
+constexpr RateBps mbps(std::uint64_t v) noexcept { return v * 1'000'000 / 8; }
+constexpr RateBps gbps(std::uint64_t v) noexcept {
+  return v * 1'000'000'000 / 8;
+}
+constexpr TimeNs usec(std::uint64_t v) noexcept { return v * 1'000; }
+constexpr TimeNs msec(std::uint64_t v) noexcept { return v * 1'000'000; }
+constexpr TimeNs sec(std::uint64_t v) noexcept { return v * kNsPerSec; }
+
+// Transmission time of `len` bytes on a link of `rate` bytes/s, rounded up
+// (a packet does not finish until its last bit is sent; Section VI uses
+// last-bit semantics for both arrival and departure).
+constexpr TimeNs tx_time(Bytes len, RateBps rate) noexcept {
+  return seg_y2x(len, rate);
+}
+
+}  // namespace hfsc

@@ -1,0 +1,124 @@
+// Tests for the ALTQ-style packet classifier.
+#include <gtest/gtest.h>
+
+#include "sched/classifier.hpp"
+
+namespace hfsc {
+namespace {
+
+FlowKey key(std::uint32_t s, std::uint32_t d, std::uint16_t sp,
+            std::uint16_t dp, std::uint8_t proto) {
+  return FlowKey{s, d, sp, dp, proto};
+}
+
+TEST(Classifier, DefaultClassWhenNoMatch) {
+  Classifier c;
+  c.set_default_class(42);
+  EXPECT_EQ(c.classify(key(1, 2, 3, 4, kProtoTcp)), 42u);
+}
+
+TEST(Classifier, ExactMatchWins) {
+  Classifier c;
+  c.set_default_class(1);
+  Filter f;
+  f.src_ip = 0x0A000001;  // 10.0.0.1
+  f.dst_ip = 0x0A000002;
+  f.src_port = 5000;
+  f.dst_port = 80;
+  f.proto = kProtoTcp;
+  c.add_filter(f, 7);
+  EXPECT_EQ(c.classify(key(0x0A000001, 0x0A000002, 5000, 80, kProtoTcp)), 7u);
+  // Any field off misses the exact entry.
+  EXPECT_EQ(c.classify(key(0x0A000001, 0x0A000002, 5000, 81, kProtoTcp)), 1u);
+  EXPECT_EQ(c.classify(key(0x0A000001, 0x0A000002, 5000, 80, kProtoUdp)), 1u);
+}
+
+TEST(Classifier, WildcardFields) {
+  Classifier c;
+  Filter any_udp;
+  any_udp.proto = kProtoUdp;
+  c.add_filter(any_udp, 3);
+  EXPECT_EQ(c.classify(key(1, 2, 3, 4, kProtoUdp)), 3u);
+  EXPECT_EQ(c.classify(key(9, 9, 9, 9, kProtoUdp)), 3u);
+  EXPECT_EQ(c.classify(key(1, 2, 3, 4, kProtoTcp)), 0u);
+}
+
+TEST(Classifier, PrefixMatch) {
+  Classifier c;
+  Filter subnet;
+  subnet.src_ip = 0x0A0A0000;  // 10.10.0.0/16
+  subnet.src_prefix = 16;
+  c.add_filter(subnet, 5);
+  EXPECT_EQ(c.classify(key(0x0A0A1234, 1, 2, 3, kProtoTcp)), 5u);
+  EXPECT_EQ(c.classify(key(0x0A0B1234, 1, 2, 3, kProtoTcp)), 0u);
+}
+
+TEST(Classifier, PriorityOrdersWildcardFilters) {
+  Classifier c;
+  Filter low;  // matches everything
+  low.priority = 0;
+  c.add_filter(low, 1);
+  Filter high;
+  high.proto = kProtoUdp;
+  high.priority = 10;
+  c.add_filter(high, 2);
+  EXPECT_EQ(c.classify(key(1, 1, 1, 1, kProtoUdp)), 2u);
+  EXPECT_EQ(c.classify(key(1, 1, 1, 1, kProtoTcp)), 1u);
+}
+
+TEST(Classifier, HigherPriorityWildcardBeatsExact) {
+  Classifier c;
+  Filter exact;
+  exact.src_ip = 1;
+  exact.dst_ip = 2;
+  exact.src_port = 3;
+  exact.dst_port = 4;
+  exact.proto = kProtoTcp;
+  exact.priority = 0;
+  c.add_filter(exact, 7);
+  Filter override_all;
+  override_all.priority = 5;
+  c.add_filter(override_all, 9);
+  EXPECT_EQ(c.classify(key(1, 2, 3, 4, kProtoTcp)), 9u);
+}
+
+TEST(Classifier, InsertionOrderBreaksPriorityTies) {
+  Classifier c;
+  Filter a;
+  a.proto = kProtoTcp;
+  Filter b;  // also matches tcp via wildcard proto
+  c.add_filter(a, 1);
+  c.add_filter(b, 2);
+  EXPECT_EQ(c.classify(key(1, 1, 1, 1, kProtoTcp)), 1u);
+}
+
+TEST(Classifier, RemoveFilter) {
+  Classifier c;
+  Filter f;
+  f.proto = kProtoUdp;
+  const auto id = c.add_filter(f, 3);
+  EXPECT_EQ(c.num_filters(), 1u);
+  c.remove(id);
+  EXPECT_EQ(c.num_filters(), 0u);
+  EXPECT_EQ(c.classify(key(1, 1, 1, 1, kProtoUdp)), 0u);
+}
+
+TEST(Classifier, ManyExactFiltersStayFast) {
+  Classifier c;
+  for (std::uint32_t i = 1; i <= 1000; ++i) {
+    Filter f;
+    f.src_ip = i;
+    f.dst_ip = i + 1;
+    f.src_port = 1000;
+    f.dst_port = 80;
+    f.proto = kProtoTcp;
+    c.add_filter(f, i);
+  }
+  EXPECT_EQ(c.num_filters(), 1000u);
+  for (std::uint32_t i = 1; i <= 1000; ++i) {
+    ASSERT_EQ(c.classify(key(i, i + 1, 1000, 80, kProtoTcp)), i);
+  }
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -1,0 +1,108 @@
+// Tests for the traffic-conditioning decorators (token bucket policer,
+// RED) and their interaction with H-FSC guarantees.
+#include <gtest/gtest.h>
+
+#include "core/hfsc.hpp"
+#include "sched/conditioning.hpp"
+#include "sched/fifo.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(TokenBucket, BurstThenRate) {
+  TokenBucket tb(3000, mbps(8));  // 1e6 B/s
+  // The whole burst conforms immediately.
+  EXPECT_TRUE(tb.conforms(0, 1500));
+  EXPECT_TRUE(tb.conforms(0, 1500));
+  EXPECT_FALSE(tb.conforms(0, 1));
+  // After 1 ms, 1000 tokens have refilled.
+  EXPECT_TRUE(tb.conforms(msec(1), 1000));
+  EXPECT_FALSE(tb.conforms(msec(1), 1));
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket tb(2000, mbps(8));
+  EXPECT_EQ(tb.tokens(sec(10)), 2000u);  // long idle does not overflow
+}
+
+TEST(Policed, DropsNonconformingOnly) {
+  Fifo fifo;
+  Policed sched(fifo);
+  sched.set_policer(1, 2000, kbps(800));  // 100 kB/s, 2 kB burst
+  Simulator sim(mbps(10), sched);
+  sim.add<CbrSource>(1, kbps(1600), 1000, 0, sec(2));  // 2x the rate
+  sim.add<CbrSource>(2, kbps(800), 1000, 0, sec(2));   // unpoliced class
+  sim.run_all();
+  // Class 1 passes roughly half its packets; class 2 is untouched.
+  EXPECT_NEAR(static_cast<double>(sched.passed(1)), 200.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(sched.dropped(1)), 200.0, 10.0);
+  EXPECT_EQ(sched.dropped(2), 0u);
+  EXPECT_EQ(sim.tracker().packets(2), 200u);
+}
+
+TEST(Policed, ProtectsSiblingGuarantee) {
+  // A misbehaving flow is clipped to its envelope, so the H-FSC delay
+  // bound for its *own* conforming packets survives.
+  Hfsc hfsc(mbps(10));
+  const ClassId rt = hfsc.add_class(
+      kRootClass, ClassConfig::both(from_udr(1500, msec(5), mbps(1))));
+  const ClassId bulk = hfsc.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(9))));
+  Policed sched(hfsc);
+  sched.set_policer(rt, 1500, mbps(1));
+  Simulator sim(mbps(10), sched);
+  sim.add<CbrSource>(rt, mbps(4), 750, 0, sec(2));  // 4x the reservation
+  sim.add<GreedySource>(bulk, 1500, 8, 0, sec(2));
+  sim.run(sec(2));
+  // Without policing this class would build an unbounded queue (it only
+  // gets 1 Mb/s); with policing the surviving packets meet the bound.
+  EXPECT_GT(sched.dropped(rt), 100u);
+  EXPECT_LT(sim.tracker().max_delay_ms(rt), 6.3);
+}
+
+TEST(Red, NoDropsBelowMinThreshold) {
+  Fifo fifo;
+  Red sched(fifo, 42);
+  sched.configure(1, RedParams{50'000, 100'000, 0.1, 0.002});
+  Simulator sim(mbps(10), sched);
+  sim.add<CbrSource>(1, mbps(5), 1000, 0, sec(1));  // under capacity
+  sim.run_all();
+  EXPECT_EQ(sched.dropped(1), 0u);
+  EXPECT_EQ(sim.tracker().packets(1), 625u);
+}
+
+TEST(Red, DropsUnderStandingQueue) {
+  // Overdriven class: the EWMA climbs past min_th and RED sheds load.
+  Hfsc hfsc(mbps(10));
+  const ClassId hot = hfsc.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(2))));
+  const ClassId cold = hfsc.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(8))));
+  Red sched(hfsc, 7);
+  sched.configure(hot, RedParams{10'000, 40'000, 0.2, 0.02});
+  Simulator sim(mbps(10), sched);
+  sim.add<CbrSource>(hot, mbps(6), 1000, 0, sec(3));  // 3x its share
+  sim.add<GreedySource>(cold, 1000, 6, 0, sec(3));    // pins hot to 2 Mb/s
+  sim.run_all();
+  EXPECT_GT(sched.dropped(hot), 50u);
+  EXPECT_EQ(sched.dropped(cold), 0u);
+  // The standing queue is held near the thresholds instead of growing
+  // for the whole run (unbounded would be ~1.5 MB).
+  EXPECT_LT(sched.avg_queue_bytes(hot), 60'000.0);
+}
+
+TEST(Conditioning, DecoratorsStack) {
+  Fifo fifo;
+  Policed pol(fifo);
+  Red red(pol, 1);
+  pol.set_policer(1, 3000, mbps(1));
+  red.configure(1, RedParams{5'000, 20'000, 0.5, 0.01});
+  red.enqueue(0, Packet{1, 1000, 0, 0});
+  EXPECT_EQ(red.backlog_packets(), 1u);
+  EXPECT_TRUE(red.dequeue(0).has_value());
+  EXPECT_EQ(red.name(), "FIFO+police+red");
+}
+
+}  // namespace
+}  // namespace hfsc

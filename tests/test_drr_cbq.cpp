@@ -1,0 +1,132 @@
+// Tests for the DRR and (simplified) CBQ baselines.
+#include <gtest/gtest.h>
+
+#include "sched/cbq.hpp"
+#include "sched/drr.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(Drr, SingleClassFifo) {
+  Drr sched;
+  const ClassId c = sched.add_session(1500);
+  sched.enqueue(0, Packet{c, 100, 0, 0});
+  sched.enqueue(0, Packet{c, 100, 0, 1});
+  EXPECT_EQ(sched.dequeue(0)->seq, 0u);
+  EXPECT_EQ(sched.dequeue(0)->seq, 1u);
+  EXPECT_FALSE(sched.dequeue(0).has_value());
+}
+
+TEST(Drr, QuantaDetermineShares) {
+  Drr sched;
+  const ClassId a = sched.add_session(3000);
+  const ClassId b = sched.add_session(1000);
+  Simulator sim(mbps(8), sched);
+  sim.add<GreedySource>(a, 1000, 4, 0, sec(4));
+  sim.add<GreedySource>(b, 1000, 4, 0, sec(4));
+  sim.run(sec(4));
+  EXPECT_NEAR(sim.tracker().rate_mbps(a, sec(1), sec(4)), 6.0, 0.25);
+  EXPECT_NEAR(sim.tracker().rate_mbps(b, sec(1), sec(4)), 2.0, 0.25);
+}
+
+TEST(Drr, LargePacketsWaitForDeficit) {
+  // A class whose packets exceed one quantum accumulates deficit over
+  // multiple rounds but still gets its byte share.
+  Drr sched;
+  const ClassId big = sched.add_session(500);   // packets are 1500
+  const ClassId sml = sched.add_session(500);   // packets are 500
+  Simulator sim(mbps(8), sched);
+  sim.add<GreedySource>(big, 1500, 4, 0, sec(4));
+  sim.add<GreedySource>(sml, 500, 4, 0, sec(4));
+  sim.run(sec(4));
+  EXPECT_NEAR(sim.tracker().rate_mbps(big, sec(1), sec(4)), 4.0, 0.3);
+  EXPECT_NEAR(sim.tracker().rate_mbps(sml, sec(1), sec(4)), 4.0, 0.3);
+}
+
+TEST(Drr, WorkConserving) {
+  Drr sched;
+  const ClassId a = sched.add_session(1500);
+  const ClassId b = sched.add_session(1500);
+  Simulator sim(mbps(8), sched);
+  sim.add<GreedySource>(a, 1000, 4, 0, sec(1));
+  sim.add<PoissonSource>(b, mbps(1), 400, 0, sec(1), 3);
+  sim.run(sec(1));
+  EXPECT_GT(sim.link().busy_time(), sec(1) - msec(1));
+}
+
+TEST(Cbq, TopLevelSharesFollowWeights) {
+  Cbq sched(mbps(8));
+  const ClassId a = sched.add_class(kRootClass, mbps(6));
+  const ClassId b = sched.add_class(kRootClass, mbps(2));
+  Simulator sim(mbps(8), sched);
+  sim.add<GreedySource>(a, 1000, 4, 0, sec(4));
+  sim.add<GreedySource>(b, 1000, 4, 0, sec(4));
+  sim.run(sec(4));
+  EXPECT_NEAR(sim.tracker().rate_mbps(a, sec(1), sec(4)), 6.0, 0.5);
+  EXPECT_NEAR(sim.tracker().rate_mbps(b, sec(1), sec(4)), 2.0, 0.5);
+}
+
+TEST(Cbq, NonBorrowingClassIsRateLimited) {
+  Cbq sched(mbps(10));
+  const ClassId capped =
+      sched.add_class(kRootClass, mbps(2), /*borrow=*/false);
+  Simulator sim(mbps(10), sched);
+  sim.add<GreedySource>(capped, 1000, 4, 0, sec(3));
+  sim.run(sec(3));
+  // Alone on an idle link but forbidden to borrow: held near 2 Mb/s by
+  // the estimator (CBQ's regulation is approximate, hence the loose
+  // tolerance — exactly the inaccuracy the paper criticizes).
+  EXPECT_NEAR(sim.tracker().rate_mbps(capped, msec(500), sec(3)), 2.0, 0.6);
+  EXPECT_LT(sim.link().busy_time(), sec(1));
+}
+
+TEST(Cbq, BorrowingClassTakesIdleBandwidth) {
+  Cbq sched(mbps(10));
+  const ClassId a = sched.add_class(kRootClass, mbps(2), /*borrow=*/true);
+  const ClassId b = sched.add_class(kRootClass, mbps(8), /*borrow=*/true);
+  Simulator sim(mbps(10), sched);
+  sim.add<GreedySource>(a, 1000, 4, 0, sec(3));
+  sim.add<GreedySource>(b, 1000, 4, 0, sec(1));  // b idles after 1 s
+  sim.run(sec(3));
+  // After b goes idle, a borrows the whole link.
+  EXPECT_GT(sim.tracker().rate_mbps(a, sec(1) + msec(200), sec(3)), 9.0);
+}
+
+TEST(Cbq, HierarchicalBorrowStaysInOrganization) {
+  Cbq sched(mbps(8));
+  const ClassId orgA = sched.add_class(kRootClass, mbps(4));
+  const ClassId orgB = sched.add_class(kRootClass, mbps(4));
+  const ClassId a1 = sched.add_class(orgA, mbps(2));
+  const ClassId a2 = sched.add_class(orgA, mbps(2));
+  const ClassId b1 = sched.add_class(orgB, mbps(4));
+  Simulator sim(mbps(8), sched);
+  sim.add<GreedySource>(a1, 1000, 4, 0, sec(4));
+  sim.add<GreedySource>(a2, 1000, 4, 0, sec(2));
+  sim.add<GreedySource>(b1, 1000, 4, 0, sec(4));
+  sim.run(sec(4));
+  const auto& t = sim.tracker();
+  // CBQ approximates the same link-sharing goals; tolerances are wide
+  // because WRR + estimator control is coarse.
+  EXPECT_NEAR(t.rate_mbps(a1, sec(1), sec(2)), 2.0, 0.7);
+  EXPECT_NEAR(t.rate_mbps(b1, sec(1), sec(2)), 4.0, 0.8);
+  EXPECT_GT(t.rate_mbps(a1, sec(2) + msec(300), sec(4)), 2.8);
+}
+
+TEST(Cbq, DelayCoupledToBandwidth) {
+  // The paper's core criticism: CBQ has no mechanism to give a
+  // low-bandwidth class low delay.  A 64 kb/s audio class against greedy
+  // bulk sees delays far above what H-FSC achieves with a concave curve
+  // (cf. Integration.HfscDecouplesDelayFromRateHpfqCannot).
+  Cbq sched(mbps(10));
+  const ClassId audio = sched.add_class(kRootClass, kbps(640));
+  const ClassId bulk = sched.add_class(kRootClass, mbps(9));
+  Simulator sim(mbps(10), sched);
+  sim.add<CbrSource>(audio, kbps(64), 160, 0, sec(3));
+  sim.add<GreedySource>(bulk, 1500, 8, 0, sec(3));
+  sim.run(sec(3));
+  EXPECT_GT(sim.tracker().max_delay_ms(audio), 1.0);
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -1,0 +1,143 @@
+// Tests for the two real-time request structures of Section V, including a
+// randomized cross-check between them and a brute-force model.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <map>
+
+#include "core/eligible_set.hpp"
+#include "util/rng.hpp"
+
+namespace hfsc {
+namespace {
+
+class EligibleSetTest : public ::testing::TestWithParam<EligibleSetKind> {
+ protected:
+  std::unique_ptr<EligibleSet> set_ = make_eligible_set(GetParam());
+};
+
+TEST_P(EligibleSetTest, EmptyBehaviour) {
+  EXPECT_TRUE(set_->empty());
+  EXPECT_FALSE(set_->min_deadline_eligible(msec(100)).has_value());
+  EXPECT_EQ(set_->next_eligible_time(), kTimeInfinity);
+  EXPECT_FALSE(set_->contains(3));
+  set_->erase(3);  // erasing an absent class is a no-op
+}
+
+TEST_P(EligibleSetTest, OnlyEligibleClassesAreReturned) {
+  set_->update(1, msec(10), msec(20), 0);
+  set_->update(2, msec(5), msec(50), 0);
+  // At t=0 nothing is eligible.
+  EXPECT_FALSE(set_->min_deadline_eligible(0).has_value());
+  // At t=7ms only class 2 (e=5ms) is eligible even though its deadline is
+  // later than class 1's.
+  auto got = set_->min_deadline_eligible(msec(7));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 2u);
+  // At t=10ms both are eligible; class 1 has the smaller deadline.
+  got = set_->min_deadline_eligible(msec(10));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST_P(EligibleSetTest, UpdateReplacesRequest) {
+  set_->update(1, msec(10), msec(20), 0);
+  set_->update(1, msec(1), msec(99), 0);
+  EXPECT_TRUE(set_->contains(1));
+  auto got = set_->min_deadline_eligible(msec(2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST_P(EligibleSetTest, EraseRemoves) {
+  set_->update(1, 0, msec(20), 0);
+  set_->update(2, 0, msec(10), 0);
+  set_->erase(2);
+  EXPECT_FALSE(set_->contains(2));
+  auto got = set_->min_deadline_eligible(msec(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST_P(EligibleSetTest, NextEligibleTime) {
+  set_->update(1, msec(30), msec(40), 0);
+  set_->update(2, msec(10), msec(90), 0);
+  EXPECT_EQ(set_->next_eligible_time(), msec(10));
+  // Once something is eligible the wakeup hint must not be in the future.
+  (void)set_->min_deadline_eligible(msec(15));
+  EXPECT_LE(set_->next_eligible_time(), msec(15));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EligibleSetTest,
+                         ::testing::Values(EligibleSetKind::kDualHeap,
+                                           EligibleSetKind::kAugTree,
+                                           EligibleSetKind::kCalendar));
+
+// Randomized equivalence: both structures and a brute-force model must
+// agree on the *deadline value* of the winner at every query (class ids
+// may differ when deadlines tie exactly).
+class EligibleSetFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EligibleSetFuzz, StructuresAgreeWithBruteForce) {
+  Rng rng(GetParam());
+  auto dual = make_eligible_set(EligibleSetKind::kDualHeap);
+  auto tree = make_eligible_set(EligibleSetKind::kAugTree);
+  auto cal = make_eligible_set(EligibleSetKind::kCalendar);
+  struct Req {
+    TimeNs e, d;
+  };
+  std::map<ClassId, Req> model;
+  TimeNs now = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const ClassId cls = static_cast<ClassId>(rng.uniform(1, 40));
+    switch (rng.uniform(0, 2)) {
+      case 0: {
+        const TimeNs e = sat_sub(now + rng.uniform(0, msec(20)), msec(5));
+        const TimeNs d = e + rng.uniform(usec(10), msec(30));
+        dual->update(cls, e, d, now);
+        tree->update(cls, e, d, now);
+        cal->update(cls, e, d, now);
+        model[cls] = {e, d};
+        break;
+      }
+      case 1:
+        dual->erase(cls);
+        tree->erase(cls);
+        cal->erase(cls);
+        model.erase(cls);
+        break;
+      case 2: {
+        now += rng.uniform(0, msec(5));
+        std::optional<TimeNs> want;
+        for (const auto& [id, r] : model) {
+          if (r.e <= now && (!want || r.d < *want)) want = r.d;
+        }
+        const auto got_dual = dual->min_deadline_eligible(now);
+        const auto got_tree = tree->min_deadline_eligible(now);
+        const auto got_cal = cal->min_deadline_eligible(now);
+        ASSERT_EQ(got_dual.has_value(), want.has_value()) << "step " << step;
+        ASSERT_EQ(got_tree.has_value(), want.has_value()) << "step " << step;
+        ASSERT_EQ(got_cal.has_value(), want.has_value()) << "step " << step;
+        if (want) {
+          ASSERT_EQ(model[*got_dual].d, *want) << "step " << step;
+          ASSERT_EQ(model[*got_tree].d, *want) << "step " << step;
+          ASSERT_EQ(model[*got_cal].d, *want) << "step " << step;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(dual->empty(), model.empty());
+    ASSERT_EQ(tree->empty(), model.empty());
+    ASSERT_EQ(cal->empty(), model.empty());
+    ASSERT_EQ(dual->contains(cls), model.count(cls) != 0);
+    ASSERT_EQ(tree->contains(cls), model.count(cls) != 0);
+    ASSERT_EQ(cal->contains(cls), model.count(cls) != 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EligibleSetFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace hfsc

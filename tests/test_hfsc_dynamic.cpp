@@ -1,0 +1,176 @@
+// Tests for runtime reconfiguration: queue limits / drops, change_class,
+// delete_class.
+#include <gtest/gtest.h>
+
+#include "core/hfsc.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(HfscQueueLimit, TailDropsBeyondLimit) {
+  Hfsc sched(mbps(10));
+  const ClassId c = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(10))));
+  sched.set_queue_limit(c, 3);
+  for (int i = 0; i < 5; ++i) {
+    sched.enqueue(0, Packet{c, 100, 0, static_cast<std::uint64_t>(i)});
+  }
+  EXPECT_EQ(sched.backlog_packets(), 3u);
+  EXPECT_EQ(sched.packets_dropped(c), 2u);
+  EXPECT_EQ(sched.bytes_dropped(c), 200u);
+  // FIFO order preserved among the survivors.
+  EXPECT_EQ(sched.dequeue(0)->seq, 0u);
+  EXPECT_EQ(sched.dequeue(0)->seq, 1u);
+  EXPECT_EQ(sched.dequeue(0)->seq, 2u);
+  EXPECT_EQ(sched.packets_sent(c), 3u);
+}
+
+TEST(HfscQueueLimit, LimitBoundsDelayOfOverdrivenClass) {
+  // An overdriven class with a short queue keeps bounded delay (losses
+  // absorb the excess) while its sibling is unaffected.
+  Hfsc sched(mbps(10));
+  const ClassId hot = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(2))));
+  const ClassId calm = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(8))));
+  sched.set_queue_limit(hot, 10);
+  Simulator sim(mbps(10), sched);
+  sim.add<CbrSource>(hot, mbps(8), 1000, 0, sec(2));   // 4x its share
+  sim.add<CbrSource>(calm, mbps(6), 1000, 0, sec(2));
+  sim.run_all();
+  EXPECT_GT(sched.packets_dropped(hot), 0u);
+  // 10 packets * 1000 B at 2 Mb/s = 40 ms worst queueing.
+  EXPECT_LT(sim.tracker().max_delay_ms(hot), 45.0);
+  EXPECT_LT(sim.tracker().max_delay_ms(calm), 5.0);
+  EXPECT_EQ(sched.packets_dropped(calm), 0u);
+}
+
+TEST(HfscChange, RaisingTheCurveTakesEffect) {
+  Hfsc sched(mbps(10));
+  const ClassId a = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(2))));
+  const ClassId b = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(8))));
+  Simulator sim(mbps(10), sched);
+  sim.add<GreedySource>(a, 1000, 4, 0, sec(4));
+  sim.add<GreedySource>(b, 1000, 4, 0, sec(4));
+  sim.events().schedule(sec(2), [&](TimeNs t) {
+    sched.change_class(t, a, ClassConfig::both(ServiceCurve::linear(mbps(8))));
+    sched.change_class(t, b, ClassConfig::both(ServiceCurve::linear(mbps(2))));
+  });
+  sim.run(sec(4));
+  const auto& t = sim.tracker();
+  EXPECT_NEAR(t.rate_mbps(a, sec(1), sec(2)), 2.0, 0.3);
+  EXPECT_NEAR(t.rate_mbps(a, sec(2) + msec(300), sec(4)), 8.0, 0.4);
+  EXPECT_NEAR(t.rate_mbps(b, sec(2) + msec(300), sec(4)), 2.0, 0.4);
+}
+
+TEST(HfscChange, AddingRtCurveGivesPriority) {
+  // Bursty audio (5 x 160 B every 100 ms) with only a 64 kb/s ls curve:
+  // each burst drains at the ls pace behind greedy bulk.  At t = 2 s the
+  // class gains a concave rt curve (burst within 5 ms) — the burst tail
+  // delay collapses.
+  Hfsc sched(mbps(10));
+  const ClassId audio = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(kbps(64))));
+  const ClassId bulk = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(9))));
+  Simulator sim(mbps(10), sched);
+  std::vector<TraceSource::Item> items;
+  for (TimeNs t = 0; t < sec(4); t += msec(100)) {
+    for (int i = 0; i < 5; ++i) items.push_back({t, 160});
+  }
+  sim.add<TraceSource>(audio, items);
+  sim.add<GreedySource>(bulk, 1500, 8, 0, sec(4));
+  sim.events().schedule(sec(2), [&](TimeNs t) {
+    ClassConfig cfg;
+    cfg.rt = from_udr(800, msec(5), kbps(64));
+    cfg.ls = ServiceCurve::linear(kbps(64));
+    sched.change_class(t, audio, cfg);
+  });
+  SampleSet before, after;
+  sim.link().add_departure_hook([&](TimeNs t, const Packet& p) {
+    if (p.cls != audio) return;
+    (t < sec(2) ? before : after)
+        .add(static_cast<double>(t - p.arrival) / 1e6);
+  });
+  sim.run(sec(4));
+  EXPECT_GT(before.max(), 20.0);  // burst tail crawls at the ls pace
+  EXPECT_LT(after.max(), 6.3);    // rt burst term takes over
+}
+
+TEST(HfscChange, RemovingLsLeavesShapedRtOnly) {
+  Hfsc sched(mbps(10));
+  const ClassId c = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(2))));
+  sched.enqueue(0, Packet{c, 1000, 0, 0});
+  sched.change_class(0, c,
+                     ClassConfig::real_time_only(ServiceCurve::linear(mbps(2))));
+  EXPECT_FALSE(sched.active(c));  // out of the link-sharing tree
+  // Still served via the real-time criterion.
+  auto p = sched.dequeue(msec(1));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(sched.last_criterion(), Criterion::kRealTime);
+}
+
+TEST(HfscDelete, RemovesLeafAndRedistributes) {
+  Hfsc sched(mbps(9));
+  const ClassId a = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(3))));
+  const ClassId b = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(6))));
+  Simulator sim(mbps(9), sched);
+  sim.add<GreedySource>(a, 1000, 4, 0, sec(4));
+  sim.add<GreedySource>(b, 1000, 4, 0, sec(4));
+  sim.events().schedule(sec(2), [&](TimeNs) { sched.delete_class(a); });
+  sim.run(sec(4));
+  EXPECT_TRUE(sched.is_deleted(a));
+  // Queued packets were purged and counted.
+  EXPECT_GT(sched.packets_dropped(a), 0u);
+  const auto& t = sim.tracker();
+  EXPECT_NEAR(t.rate_mbps(b, sec(1), sec(2)), 6.0, 0.3);
+  EXPECT_NEAR(t.rate_mbps(b, sec(2) + msec(200), sec(4)), 9.0, 0.3);
+}
+
+TEST(HfscDelete, SwapRemoveKeepsSiblingBookkeeping) {
+  // Deleting a middle child must not corrupt the displaced sibling's
+  // parent-heap entry.
+  Hfsc sched(mbps(9));
+  std::vector<ClassId> kids;
+  for (int i = 0; i < 5; ++i) {
+    kids.push_back(sched.add_class(
+        kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(1)))));
+  }
+  // Activate all, then delete one in the middle while others are active.
+  for (ClassId c : kids) sched.enqueue(0, Packet{c, 500, 0, c});
+  sched.delete_class(kids[1]);
+  // Drain: the four survivors' packets all come out.
+  int got = 0;
+  TimeNs now = 0;
+  while (auto p = sched.dequeue(now)) {
+    ++got;
+    now += tx_time(p->len, mbps(9));
+    EXPECT_NE(p->cls, kids[1]);
+  }
+  EXPECT_EQ(got, 4);
+  // And the tree still works for new traffic.
+  sched.enqueue(now, Packet{kids[4], 800, now, 99});
+  EXPECT_TRUE(sched.dequeue(now).has_value());
+}
+
+TEST(HfscDelete, ParentBecomesLeafAgain) {
+  Hfsc sched(mbps(10));
+  const ClassId org = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(10))));
+  const ClassId kid = sched.add_class(
+      org, ClassConfig::both(ServiceCurve::linear(mbps(10))));
+  sched.delete_class(kid);
+  EXPECT_TRUE(sched.is_leaf(org));
+  // org can now queue packets itself (it has an ls curve).
+  sched.enqueue(0, Packet{org, 400, 0, 0});
+  EXPECT_TRUE(sched.dequeue(0).has_value());
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -1,0 +1,145 @@
+// Edge cases and boundary conditions for H-FSC and the curve machinery.
+#include <gtest/gtest.h>
+
+#include "core/hfsc.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(HfscEdge, BurstOnlyRtCurveFallsBackToLinkShare) {
+  // rt = {10 Mb/s for 2 ms, then 0}: only the first 2500 bytes of each
+  // backlog period carry a deadline; afterwards D^{-1} is infinite and
+  // the class lives off its ls curve.
+  Hfsc sched(mbps(10));
+  ClassConfig cfg;
+  cfg.rt = ServiceCurve{mbps(10), msec(2), 0};
+  cfg.ls = ServiceCurve::linear(mbps(1));
+  const ClassId c = sched.add_class(kRootClass, cfg);
+  const ClassId bulk = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(9))));
+  Simulator sim(mbps(10), sched);
+  sim.add<GreedySource>(c, 1000, 8, 0, sec(1));
+  sim.add<GreedySource>(bulk, 1500, 8, 0, sec(1));
+  sim.run(sec(1));
+  // The class is not starved (ls keeps it at ~1 Mb/s) and nothing hangs
+  // on the infinite deadlines.
+  EXPECT_NEAR(sim.tracker().rate_mbps(c, msec(100), sec(1)), 1.0, 0.3);
+  EXPECT_GT(sched.rt_selections(), 0u);
+}
+
+TEST(HfscEdge, OneByteAndJumboPacketsCoexist) {
+  Hfsc sched(mbps(10));
+  const ClassId tiny = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(5))));
+  const ClassId jumbo = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(5))));
+  Simulator sim(mbps(10), sched);
+  sim.add<CbrSource>(tiny, kbps(80), 1, 0, sec(1));      // 1-byte packets
+  sim.add<CbrSource>(jumbo, mbps(4), 9000, 0, sec(1));   // jumbograms
+  sim.run_all();
+  EXPECT_EQ(sim.tracker().packets(tiny), 10000u);
+  EXPECT_GT(sim.tracker().packets(jumbo), 50u);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(HfscEdge, GigabitRatesAndMicrosecondCurves) {
+  // High-speed regime: 10 Gb/s link, 50 us delay targets — exercises the
+  // fixed-point paths far from the default test scales.
+  const RateBps link = gbps(10);
+  Hfsc sched(link);
+  const ClassId rpc = sched.add_class(
+      kRootClass, ClassConfig::both(from_udr(4096, usec(50), gbps(1))));
+  const ClassId bg = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(gbps(9))));
+  Simulator sim(link, sched);
+  sim.add<CbrSource>(rpc, mbps(800), 4096, 0, msec(100));
+  sim.add<GreedySource>(bg, 9000, 16, 0, msec(100));
+  sim.run(msec(100));
+  EXPECT_LT(sim.tracker().max_delay_ms(rpc), 0.06);  // 50 us + one jumbo
+  EXPECT_GT(sim.tracker().rate_mbps(bg, msec(10), msec(100)), 8500.0);
+}
+
+TEST(HfscEdge, SimultaneousActivationTiesAreDeterministic) {
+  // Many classes activating at the same instant with identical curves:
+  // ties must break deterministically (by id) and service stays equal.
+  Hfsc sched(mbps(10));
+  std::vector<ClassId> cls;
+  for (int i = 0; i < 10; ++i) {
+    cls.push_back(sched.add_class(
+        kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(1)))));
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (ClassId c : cls) {
+      sched.enqueue(0, Packet{c, 1000, 0,
+                              static_cast<std::uint64_t>(round)});
+    }
+  }
+  std::vector<ClassId> order;
+  TimeNs now = 0;
+  while (auto p = sched.dequeue(now)) {
+    order.push_back(p->cls);
+    now += tx_time(p->len, mbps(10));
+  }
+  ASSERT_EQ(order.size(), 30u);
+  // Every class appears exactly once per round of 10.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<ClassId> slice(order.begin() + round * 10,
+                               order.begin() + (round + 1) * 10);
+    std::sort(slice.begin(), slice.end());
+    EXPECT_EQ(slice, cls) << "round " << round;
+  }
+}
+
+TEST(HfscEdge, ReactivationAtSameTimestamp) {
+  // A class that drains and refills at the identical nanosecond must not
+  // confuse the activation bookkeeping.
+  Hfsc sched(mbps(10));
+  const ClassId c = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(10))));
+  sched.enqueue(msec(1), Packet{c, 100, msec(1), 0});
+  auto p = sched.dequeue(msec(1));
+  ASSERT_TRUE(p.has_value());
+  sched.enqueue(msec(1), Packet{c, 100, msec(1), 1});
+  p = sched.dequeue(msec(1));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->seq, 1u);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(HfscEdge, VeryLongIdleDoesNotOverflowCurves) {
+  // Hours of virtual idle between bursts: the saturating arithmetic must
+  // keep deadlines/virtual times sane.
+  Hfsc sched(mbps(10));
+  const ClassId c = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve{mbps(8), msec(1), kbps(64)}));
+  TimeNs now = 0;
+  for (int burst = 0; burst < 5; ++burst) {
+    sched.enqueue(now, Packet{c, 500, now, static_cast<std::uint64_t>(burst)});
+    auto p = sched.dequeue(now);
+    ASSERT_TRUE(p.has_value()) << "burst " << burst;
+    now += sec(3600);  // an hour of idle
+  }
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(HfscEdge, InterleavedRtAndLsServiceKeepsCountersConsistent) {
+  Hfsc sched(mbps(10));
+  const ClassId mixed = sched.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve{mbps(6), msec(2), mbps(2)}));
+  const ClassId ls_only = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(8))));
+  Simulator sim(mbps(10), sched);
+  sim.add<OnOffSource>(mixed, mbps(8), 700, msec(5), msec(5), 0, sec(1), 3);
+  sim.add<GreedySource>(ls_only, 1500, 6, 0, sec(1));
+  sim.run(sec(1));
+  // total work >= rt work for the mixed class; ls-only never uses rt.
+  EXPECT_GE(sched.total_work(mixed), sched.rt_work(mixed));
+  EXPECT_GT(sched.rt_work(mixed), 0u);
+  EXPECT_EQ(sched.rt_work(ls_only), 0u);
+  EXPECT_EQ(sched.total_work(kRootClass),
+            sched.total_work(mixed) + sched.total_work(ls_only));
+}
+
+}  // namespace
+}  // namespace hfsc

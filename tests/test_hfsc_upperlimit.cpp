@@ -1,0 +1,86 @@
+// Tests for the upper-limit service curve extension (the rate-capping
+// feature of the authors' ALTQ/NetBSD implementation; DESIGN.md S13).
+#include <gtest/gtest.h>
+
+#include "core/hfsc.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(HfscUpperLimit, CapsAGreedyClass) {
+  Hfsc sched(mbps(10));
+  ClassConfig cfg = ClassConfig::link_share_only(ServiceCurve::linear(mbps(10)));
+  cfg.ul = ServiceCurve::linear(mbps(3));  // hard cap at 3 Mb/s
+  const ClassId capped = sched.add_class(kRootClass, cfg);
+  Simulator sim(mbps(10), sched);
+  sim.add<GreedySource>(capped, 1000, 4, 0, sec(3));
+  sim.run(sec(3));
+  // Despite a 10 Mb/s ls curve and an idle link, output is shaped to 3.
+  EXPECT_NEAR(sim.tracker().rate_mbps(capped, msec(200), sec(3)), 3.0, 0.15);
+  // The link was mostly idle: the scheduler is non-work-conserving here.
+  EXPECT_LT(sim.link().busy_time(), sec(1) + msec(200));
+}
+
+TEST(HfscUpperLimit, UncappedSiblingTakesTheRest) {
+  Hfsc sched(mbps(10));
+  ClassConfig cfg_capped =
+      ClassConfig::link_share_only(ServiceCurve::linear(mbps(5)));
+  cfg_capped.ul = ServiceCurve::linear(mbps(2));
+  const ClassId capped = sched.add_class(kRootClass, cfg_capped);
+  const ClassId open = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(5))));
+  Simulator sim(mbps(10), sched);
+  sim.add<GreedySource>(capped, 1000, 4, 0, sec(3));
+  sim.add<GreedySource>(open, 1000, 4, 0, sec(3));
+  sim.run(sec(3));
+  EXPECT_NEAR(sim.tracker().rate_mbps(capped, msec(200), sec(3)), 2.0, 0.15);
+  EXPECT_NEAR(sim.tracker().rate_mbps(open, msec(200), sec(3)), 8.0, 0.3);
+}
+
+TEST(HfscUpperLimit, DoesNotAffectRealTimeGuarantee) {
+  // The cap applies to the link-sharing criterion; a leaf's rt curve
+  // still delivers (kernel semantics: ul shapes the ls path only).
+  Hfsc sched(mbps(10));
+  ClassConfig cfg = ClassConfig::both(ServiceCurve::linear(mbps(4)));
+  cfg.ul = ServiceCurve::linear(mbps(1));
+  const ClassId c = sched.add_class(kRootClass, cfg);
+  Simulator sim(mbps(10), sched);
+  sim.add<CbrSource>(c, mbps(4), 1000, 0, sec(2));
+  sim.run(sec(2));
+  // The rt curve (4 Mb/s) dominates the 1 Mb/s cap.
+  EXPECT_NEAR(sim.tracker().rate_mbps(c, msec(200), sec(2)), 4.0, 0.2);
+}
+
+TEST(HfscUpperLimit, BurstAllowanceThenSustained) {
+  // A concave upper limit allows an initial burst then clamps to m2.
+  Hfsc sched(mbps(10));
+  ClassConfig cfg = ClassConfig::link_share_only(ServiceCurve::linear(mbps(10)));
+  cfg.ul = ServiceCurve{mbps(10), msec(100), mbps(2)};
+  const ClassId c = sched.add_class(kRootClass, cfg);
+  Simulator sim(mbps(10), sched);
+  sim.add<GreedySource>(c, 1000, 4, 0, sec(3));
+  sim.run(sec(3));
+  // First 100 ms: full speed.  Afterwards: 2 Mb/s.
+  EXPECT_GT(sim.tracker().rate_mbps(c, 0, msec(100)), 8.0);
+  EXPECT_NEAR(sim.tracker().rate_mbps(c, msec(500), sec(3)), 2.0, 0.15);
+}
+
+TEST(HfscUpperLimit, IdleDoesNotBankCredit) {
+  // The ul curve re-anchors on activation (min-fold): a long idle period
+  // must not allow a catch-up burst beyond the curve's own burst term.
+  Hfsc sched(mbps(10));
+  ClassConfig cfg = ClassConfig::link_share_only(ServiceCurve::linear(mbps(10)));
+  cfg.ul = ServiceCurve::linear(mbps(2));  // no burst term at all
+  const ClassId c = sched.add_class(kRootClass, cfg);
+  Simulator sim(mbps(10), sched);
+  sim.add<GreedySource>(c, 1000, 4, sec(1), sec(3));  // idle first second
+  sim.run(sec(3));
+  EXPECT_EQ(sim.tracker().bytes(c) > 0, true);
+  // Over (1s, 3s) the class is still held to 2 Mb/s — no credit for the
+  // idle first second.
+  EXPECT_NEAR(sim.tracker().rate_mbps(c, sec(1), sec(3)), 2.0, 0.15);
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -1,0 +1,57 @@
+// H-PFQ with the alternative node policies (SFF/SSF) and deeper trees.
+#include <gtest/gtest.h>
+
+#include "sched/hpfq.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+class HPfqPolicy : public ::testing::TestWithParam<PfqPolicy> {};
+
+TEST_P(HPfqPolicy, HierarchySharesHoldUnderEveryPolicy) {
+  HPfq sched(mbps(8), GetParam());
+  const ClassId orgA = sched.add_class(kRootClass, mbps(6));
+  const ClassId orgB = sched.add_class(kRootClass, mbps(2));
+  const ClassId a1 = sched.add_class(orgA, mbps(4));
+  const ClassId a2 = sched.add_class(orgA, mbps(2));
+  const ClassId b1 = sched.add_class(orgB, mbps(2));
+  Simulator sim(mbps(8), sched);
+  for (ClassId c : {a1, a2, b1}) sim.add<GreedySource>(c, 1000, 4, 0, sec(3));
+  sim.run(sec(3));
+  const auto& t = sim.tracker();
+  EXPECT_NEAR(t.rate_mbps(a1, sec(1), sec(3)), 4.0, 0.3);
+  EXPECT_NEAR(t.rate_mbps(a2, sec(1), sec(3)), 2.0, 0.3);
+  EXPECT_NEAR(t.rate_mbps(b1, sec(1), sec(3)), 2.0, 0.3);
+}
+
+TEST_P(HPfqPolicy, FourLevelChainDeliversAndShares) {
+  HPfq sched(mbps(8), GetParam());
+  ClassId parent = kRootClass;
+  std::vector<ClassId> side;
+  RateBps budget = mbps(8);
+  for (int i = 0; i < 4; ++i) {
+    side.push_back(sched.add_class(parent, budget / 2));
+    parent = sched.add_class(parent, budget / 2);
+    budget /= 2;
+  }
+  const ClassId deep = sched.add_class(parent, budget);
+  Simulator sim(mbps(8), sched);
+  sim.add<GreedySource>(deep, 800, 4, 0, sec(3));
+  for (ClassId c : side) sim.add<GreedySource>(c, 1200, 4, 0, sec(3));
+  sim.run(sec(3));
+  const auto& t = sim.tracker();
+  // Halving at every level: 4, 2, 1, 0.5, and the deep leaf gets 0.5.
+  EXPECT_NEAR(t.rate_mbps(side[0], sec(1), sec(3)), 4.0, 0.35);
+  EXPECT_NEAR(t.rate_mbps(side[1], sec(1), sec(3)), 2.0, 0.3);
+  EXPECT_NEAR(t.rate_mbps(side[2], sec(1), sec(3)), 1.0, 0.25);
+  EXPECT_NEAR(t.rate_mbps(side[3], sec(1), sec(3)), 0.5, 0.2);
+  EXPECT_NEAR(t.rate_mbps(deep, sec(1), sec(3)), 0.5, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, HPfqPolicy,
+                         ::testing::Values(PfqPolicy::SEFF, PfqPolicy::SFF,
+                                           PfqPolicy::SSF));
+
+}  // namespace
+}  // namespace hfsc

@@ -1,0 +1,140 @@
+// Unit + randomized model tests for util/indexed_heap.hpp.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/indexed_heap.hpp"
+#include "util/rng.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(IndexedHeap, PopsInKeyOrder) {
+  IndexedHeap<int> h;
+  h.push(3, 30);
+  h.push(1, 10);
+  h.push(2, 20);
+  EXPECT_EQ(h.top_id(), 1u);
+  EXPECT_EQ(h.pop(), 1u);
+  EXPECT_EQ(h.pop(), 2u);
+  EXPECT_EQ(h.pop(), 3u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedHeap, TiesBreakById) {
+  IndexedHeap<int> h;
+  h.push(9, 5);
+  h.push(2, 5);
+  h.push(7, 5);
+  EXPECT_EQ(h.pop(), 2u);
+  EXPECT_EQ(h.pop(), 7u);
+  EXPECT_EQ(h.pop(), 9u);
+}
+
+TEST(IndexedHeap, EraseFromMiddle) {
+  IndexedHeap<int> h;
+  for (int i = 0; i < 10; ++i) h.push(static_cast<std::uint32_t>(i), i * 10);
+  h.erase(5);
+  EXPECT_FALSE(h.contains(5));
+  EXPECT_EQ(h.size(), 9u);
+  std::vector<std::uint32_t> order;
+  while (!h.empty()) order.push_back(h.pop());
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 6, 7, 8, 9}));
+}
+
+TEST(IndexedHeap, UpdateMovesBothWays) {
+  IndexedHeap<int> h;
+  h.push(1, 10);
+  h.push(2, 20);
+  h.push(3, 30);
+  h.update(3, 5);  // down
+  EXPECT_EQ(h.top_id(), 3u);
+  h.update(3, 99);  // up
+  EXPECT_EQ(h.top_id(), 1u);
+  h.update(1, 15);  // stays top? no: 15 < 20 yes
+  EXPECT_EQ(h.top_id(), 1u);
+}
+
+TEST(IndexedHeap, KeyOfAndPushOrUpdate) {
+  IndexedHeap<int> h;
+  h.push_or_update(4, 44);
+  EXPECT_EQ(h.key_of(4), 44);
+  h.push_or_update(4, 11);
+  EXPECT_EQ(h.key_of(4), 11);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(IndexedHeap, ClearResets) {
+  IndexedHeap<int> h;
+  h.push(1, 1);
+  h.push(2, 2);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(1));
+  h.push(1, 5);  // reusable after clear
+  EXPECT_EQ(h.top_id(), 1u);
+}
+
+// Randomized model test against std::map<id, key> + linear-scan min.
+class IndexedHeapModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexedHeapModel, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  IndexedHeap<std::uint64_t> h;
+  std::map<std::uint32_t, std::uint64_t> model;
+  constexpr std::uint32_t kIds = 64;
+
+  auto model_min = [&]() {
+    std::pair<std::uint64_t, std::uint32_t> best{~0ULL, ~0u};
+    for (const auto& [id, key] : model) {
+      best = std::min(best, {key, id});
+    }
+    return best.second;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint32_t id = static_cast<std::uint32_t>(rng.uniform(0, kIds - 1));
+    switch (rng.uniform(0, 3)) {
+      case 0:  // push or update
+        if (model.count(id)) {
+          const std::uint64_t k = rng.uniform(0, 1000);
+          h.update(id, k);
+          model[id] = k;
+        } else {
+          const std::uint64_t k = rng.uniform(0, 1000);
+          h.push(id, k);
+          model[id] = k;
+        }
+        break;
+      case 1:  // erase
+        if (model.count(id)) {
+          h.erase(id);
+          model.erase(id);
+        }
+        break;
+      case 2:  // pop
+        if (!model.empty()) {
+          const std::uint32_t want = model_min();
+          const std::uint32_t got = h.pop();
+          ASSERT_EQ(got, want) << "step " << step;
+          model.erase(want);
+        }
+        break;
+      case 3:  // verify top
+        if (!model.empty()) {
+          ASSERT_EQ(h.top_id(), model_min());
+          ASSERT_EQ(h.top_key(), model[model_min()]);
+        }
+        break;
+    }
+    ASSERT_EQ(h.size(), model.size());
+    ASSERT_EQ(h.contains(id), model.count(id) != 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedHeapModel,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace hfsc

@@ -1,0 +1,186 @@
+// Tests for the PfqServer arbiter, the flat WF2Q+ scheduler, and H-PFQ.
+#include <gtest/gtest.h>
+
+#include "sched/fsc_flat.hpp"
+#include "sched/hpfq.hpp"
+#include "sched/pfq_sched.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(PfqServer, SingleChildAlwaysPicked) {
+  PfqServer s(mbps(10), PfqPolicy::SEFF);
+  const auto c = s.add_child(mbps(10));
+  s.child_backlogged(c, 1000);
+  EXPECT_EQ(s.pick(), c);
+  s.charge(1000);
+  s.child_next_head(c, 500);
+  EXPECT_EQ(s.pick(), c);
+  s.charge(500);
+  s.child_empty(c);
+  EXPECT_FALSE(s.any_backlogged());
+}
+
+TEST(PfqServer, FinishTimesScaleWithWeight) {
+  PfqServer s(mbps(10), PfqPolicy::SEFF);
+  const auto heavy = s.add_child(mbps(8));
+  const auto light = s.add_child(mbps(2));
+  s.child_backlogged(heavy, 1000);
+  s.child_backlogged(light, 1000);
+  // Equal starts, finish inversely proportional to weight.
+  EXPECT_EQ(s.start_of(heavy), s.start_of(light));
+  EXPECT_LT(s.finish_of(heavy), s.finish_of(light));
+  EXPECT_EQ(s.pick(), heavy);
+}
+
+TEST(PfqServer, SeffRequiresEligibility) {
+  PfqServer s(mbps(10), PfqPolicy::SEFF);
+  const auto a = s.add_child(mbps(5));
+  const auto b = s.add_child(mbps(5));
+  s.child_backlogged(a, 1000);
+  // Serve several of a's packets so its S runs ahead of V.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(s.pick(), a);
+    s.charge(1000);
+    s.child_next_head(a, 1000);
+  }
+  EXPECT_GT(s.start_of(a), s.vtime());
+  // b arrives with S = V < S_a: despite b's later finish time it is the
+  // only eligible child.
+  s.child_backlogged(b, 1000);
+  EXPECT_EQ(s.pick(), b);
+}
+
+TEST(WF2QPlus, SplitsLinkProportionallyToWeights) {
+  PfqSched sched(mbps(9), PfqPolicy::SEFF);
+  const ClassId a = sched.add_session(mbps(6));
+  const ClassId b = sched.add_session(mbps(2));
+  const ClassId c = sched.add_session(mbps(1));
+  Simulator sim(mbps(9), sched);
+  sim.add<GreedySource>(a, 1000, 4, 0, sec(4));
+  sim.add<GreedySource>(b, 1000, 4, 0, sec(4));
+  sim.add<GreedySource>(c, 1000, 4, 0, sec(4));
+  sim.run(sec(4));
+  EXPECT_NEAR(sim.tracker().rate_mbps(a, sec(1), sec(4)), 6.0, 0.2);
+  EXPECT_NEAR(sim.tracker().rate_mbps(b, sec(1), sec(4)), 2.0, 0.2);
+  EXPECT_NEAR(sim.tracker().rate_mbps(c, sec(1), sec(4)), 1.0, 0.2);
+}
+
+TEST(WF2QPlus, DoesNotPunishExcessUsage) {
+  // The WFQ contrast to VirtualClock.PunishesSessionThatUsedIdleCapacity:
+  // after b wakes at t=2s, a immediately drops to its fair half.
+  PfqSched sched(mbps(8), PfqPolicy::SEFF);
+  const ClassId a = sched.add_session(mbps(4));
+  const ClassId b = sched.add_session(mbps(4));
+  Simulator sim(mbps(8), sched);
+  sim.add<GreedySource>(a, 1000, 4, 0, sec(4));
+  sim.add<GreedySource>(b, 1000, 4, sec(2), sec(4));
+  sim.run(sec(4));
+  EXPECT_NEAR(sim.tracker().rate_mbps(a, 0, sec(2)), 8.0, 0.3);
+  EXPECT_NEAR(sim.tracker().rate_mbps(a, sec(2), sec(4)), 4.0, 0.3);
+  EXPECT_NEAR(sim.tracker().rate_mbps(b, sec(2), sec(4)), 4.0, 0.3);
+}
+
+TEST(PfqPolicies, AllWorkConserving) {
+  for (PfqPolicy policy :
+       {PfqPolicy::SSF, PfqPolicy::SFF, PfqPolicy::SEFF}) {
+    PfqSched sched(mbps(8), policy);
+    const ClassId a = sched.add_session(mbps(4));
+    const ClassId b = sched.add_session(mbps(4));
+    Simulator sim(mbps(8), sched);
+    sim.add<GreedySource>(a, 1000, 4, 0, sec(1));
+    sim.add<PoissonSource>(b, mbps(2), 800, 0, sec(1), 9);
+    sim.run(sec(1));
+    // Link never idles while backlogged: busy time == elapsed.
+    EXPECT_GT(sim.link().busy_time(), sec(1) - msec(1)) << sched.name();
+  }
+}
+
+TEST(HPfq, HierarchySharesFollowTheTree) {
+  // Fig. 1 in miniature: two organizations 6:2, each with two leaves.
+  HPfq sched(mbps(8));
+  const ClassId orgA = sched.add_class(kRootClass, mbps(6));
+  const ClassId orgB = sched.add_class(kRootClass, mbps(2));
+  const ClassId a1 = sched.add_class(orgA, mbps(4));
+  const ClassId a2 = sched.add_class(orgA, mbps(2));
+  const ClassId b1 = sched.add_class(orgB, mbps(1));
+  const ClassId b2 = sched.add_class(orgB, mbps(1));
+  Simulator sim(mbps(8), sched);
+  for (ClassId c : {a1, a2, b1, b2}) {
+    sim.add<GreedySource>(c, 1000, 4, 0, sec(4));
+  }
+  sim.run(sec(4));
+  const auto& t = sim.tracker();
+  EXPECT_NEAR(t.rate_mbps(a1, sec(1), sec(4)), 4.0, 0.25);
+  EXPECT_NEAR(t.rate_mbps(a2, sec(1), sec(4)), 2.0, 0.25);
+  EXPECT_NEAR(t.rate_mbps(b1, sec(1), sec(4)), 1.0, 0.25);
+  EXPECT_NEAR(t.rate_mbps(b2, sec(1), sec(4)), 1.0, 0.25);
+}
+
+TEST(HPfq, ExcessStaysInsideTheOrganization) {
+  // When a2 goes idle its bandwidth goes to sibling a1, not to org B
+  // (the first link-sharing goal of Section I).
+  HPfq sched(mbps(8));
+  const ClassId orgA = sched.add_class(kRootClass, mbps(4));
+  const ClassId orgB = sched.add_class(kRootClass, mbps(4));
+  const ClassId a1 = sched.add_class(orgA, mbps(2));
+  const ClassId a2 = sched.add_class(orgA, mbps(2));
+  const ClassId b1 = sched.add_class(orgB, mbps(4));
+  Simulator sim(mbps(8), sched);
+  sim.add<GreedySource>(a1, 1000, 4, 0, sec(4));
+  sim.add<GreedySource>(a2, 1000, 4, 0, sec(2));  // idles at 2 s
+  sim.add<GreedySource>(b1, 1000, 4, 0, sec(4));
+  sim.run(sec(4));
+  const auto& t = sim.tracker();
+  // Before: 2/2/4.  After: a1 inherits a2's share -> 4/0/4.
+  EXPECT_NEAR(t.rate_mbps(a1, sec(1), sec(2)), 2.0, 0.25);
+  EXPECT_NEAR(t.rate_mbps(a1, sec(2) + msec(200), sec(4)), 4.0, 0.25);
+  EXPECT_NEAR(t.rate_mbps(b1, sec(2) + msec(200), sec(4)), 4.0, 0.25);
+}
+
+TEST(HPfq, WorkConservingAndCountsDepth) {
+  HPfq sched(mbps(8));
+  const ClassId mid = sched.add_class(kRootClass, mbps(8));
+  const ClassId leaf = sched.add_class(mid, mbps(8));
+  EXPECT_EQ(sched.depth_of(leaf), 2u);
+  EXPECT_EQ(sched.depth_of(mid), 1u);
+  Simulator sim(mbps(8), sched);
+  sim.add<GreedySource>(leaf, 1000, 4, 0, sec(1));
+  sim.run(sec(1));
+  EXPECT_NEAR(sim.tracker().rate_mbps(leaf, 0, sec(1)), 8.0, 0.2);
+}
+
+TEST(FscFlatSched, NonPunishmentAfterExcess) {
+  // The Fig. 2(d) behaviour: with the fair virtual-time modification,
+  // session 1 keeps receiving service after session 2 wakes up.
+  const ServiceCurve s1{0, msec(200), mbps(6)};        // convex
+  const ServiceCurve s2{mbps(8), msec(200), mbps(4)};  // concave
+  FscFlat sched;
+  const ClassId c1 = sched.add_session(s1);
+  const ClassId c2 = sched.add_session(s2);
+  Simulator sim(mbps(8), sched);
+  const TimeNs t1 = msec(500);
+  sim.add<GreedySource>(c1, 1000, 4, 0, sec(2));
+  sim.add<GreedySource>(c2, 1000, 4, t1, sec(2));
+  sim.run(sec(2));
+  // Session 1 is NOT starved after t1 (contrast with the SCED test):
+  // both slopes are comparable after re-sync, so session 1 keeps a
+  // substantial share.
+  EXPECT_GT(sim.tracker().rate_mbps(c1, t1, t1 + msec(200)), 2.0);
+}
+
+TEST(FscFlatSched, LinearCurvesShareByRate) {
+  FscFlat sched;
+  const ClassId a = sched.add_session(ServiceCurve::linear(mbps(6)));
+  const ClassId b = sched.add_session(ServiceCurve::linear(mbps(2)));
+  Simulator sim(mbps(8), sched);
+  sim.add<GreedySource>(a, 1000, 4, 0, sec(4));
+  sim.add<GreedySource>(b, 1000, 4, 0, sec(4));
+  sim.run(sec(4));
+  EXPECT_NEAR(sim.tracker().rate_mbps(a, sec(1), sec(4)), 6.0, 0.3);
+  EXPECT_NEAR(sim.tracker().rate_mbps(b, sec(1), sec(4)), 2.0, 0.3);
+}
+
+}  // namespace
+}  // namespace hfsc

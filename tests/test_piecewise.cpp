@@ -1,0 +1,199 @@
+// Tests for the piecewise-linear algebra, admission control (the
+// Section II feasibility condition) and the analytical delay bound.
+#include <gtest/gtest.h>
+
+#include "core/hfsc.hpp"
+#include "curve/piecewise.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(Piecewise, EvalAndInverseOfServiceCurve) {
+  const ServiceCurve sc{mbps(10), msec(8), mbps(2)};
+  const auto p = PiecewiseLinear::from_service_curve(sc);
+  for (TimeNs t : {TimeNs{0}, msec(3), msec(8), msec(20), sec(1)}) {
+    EXPECT_EQ(p.eval(t), sc.eval(t)) << t;
+  }
+  for (Bytes y : {Bytes{0}, Bytes{500}, Bytes{10000}, Bytes{12000}}) {
+    EXPECT_EQ(p.inverse(y), sc.inverse(y)) << y;
+  }
+}
+
+TEST(Piecewise, TokenBucketEnvelope) {
+  const auto tb = PiecewiseLinear::token_bucket(5000, mbps(1));
+  EXPECT_EQ(tb.eval(0), 5000u);
+  EXPECT_EQ(tb.eval(msec(8)), 6000u);
+  EXPECT_EQ(tb.inverse(5000), 0u);
+  EXPECT_EQ(tb.inverse(6000), msec(8));
+}
+
+TEST(Piecewise, InverseCrossesFlatPieces) {
+  // Convex curve: flat then rising — inverse of a value above the flat
+  // part must land on the second piece.
+  const ServiceCurve convex{0, msec(10), mbps(1)};
+  const auto p = PiecewiseLinear::from_service_curve(convex);
+  EXPECT_EQ(p.inverse(0), 0u);
+  EXPECT_EQ(p.inverse(1), msec(10) + seg_y2x(1, mbps(1)));
+  // A curve ending flat never reaches values above its plateau.
+  const auto flat = PiecewiseLinear(
+      {PiecewiseLinear::Piece{0, 0, mbps(1)},
+       PiecewiseLinear::Piece{msec(1), 125, 0}});
+  EXPECT_EQ(flat.inverse(126), kTimeInfinity);
+}
+
+TEST(Piecewise, SumMatchesPointwise) {
+  const auto a =
+      PiecewiseLinear::from_service_curve({mbps(10), msec(8), mbps(2)});
+  const auto b =
+      PiecewiseLinear::from_service_curve({0, msec(4), mbps(6)});
+  const auto s = a.sum(b);
+  for (TimeNs t = 0; t < msec(30); t += usec(100)) {
+    ASSERT_EQ(s.eval(t), a.eval(t) + b.eval(t)) << t;
+  }
+  EXPECT_EQ(s.tail_rate(), mbps(8));
+}
+
+TEST(Piecewise, DominatesDetectsInteriorCrossing) {
+  // A concave burst crosses a plain line even though both endpoints of a
+  // coarse comparison could look fine.
+  const auto line = PiecewiseLinear::from_service_curve(
+      ServiceCurve::linear(mbps(5)));
+  const auto burst =
+      PiecewiseLinear::from_service_curve({mbps(10), msec(8), mbps(2)});
+  EXPECT_FALSE(line.dominates(burst));  // burst exceeds the line early
+  EXPECT_FALSE(burst.dominates(line));  // line exceeds the burst late
+  const auto big = PiecewiseLinear::from_service_curve(
+      ServiceCurve::linear(mbps(11)));
+  EXPECT_TRUE(big.dominates(burst));
+  EXPECT_TRUE(big.dominates(line));
+}
+
+TEST(Piecewise, DominatesChecksTailRates) {
+  const auto slow = PiecewiseLinear::from_service_curve(
+      {mbps(10), msec(8), mbps(1)});
+  const auto fast = PiecewiseLinear::from_service_curve(
+      ServiceCurve::linear(mbps(2)));
+  // slow is above early but its tail loses eventually.
+  EXPECT_FALSE(slow.dominates(fast));
+}
+
+TEST(Admission, AcceptsUntilTheLinkCurveIsFull) {
+  AdmissionControl ac(mbps(10));
+  // Five 2 Mb/s linear sessions fill the link exactly.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ac.admit(ServiceCurve::linear(mbps(2)))) << i;
+  }
+  EXPECT_EQ(ac.admitted(), 5u);
+  EXPECT_NEAR(ac.utilization(), 1.0, 1e-9);
+  EXPECT_FALSE(ac.admit(ServiceCurve::linear(kbps(8))));
+  // Releasing one frees the capacity again.
+  ac.release(ServiceCurve::linear(mbps(2)));
+  EXPECT_TRUE(ac.admit(ServiceCurve::linear(mbps(1))));
+}
+
+TEST(Admission, ConcaveBurstsLimitEachOther) {
+  // Two concave curves whose m1's sum beyond the link must not both be
+  // admitted even though their m2's fit easily.
+  AdmissionControl ac(mbps(10));
+  const ServiceCurve burst{mbps(8), msec(10), mbps(1)};
+  EXPECT_TRUE(ac.admit(burst));
+  EXPECT_FALSE(ac.admit(burst));  // 16 Mb/s burst demand > 10 Mb/s link
+  // A convex session fits alongside: its demand is deferred.
+  EXPECT_TRUE(ac.admit(ServiceCurve{0, msec(40), mbps(2)}));
+}
+
+TEST(Admission, ConvexPlusConcaveInteraction) {
+  AdmissionControl ac(mbps(10));
+  EXPECT_TRUE(ac.admit(ServiceCurve{mbps(10), msec(5), mbps(5)}));
+  // A convex ramp that starts before the concave knee collides with it
+  // (combined slope 15 Mb/s while the burst is still being paid).
+  EXPECT_FALSE(ac.admit(ServiceCurve{0, msec(1), mbps(5)}));
+  // Deferring the ramp past the knee fits exactly (5 + 5 = 10 Mb/s).
+  EXPECT_TRUE(ac.admit(ServiceCurve{0, msec(5), mbps(5)}));
+  // And now the link curve is an exact equality: nothing more fits.
+  EXPECT_FALSE(ac.admit(ServiceCurve::linear(kbps(8))));
+}
+
+TEST(DelayBound, MatchesHandComputedCases) {
+  // Token bucket (1500 B, 1 Mb/s) into a linear 2 Mb/s curve:
+  // gap = burst / rate = 1500 B / 250 kB/s = 6 ms, plus tau.
+  const auto d = delay_bound(1500, mbps(1), ServiceCurve::linear(mbps(2)),
+                             1500, mbps(10));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, msec(6) + tx_time(1500, mbps(10)));
+
+  // Envelope faster than the curve: unbounded.
+  EXPECT_FALSE(delay_bound(1500, mbps(3), ServiceCurve::linear(mbps(2)),
+                           1500, mbps(10))
+                   .has_value());
+}
+
+TEST(DelayBound, ConcaveCurveCutsTheBound) {
+  // Same envelope; a concave curve with a fast first segment slashes the
+  // bound versus the linear curve of equal long-term rate.
+  const auto lin = delay_bound(3000, kbps(64), ServiceCurve::linear(kbps(64)),
+                               1500, mbps(10));
+  const auto con = delay_bound(3000, kbps(64),
+                               from_udr(3000, msec(5), kbps(64)), 1500,
+                               mbps(10));
+  ASSERT_TRUE(lin.has_value());
+  ASSERT_TRUE(con.has_value());
+  EXPECT_LT(*con, *lin / 10);
+}
+
+// The money property: the analytical bound is an upper bound on the
+// simulated worst-case delay for conformant traffic, across a parameter
+// sweep.
+struct BoundCase {
+  Bytes burst;
+  RateBps rate;
+  ServiceCurve sc;
+};
+
+class DelayBoundProperty : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(DelayBoundProperty, SimulatedDelayWithinAnalyticalBound) {
+  const auto [burst, rate, sc] = GetParam();
+  const RateBps link = mbps(10);
+  const auto bound = delay_bound(burst, rate, sc, 1500, link);
+  ASSERT_TRUE(bound.has_value());
+
+  Hfsc sched(link);
+  const ClassId session = sched.add_class(kRootClass, ClassConfig::both(sc));
+  const ClassId noise = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(
+                      ServiceCurve::linear(link - sc.m2)));
+  Simulator sim(link, sched);
+  // Conformant worst-ish case: dump the whole burst, then send at the
+  // sustained rate.
+  std::vector<TraceSource::Item> items;
+  Bytes left = burst;
+  while (left > 0) {
+    const Bytes chunk = std::min<Bytes>(left, 500);
+    items.push_back({msec(1), chunk});
+    left -= chunk;
+  }
+  for (TimeNs t = msec(1); t < sec(2); t += seg_y2x(500, rate)) {
+    items.push_back({t + seg_y2x(500, rate), 500});
+  }
+  sim.add<TraceSource>(session, items);
+  sim.add<GreedySource>(noise, 1500, 8, 0, sec(2));
+  sim.run_all();
+  const double bound_ms = static_cast<double>(*bound) / 1e6;
+  EXPECT_LE(sim.tracker().max_delay_ms(session), bound_ms + 0.01)
+      << "bound " << bound_ms << " ms";
+  EXPECT_GT(sim.tracker().packets(session), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DelayBoundProperty,
+    ::testing::Values(
+        BoundCase{1500, kbps(256), ServiceCurve::linear(kbps(512))},
+        BoundCase{3000, kbps(512), {mbps(4), msec(10), mbps(1)}},
+        BoundCase{6000, mbps(1), {mbps(8), msec(10), mbps(2)}},
+        BoundCase{1500, kbps(128), from_udr(1500, msec(20), kbps(256))},
+        BoundCase{9000, mbps(2), {mbps(8), msec(20), mbps(4)}}));
+
+}  // namespace
+}  // namespace hfsc

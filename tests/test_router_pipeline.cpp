@@ -1,0 +1,127 @@
+// Full-pipeline integration: classifier -> policer -> H-FSC -> link,
+// the composition an actual router port would run (ALTQ's architecture).
+#include <gtest/gtest.h>
+
+#include "core/hfsc.hpp"
+#include "sched/classifier.hpp"
+#include "sched/conditioning.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(RouterPipeline, ClassifyPoliceSchedule) {
+  const RateBps link = mbps(10);
+
+  // Scheduler: voice gets a concave guarantee, web and bulk share the
+  // rest 2:1, default (unclassified) traffic rides a small best-effort
+  // class.
+  Hfsc hfsc(link);
+  const ClassId voice = hfsc.add_class(
+      kRootClass, ClassConfig::both(from_udr(160, msec(5), kbps(640))));
+  const ClassId web = hfsc.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(6))));
+  const ClassId bulk = hfsc.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(3))));
+  const ClassId best_effort = hfsc.add_class(
+      kRootClass,
+      ClassConfig::link_share_only(ServiceCurve::linear(kbps(256))));
+
+  // Policer in front of the scheduler: voice is held to its envelope.
+  Policed sched(hfsc);
+  sched.set_policer(voice, 2 * 160, kbps(64));
+
+  // Classifier: RTP/UDP to voice, port 80 to web, port 22-ish flows to
+  // bulk, everything else to best effort.
+  Classifier cls;
+  cls.set_default_class(best_effort);
+  Filter f_voice;
+  f_voice.proto = kProtoUdp;
+  f_voice.dst_port = 5004;
+  f_voice.priority = 10;
+  cls.add_filter(f_voice, voice);
+  Filter f_web;
+  f_web.proto = kProtoTcp;
+  f_web.dst_port = 80;
+  cls.add_filter(f_web, web);
+  Filter f_bulk;
+  f_bulk.proto = kProtoTcp;
+  f_bulk.dst_port = 873;
+  cls.add_filter(f_bulk, bulk);
+
+  // Drive raw "wire" packets through the classifier into the link.
+  EventQueue ev;
+  Link out(ev, link, sched);
+  FlowTracker tracker;
+  tracker.attach(out);
+  auto inject = [&](TimeNs t, const FlowKey& key, Bytes len,
+                    std::uint64_t seq) {
+    ev.schedule(t, [&, key, len, seq](TimeNs now) {
+      out.on_arrival(now, Packet{cls.classify(key), len, now, seq});
+    });
+  };
+
+  const FlowKey voice_flow{0x0A000001, 0x0A000002, 9000, 5004, kProtoUdp};
+  const FlowKey web_flow{0x0A000003, 0x0A000004, 40000, 80, kProtoTcp};
+  const FlowKey bulk_flow{0x0A000005, 0x0A000006, 40001, 873, kProtoTcp};
+  const FlowKey stray_flow{0x0A000007, 0x0A000008, 1, 1, kProtoTcp};
+
+  std::uint64_t seq = 0;
+  // Voice: 64 kb/s conforming CBR (one 160 B packet per 20 ms).
+  for (TimeNs t = 0; t < sec(2); t += msec(20)) {
+    inject(t, voice_flow, 160, seq++);
+  }
+  // Web and bulk: saturating streams of 1500 B every ms (12 Mb/s each,
+  // far over capacity — the hierarchy decides).
+  for (TimeNs t = 0; t < sec(2); t += msec(1)) {
+    inject(t, web_flow, 1500, seq++);
+    inject(t, bulk_flow, 1500, seq++);
+  }
+  // A stray trickle hits the default class.
+  for (TimeNs t = 0; t < sec(2); t += msec(100)) {
+    inject(t, stray_flow, 400, seq++);
+  }
+  ev.run_until(sec(2));
+
+  // Voice: guaranteed delay, no policer drops (it conforms).
+  EXPECT_EQ(tracker.packets(voice), 100u);
+  EXPECT_LT(tracker.max_delay_ms(voice), 6.3);
+  EXPECT_EQ(sched.dropped(voice), 0u);
+  // Web and bulk split the remaining ~9.9 Mb/s in their 2:1 curve
+  // proportion (the excess over their nominal 6+3 goes to them too).
+  EXPECT_NEAR(tracker.rate_mbps(web, msec(200), sec(2)), 6.6, 0.4);
+  EXPECT_NEAR(tracker.rate_mbps(bulk, msec(200), sec(2)), 3.3, 0.4);
+  // The stray flow lands in best effort and still gets through.
+  EXPECT_EQ(tracker.packets(best_effort), 20u);
+}
+
+TEST(RouterPipeline, MisbehavingVoiceIsClippedNotPrioritized) {
+  // The policer protects the guarantee semantics: a voice flow blasting
+  // 10x its reservation has the excess dropped at the door instead of
+  // hijacking the real-time criterion.
+  const RateBps link = mbps(10);
+  Hfsc hfsc(link);
+  const ClassId voice = hfsc.add_class(
+      kRootClass, ClassConfig::both(from_udr(160, msec(5), kbps(640))));
+  const ClassId data = hfsc.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(9))));
+  Policed sched(hfsc);
+  sched.set_policer(voice, 480, kbps(64));
+
+  Simulator sim(link, sched);
+  sim.add<CbrSource>(voice, kbps(640), 160, 0, sec(2));  // 10x envelope
+  sim.add<GreedySource>(data, 1500, 8, 0, sec(2));
+  sim.run(sec(2));
+
+  // ~90% of the voice flood is dropped; data keeps its share.
+  EXPECT_NEAR(static_cast<double>(sched.dropped(voice)),
+              0.9 * static_cast<double>(sched.dropped(voice) +
+                                        sched.passed(voice)),
+              60.0);
+  EXPECT_GT(sim.tracker().rate_mbps(data, msec(200), sec(2)), 9.0);
+  // The survivors still meet the voice bound.
+  EXPECT_LT(sim.tracker().max_delay_ms(voice), 6.3);
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -1,0 +1,148 @@
+// Tests for the scenario language: unit parsing, directive parsing,
+// error reporting, and end-to-end runs (including the shipped scenario
+// files).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/scenario.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(ScenarioUnits, Rates) {
+  EXPECT_EQ(parse_rate("64kbps"), kbps(64));
+  EXPECT_EQ(parse_rate("10Mbps"), mbps(10));
+  EXPECT_EQ(parse_rate("1Gbps"), gbps(1));
+  EXPECT_EQ(parse_rate("800bps"), 100u);
+  EXPECT_EQ(parse_rate("2.5Mbps"), 312'500u);
+  EXPECT_THROW(parse_rate("10"), std::runtime_error);
+  EXPECT_THROW(parse_rate("fast"), std::runtime_error);
+  EXPECT_THROW(parse_rate("10MBps"), std::runtime_error);
+}
+
+TEST(ScenarioUnits, Times) {
+  EXPECT_EQ(parse_time("5ms"), msec(5));
+  EXPECT_EQ(parse_time("10s"), sec(10));
+  EXPECT_EQ(parse_time("250us"), usec(250));
+  EXPECT_EQ(parse_time("100ns"), 100u);
+  EXPECT_EQ(parse_time("0.5s"), msec(500));
+  EXPECT_THROW(parse_time("5"), std::runtime_error);
+  EXPECT_THROW(parse_time("5minutes"), std::runtime_error);
+}
+
+TEST(ScenarioUnits, Bytes) {
+  EXPECT_EQ(parse_bytes("1500"), 1500u);
+  EXPECT_THROW(parse_bytes("1500B"), std::runtime_error);
+  EXPECT_THROW(parse_bytes("-1"), std::runtime_error);
+}
+
+TEST(ScenarioParse, MinimalScenario) {
+  std::istringstream in(R"(
+link 10Mbps
+duration 1s
+class a root ls linear 10Mbps
+source cbr a 1Mbps 1000 0s 1s
+)");
+  const Scenario sc = Scenario::parse(in);
+  EXPECT_EQ(sc.link_rate, mbps(10));
+  EXPECT_EQ(sc.duration, sec(1));
+  ASSERT_EQ(sc.classes.size(), 1u);
+  EXPECT_EQ(sc.classes[0].name, "a");
+  EXPECT_EQ(sc.classes[0].cfg.ls, ServiceCurve::linear(mbps(10)));
+  ASSERT_EQ(sc.sources.size(), 1u);
+  EXPECT_EQ(sc.sources[0].kind, ScenarioSource::Kind::kCbr);
+}
+
+TEST(ScenarioParse, FullClassAttributes) {
+  std::istringstream in(R"(
+link 10Mbps
+duration 1s
+class org root ls linear 10Mbps
+class a org rt udr 160 5ms 64kbps ls linear 64kbps ul linear 1Mbps qlimit 50
+)");
+  const Scenario sc = Scenario::parse(in);
+  ASSERT_EQ(sc.classes.size(), 2u);
+  const ScenarioClass& a = sc.classes[1];
+  EXPECT_EQ(a.parent, "org");
+  EXPECT_EQ(a.cfg.rt, from_udr(160, msec(5), kbps(64)));
+  EXPECT_EQ(a.cfg.ul, ServiceCurve::linear(mbps(1)));
+  EXPECT_EQ(a.qlimit, 50u);
+}
+
+TEST(ScenarioParse, ErrorsCarryLineNumbers) {
+  auto expect_error = [](const char* text, const char* needle) {
+    std::istringstream in(text);
+    try {
+      (void)Scenario::parse(in);
+      FAIL() << "expected parse error containing '" << needle << "'";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("link 10Mbps\nduration 1s\nbogus x\n", "unknown directive");
+  expect_error("link 10Mbps\nduration 1s\nclass a nosuch ls linear 1Mbps\n",
+               "unknown parent");
+  expect_error("link 10Mbps\nduration 1s\nclass a root ls linear 1Mbps\n"
+               "class a root ls linear 1Mbps\n",
+               "duplicate class");
+  expect_error("link 10Mbps\nduration 1s\nclass a root qlimit 5\n",
+               "at least one of rt/ls");
+  expect_error("link 10Mbps\nduration 1s\nclass a root ls linear 1Mbps\n"
+               "source cbr b 1Mbps 100 0s 1s\n",
+               "unknown class");
+  expect_error("link 10Mbps\nduration 1s\nclass a root ls linear 1Mbps\n"
+               "source cbr a 1Mbps 100 0s 1s extra\n",
+               "trailing token");
+  expect_error("link 10Mbps\nduration 1s\n"
+               "class a root ls curve 1Mbps 5ms 2Mbps\n",
+               "unsupported curve shape");
+  expect_error("duration 1s\nclass a root ls linear 1Mbps\n", "missing link");
+  expect_error("link 1Mbps\nclass a root ls linear 1Mbps\n",
+               "missing duration");
+}
+
+TEST(ScenarioRun, EndToEndWithHierarchy) {
+  std::istringstream in(R"(
+link 10Mbps
+duration 2s
+class org   root ls linear 10Mbps
+class voice org  rt udr 160 5ms 64kbps  ls linear 64kbps
+class data  org  ls linear 9Mbps  qlimit 20
+source cbr    voice 64kbps 160 0s 2s
+source greedy data  1500 8 0s 2s
+)");
+  const Scenario sc = Scenario::parse(in);
+  const ScenarioResult r = run_scenario(sc);
+  ASSERT_EQ(r.per_class.size(), 2u);  // leaves only
+  const auto& voice = r.per_class[0];
+  const auto& data = r.per_class[1];
+  EXPECT_EQ(voice.name, "voice");
+  EXPECT_EQ(voice.packets, 100u);
+  EXPECT_LT(voice.max_delay_ms, 6.3);
+  EXPECT_EQ(data.name, "data");
+  EXPECT_GT(data.rate_mbps, 9.0);
+  EXPECT_GT(r.link_utilization, 0.99);
+  const std::string table = r.to_table();
+  EXPECT_NE(table.find("voice"), std::string::npos);
+  EXPECT_NE(table.find("link utilization"), std::string::npos);
+}
+
+TEST(ScenarioRun, ShippedScenarioFilesAreValid) {
+  for (const char* path :
+       {"scenarios/campus.hfsc", "scenarios/voip.hfsc"}) {
+    SCOPED_TRACE(path);
+    Scenario sc;
+    ASSERT_NO_THROW(sc = Scenario::parse_file(
+                        std::string(HFSC_SOURCE_DIR) + "/" + path));
+    const ScenarioResult r = run_scenario(sc);
+    EXPECT_FALSE(r.per_class.empty());
+    for (const auto& pc : r.per_class) {
+      EXPECT_GT(pc.packets, 0u) << pc.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hfsc

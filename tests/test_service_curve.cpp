@@ -1,0 +1,135 @@
+// Tests for the two-piece-linear service-curve algebra (Fig. 7, Section V).
+#include <gtest/gtest.h>
+
+#include "curve/service_curve.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(ServiceCurve, Shapes) {
+  const ServiceCurve concave{mbps(10), msec(10), mbps(1)};
+  EXPECT_TRUE(concave.is_concave());
+  EXPECT_FALSE(concave.is_convex());
+  EXPECT_TRUE(concave.is_supported());
+
+  const ServiceCurve convex{0, msec(10), mbps(1)};
+  EXPECT_TRUE(convex.is_convex());
+  EXPECT_FALSE(convex.is_concave());
+  EXPECT_TRUE(convex.is_supported());
+
+  const ServiceCurve linear = ServiceCurve::linear(mbps(5));
+  EXPECT_TRUE(linear.is_concave());
+  EXPECT_TRUE(linear.is_convex());
+  EXPECT_TRUE(linear.is_linear());
+
+  // A rising-first-segment convex curve is not closed under the deadline
+  // update (Section V) and therefore unsupported.
+  const ServiceCurve bad{mbps(1), msec(10), mbps(5)};
+  EXPECT_FALSE(bad.is_supported());
+
+  EXPECT_TRUE(ServiceCurve{}.is_zero());
+  EXPECT_FALSE(linear.is_zero());
+}
+
+TEST(ServiceCurve, EvalPiecewise) {
+  // 10 Mb/s for 8 ms, then 2 Mb/s.
+  const ServiceCurve sc{mbps(10), msec(8), mbps(2)};
+  EXPECT_EQ(sc.eval(0), 0u);
+  EXPECT_EQ(sc.eval(msec(4)), 5000u);            // 1.25e6 B/s * 4 ms
+  EXPECT_EQ(sc.eval(msec(8)), 10000u);           // knee
+  EXPECT_EQ(sc.eval(msec(12)), 10000u + 1000u);  // + 2.5e5 B/s * 4 ms
+}
+
+TEST(ServiceCurve, InverseIsSmallestTime) {
+  const ServiceCurve sc{mbps(10), msec(8), mbps(2)};
+  for (Bytes y : {Bytes{1}, Bytes{5000}, Bytes{10000}, Bytes{10001},
+                  Bytes{20000}}) {
+    const TimeNs t = sc.inverse(y);
+    ASSERT_NE(t, kTimeInfinity);
+    EXPECT_GE(sc.eval(t), y);
+    if (t > 0) {
+      EXPECT_LT(sc.eval(t - 1), y);
+    }
+  }
+  EXPECT_EQ(sc.inverse(0), 0u);
+}
+
+TEST(ServiceCurve, InverseOfFlatTailIsInfinite) {
+  const ServiceCurve sc{mbps(10), msec(8), 0};
+  EXPECT_EQ(sc.inverse(10000), msec(8));
+  EXPECT_EQ(sc.inverse(10001), kTimeInfinity);
+}
+
+TEST(FromUdr, ConcaveWhenBurstRateExceedsRate) {
+  // 1000 bytes in 1 ms is 8 Mb/s >> 1 Mb/s: concave.
+  const ServiceCurve sc = from_udr(1000, msec(1), mbps(1));
+  EXPECT_TRUE(sc.is_concave());
+  EXPECT_EQ(sc.m1, mbps(8));
+  EXPECT_EQ(sc.d, msec(1));
+  EXPECT_EQ(sc.m2, mbps(1));
+  // The burst completes exactly at d.
+  EXPECT_GE(sc.eval(msec(1)), 1000u);
+}
+
+TEST(FromUdr, ConvexWhenRateCoversBurst) {
+  // 1000 bytes in 100 ms is 80 kb/s << 1 Mb/s: convex with a dead zone.
+  const ServiceCurve sc = from_udr(1000, msec(100), mbps(1));
+  EXPECT_TRUE(sc.is_convex());
+  EXPECT_EQ(sc.m1, 0u);
+  EXPECT_EQ(sc.m2, mbps(1));
+  // u bytes must still be served by d.
+  EXPECT_GE(sc.eval(msec(100)), 1000u);
+  // ...but not much earlier (the curve is 0 until d - u/r).
+  EXPECT_EQ(sc.eval(sc.d), 0u);
+}
+
+TEST(FromUdr, DegenerateInputsGiveLinear) {
+  EXPECT_EQ(from_udr(0, msec(10), mbps(3)), ServiceCurve::linear(mbps(3)));
+  EXPECT_EQ(from_udr(100, 0, mbps(3)), ServiceCurve::linear(mbps(3)));
+}
+
+// Property sweep: for any (u, d, r) the mapped curve serves u bytes by d
+// and has asymptotic rate r.
+struct UdrCase {
+  Bytes u;
+  TimeNs d;
+  RateBps r;
+};
+
+class FromUdrProperty : public ::testing::TestWithParam<UdrCase> {};
+
+TEST_P(FromUdrProperty, ServesBurstByDeadline) {
+  const auto [u, d, r] = GetParam();
+  const ServiceCurve sc = from_udr(u, d, r);
+  EXPECT_TRUE(sc.is_supported());
+  EXPECT_EQ(sc.m2, r);
+  // The delay guarantee of Fig. 7: S(d) >= u (allow 1 byte of fixed-point
+  // rounding).
+  EXPECT_GE(sat_add(sc.eval(d), 1), u);
+  // Long-run rate: past the knee the curve grows at exactly r.
+  const TimeNs T = sec(100);
+  const Bytes tail = sc.eval(2 * T) - sc.eval(T);
+  const Bytes want = seg_x2y(T, r);
+  EXPECT_LE(tail > want ? tail - want : want - tail, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FromUdrProperty,
+    ::testing::Values(UdrCase{160, msec(5), kbps(64)},
+                      UdrCase{1500, msec(10), mbps(1)},
+                      UdrCase{8000, msec(30), mbps(2)},
+                      UdrCase{64000, msec(100), mbps(10)},
+                      UdrCase{100, msec(1), gbps(1)},
+                      UdrCase{9000, sec(1), kbps(8)},
+                      UdrCase{1, msec(1), kbps(8)},
+                      UdrCase{1500, usec(100), mbps(100)}));
+
+TEST(ServiceCurve, ToStringMentionsParameters) {
+  const std::string s = to_string(ServiceCurve{mbps(10), msec(8), mbps(2)});
+  EXPECT_NE(s.find("10.00Mb/s"), std::string::npos);
+  EXPECT_NE(s.find("8.000ms"), std::string::npos);
+  EXPECT_NE(s.find("2.00Mb/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -1,0 +1,184 @@
+// Tests for the discrete-event substrate: event queue, link model, traffic
+// sources, flow tracker.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/fifo.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue ev;
+  std::vector<int> order;
+  ev.schedule(30, [&](TimeNs) { order.push_back(3); });
+  ev.schedule(10, [&](TimeNs) { order.push_back(1); });
+  ev.schedule(20, [&](TimeNs) { order.push_back(2); });
+  ev.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ev.now(), 30u);
+}
+
+TEST(EventQueue, TiesRunInScheduleOrder) {
+  EventQueue ev;
+  std::vector<int> order;
+  ev.schedule(10, [&](TimeNs) { order.push_back(1); });
+  ev.schedule(10, [&](TimeNs) { order.push_back(2); });
+  ev.schedule(10, [&](TimeNs) { order.push_back(3); });
+  ev.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue ev;
+  int count = 0;
+  std::function<void(TimeNs)> tick = [&](TimeNs t) {
+    if (++count < 5) ev.schedule(t + 10, tick);
+  };
+  ev.schedule(0, tick);
+  ev.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(ev.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock) {
+  EventQueue ev;
+  int count = 0;
+  ev.schedule(10, [&](TimeNs) { ++count; });
+  ev.schedule(100, [&](TimeNs) { ++count; });
+  ev.run_until(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(ev.now(), 50u);
+  ev.run_all();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue ev;
+  TimeNs ran_at = 0;
+  ev.schedule(100, [&](TimeNs t) {
+    ev.schedule(10, [&](TimeNs t2) { ran_at = t2; });  // in the past
+    (void)t;
+  });
+  ev.run_all();
+  EXPECT_EQ(ran_at, 100u);
+}
+
+TEST(Link, SerializesAtCapacity) {
+  EventQueue ev;
+  Fifo sched;
+  Link link(ev, mbps(8), sched);  // 1e6 B/s
+  std::vector<TimeNs> departures;
+  link.add_departure_hook(
+      [&](TimeNs t, const Packet&) { departures.push_back(t); });
+  // Two 1000-byte packets arriving together: 1 ms each, back to back.
+  link.on_arrival(0, Packet{1, 1000, 0, 0});
+  link.on_arrival(0, Packet{1, 1000, 0, 1});
+  ev.run_all();
+  ASSERT_EQ(departures.size(), 2u);
+  EXPECT_EQ(departures[0], msec(1));
+  EXPECT_EQ(departures[1], msec(2));
+  EXPECT_EQ(link.bytes_sent(), 2000u);
+  EXPECT_EQ(link.busy_time(), msec(2));
+}
+
+TEST(Link, IdleThenResume) {
+  EventQueue ev;
+  Fifo sched;
+  Link link(ev, mbps(8), sched);
+  std::vector<TimeNs> departures;
+  link.add_departure_hook(
+      [&](TimeNs t, const Packet&) { departures.push_back(t); });
+  link.on_arrival(0, Packet{1, 1000, 0, 0});
+  ev.run_all();
+  link.on_arrival(msec(10), Packet{1, 500, 0, 1});
+  ev.run_all();
+  ASSERT_EQ(departures.size(), 2u);
+  EXPECT_EQ(departures[0], msec(1));
+  EXPECT_EQ(departures[1], msec(10) + usec(500));
+}
+
+TEST(Sources, CbrEmitsAtConfiguredRate) {
+  Fifo sched;
+  Simulator sim(mbps(100), sched);
+  // 64 kb/s with 160-byte packets for 10 s: one packet per 20 ms => 500.
+  sim.add<CbrSource>(7, kbps(64), 160, 0, sec(10));
+  sim.run_all();
+  EXPECT_EQ(sim.tracker().packets(7), 500u);
+  EXPECT_EQ(sim.tracker().bytes(7), 500u * 160u);
+}
+
+TEST(Sources, CbrHonoursStartStop) {
+  Fifo sched;
+  Simulator sim(mbps(100), sched);
+  sim.add<CbrSource>(7, kbps(64), 160, sec(2), sec(3));
+  sim.run_all();
+  EXPECT_EQ(sim.tracker().packets(7), 50u);
+}
+
+TEST(Sources, PoissonMeanRateConverges) {
+  Fifo sched;
+  Simulator sim(gbps(1), sched);
+  sim.add<PoissonSource>(3, mbps(10), 1250, 0, sec(20), 42);
+  sim.run_all();
+  // 10 Mb/s for 20 s at 1250 B = 20000 packets expected; 3 sigma ~ 424.
+  EXPECT_NEAR(static_cast<double>(sim.tracker().packets(3)), 20000.0, 600.0);
+}
+
+TEST(Sources, GreedyKeepsLinkBusy) {
+  Fifo sched;
+  Simulator sim(mbps(10), sched);
+  sim.add<GreedySource>(5, 1500, 4, 0, sec(2));
+  sim.run(sec(2));
+  // The greedy source must keep the link at capacity: 2.5 MB in 2 s.
+  EXPECT_NEAR(static_cast<double>(sim.tracker().bytes(5)), 2.5e6, 3000.0);
+}
+
+TEST(Sources, OnOffAverageBetweenZeroAndPeak) {
+  Fifo sched;
+  Simulator sim(gbps(1), sched);
+  // Peak 10 Mb/s, mean on 100 ms / off 100 ms => ~5 Mb/s average.
+  sim.add<OnOffSource>(2, mbps(10), 1250, msec(100), msec(100), 0, sec(30),
+                       7);
+  sim.run_all();
+  const double mbps_avg = sim.tracker().rate_mbps(2, 0, sec(30));
+  EXPECT_GT(mbps_avg, 2.5);
+  EXPECT_LT(mbps_avg, 7.5);
+}
+
+TEST(Sources, VideoEmitsFramesInMtuChunks) {
+  Fifo sched;
+  Simulator sim(gbps(1), sched);
+  sim.add<VideoSource>(9, 30.0, 6000, 16000, 1500, 0, sec(1), 3);
+  sim.run_all();
+  // 30 frames, each at least mean/4 = 1500 bytes.
+  EXPECT_GE(sim.tracker().packets(9), 30u);
+  EXPECT_GE(sim.tracker().bytes(9), 30u * 1500u);
+}
+
+TEST(Sources, TraceReplaysExactly) {
+  Fifo sched;
+  Simulator sim(mbps(80), sched);
+  sim.add<TraceSource>(4, std::vector<TraceSource::Item>{
+                              {msec(1), 100}, {msec(2), 200}, {msec(5), 300}});
+  sim.run_all();
+  EXPECT_EQ(sim.tracker().packets(4), 3u);
+  EXPECT_EQ(sim.tracker().bytes(4), 600u);
+}
+
+TEST(FlowTracker, DelayAccounting) {
+  Fifo sched;
+  Simulator sim(mbps(8), sched);  // 1e6 B/s
+  // Two packets at t=0: delays 1 ms and 2 ms.
+  sim.add<TraceSource>(1,
+                       std::vector<TraceSource::Item>{{0, 1000}, {0, 1000}});
+  sim.run_all();
+  EXPECT_NEAR(sim.tracker().mean_delay_ms(1), 1.5, 1e-6);
+  EXPECT_NEAR(sim.tracker().max_delay_ms(1), 2.0, 1e-6);
+  EXPECT_NEAR(sim.tracker().delay_quantile_ms(1, 0.5), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -1,0 +1,128 @@
+// Tests for util/rng.hpp and util/stats.hpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(7);
+  Rng c2(8);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(10, 20);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(99);
+  double sum = 0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng r(4);
+  for (int i = 0; i < 1000; ++i) ASSERT_GE(r.pareto(2.0, 10.0), 10.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, QuantilesExact) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, AddAfterQuantileStillWorks) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+TEST(WindowedThroughput, AccumulatesIntoWindows) {
+  WindowedThroughput w(msec(100));
+  w.add(msec(10), 1000);
+  w.add(msec(90), 1000);
+  w.add(msec(150), 500);
+  EXPECT_EQ(w.bytes_in_window(0), 2000u);
+  EXPECT_EQ(w.bytes_in_window(1), 500u);
+  // 2000 bytes in 100 ms = 20 kB/s.
+  EXPECT_DOUBLE_EQ(w.rate_bps(0), 20000.0);
+}
+
+TEST(WindowedThroughput, RateOverInterval) {
+  WindowedThroughput w(msec(100));
+  w.add(msec(50), 1000);   // window 0
+  w.add(msec(150), 3000);  // window 1
+  // Over [0, 200 ms): 4000 bytes -> 20 kB/s.
+  EXPECT_NEAR(w.rate_over(0, msec(200)), 20000.0, 1e-6);
+  // Over window 1 only.
+  EXPECT_NEAR(w.rate_over(msec(100), msec(200)), 30000.0, 1e-6);
+  // Interval past the data.
+  EXPECT_NEAR(w.rate_over(msec(300), msec(400)), 0.0, 1e-9);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace hfsc

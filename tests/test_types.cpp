@@ -1,0 +1,103 @@
+// Unit tests for the fixed-point arithmetic in util/types.hpp.
+#include <gtest/gtest.h>
+
+#include "util/types.hpp"
+
+namespace hfsc {
+namespace {
+
+TEST(MulDiv, FloorBasics) {
+  EXPECT_EQ(muldiv_floor(10, 3, 4), 7u);   // 30/4 = 7.5 -> 7
+  EXPECT_EQ(muldiv_floor(0, 123, 7), 0u);
+  EXPECT_EQ(muldiv_floor(5, 4, 2), 10u);
+}
+
+TEST(MulDiv, CeilBasics) {
+  EXPECT_EQ(muldiv_ceil(10, 3, 4), 8u);  // 30/4 = 7.5 -> 8
+  EXPECT_EQ(muldiv_ceil(0, 123, 7), 0u);
+  EXPECT_EQ(muldiv_ceil(5, 4, 2), 10u);  // exact stays exact
+}
+
+TEST(MulDiv, No64BitOverflow) {
+  // 1e19-scale product must not wrap: (2^62 * 4) / 8 == 2^61.
+  const std::uint64_t big = 1ULL << 62;
+  EXPECT_EQ(muldiv_floor(big, 4, 8), 1ULL << 61);
+  EXPECT_EQ(muldiv_ceil(big, 4, 8), 1ULL << 61);
+}
+
+TEST(MulDiv, SaturatesInsteadOfWrapping) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(muldiv_floor(max, max, 1), max);
+  EXPECT_EQ(muldiv_ceil(max, max, 2), max);
+}
+
+TEST(Segments, ForwardEvaluation) {
+  // 1 MB/s over 1 second = 1e6 bytes.
+  EXPECT_EQ(seg_x2y(kNsPerSec, 1'000'000), 1'000'000u);
+  // 8 Mb/s = 1e6 B/s over 1 ms = 1000 bytes.
+  EXPECT_EQ(seg_x2y(msec(1), mbps(8)), 1000u);
+  EXPECT_EQ(seg_x2y(0, mbps(8)), 0u);
+  EXPECT_EQ(seg_x2y(msec(1), 0), 0u);
+}
+
+TEST(Segments, InverseIsSmallestTime) {
+  const RateBps r = mbps(8);  // 1e6 B/s
+  const Bytes y = 1000;
+  const TimeNs t = seg_y2x(y, r);
+  EXPECT_GE(seg_x2y(t, r), y);
+  ASSERT_GT(t, 0u);
+  EXPECT_LT(seg_x2y(t - 1, r), y);
+}
+
+TEST(Segments, InverseEdgeCases) {
+  EXPECT_EQ(seg_y2x(0, 0), 0u);
+  EXPECT_EQ(seg_y2x(1, 0), kTimeInfinity);
+  EXPECT_EQ(seg_y2x(0, 12345), 0u);
+}
+
+// Round-trip property over a parameter sweep: y2x(x2y(t)) <= t and
+// x2y(y2x(y)) >= y for many (rate, value) combinations.
+class SegRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SegRoundTrip, InverseDominatesForward) {
+  const RateBps r = GetParam();
+  for (Bytes y : {Bytes{1}, Bytes{7}, Bytes{160}, Bytes{1500}, Bytes{65536},
+                  Bytes{1'000'000}}) {
+    const TimeNs t = seg_y2x(y, r);
+    ASSERT_NE(t, kTimeInfinity);
+    EXPECT_GE(seg_x2y(t, r), y) << "rate=" << r << " y=" << y;
+    if (t > 0) {
+      EXPECT_LT(seg_x2y(t - 1, r), y) << "rate=" << r << " y=" << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SegRoundTrip,
+                         ::testing::Values(kbps(8), kbps(64), kbps(333),
+                                           mbps(1), mbps(7), mbps(100),
+                                           gbps(1), gbps(10), 1ULL, 999ULL));
+
+TEST(Saturation, AddAndSub) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(sat_add(max, 1), max);
+  EXPECT_EQ(sat_add(max - 5, 3), max - 2);
+  EXPECT_EQ(sat_sub(3, 5), 0u);
+  EXPECT_EQ(sat_sub(5, 3), 2u);
+}
+
+TEST(Units, Constructors) {
+  EXPECT_EQ(kbps(64), 8000u);          // 64 kb/s = 8000 B/s
+  EXPECT_EQ(mbps(10), 1'250'000u);
+  EXPECT_EQ(gbps(1), 125'000'000u);
+  EXPECT_EQ(msec(5), 5'000'000u);
+  EXPECT_EQ(sec(2), 2'000'000'000u);
+  EXPECT_EQ(usec(3), 3'000u);
+}
+
+TEST(Units, TxTime) {
+  // 1500 bytes at 1.25e6 B/s (10 Mb/s) = 1.2 ms.
+  EXPECT_EQ(tx_time(1500, mbps(10)), msec(1) + usec(200));
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -1,0 +1,25 @@
+// hfsc_sim — run an H-FSC scenario file and print per-class statistics.
+//
+//   $ hfsc_sim scenarios/campus.hfsc
+//
+// See src/sim/scenario.hpp for the file format.
+#include <cstdio>
+#include <exception>
+
+#include "sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <scenario-file>\n", argv[0]);
+    return 2;
+  }
+  try {
+    const hfsc::Scenario sc = hfsc::Scenario::parse_file(argv[1]);
+    const hfsc::ScenarioResult result = hfsc::run_scenario(sc);
+    std::printf("%s", result.to_table().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
