@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eligible_ablation.dir/bench_eligible_ablation.cpp.o"
+  "CMakeFiles/bench_eligible_ablation.dir/bench_eligible_ablation.cpp.o.d"
+  "bench_eligible_ablation"
+  "bench_eligible_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eligible_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

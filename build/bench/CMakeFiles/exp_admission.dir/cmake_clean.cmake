@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_admission.dir/exp_admission.cpp.o"
+  "CMakeFiles/exp_admission.dir/exp_admission.cpp.o.d"
+  "exp_admission"
+  "exp_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

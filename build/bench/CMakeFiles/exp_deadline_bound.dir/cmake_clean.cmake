@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_deadline_bound.dir/exp_deadline_bound.cpp.o"
+  "CMakeFiles/exp_deadline_bound.dir/exp_deadline_bound.cpp.o.d"
+  "exp_deadline_bound"
+  "exp_deadline_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_deadline_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_delay_decoupling.dir/exp_delay_decoupling.cpp.o"
+  "CMakeFiles/exp_delay_decoupling.dir/exp_delay_decoupling.cpp.o.d"
+  "exp_delay_decoupling"
+  "exp_delay_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_delay_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

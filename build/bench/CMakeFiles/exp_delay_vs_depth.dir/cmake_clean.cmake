@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_delay_vs_depth.dir/exp_delay_vs_depth.cpp.o"
+  "CMakeFiles/exp_delay_vs_depth.dir/exp_delay_vs_depth.cpp.o.d"
+  "exp_delay_vs_depth"
+  "exp_delay_vs_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_delay_vs_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

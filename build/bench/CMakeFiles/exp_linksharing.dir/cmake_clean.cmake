@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_linksharing.dir/exp_linksharing.cpp.o"
+  "CMakeFiles/exp_linksharing.dir/exp_linksharing.cpp.o.d"
+  "exp_linksharing"
+  "exp_linksharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_linksharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_nonpunishment.dir/exp_nonpunishment.cpp.o"
+  "CMakeFiles/exp_nonpunishment.dir/exp_nonpunishment.cpp.o.d"
+  "exp_nonpunishment"
+  "exp_nonpunishment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_nonpunishment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_vt_discrepancy.dir/exp_vt_discrepancy.cpp.o"
+  "CMakeFiles/exp_vt_discrepancy.dir/exp_vt_discrepancy.cpp.o.d"
+  "exp_vt_discrepancy"
+  "exp_vt_discrepancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_vt_discrepancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

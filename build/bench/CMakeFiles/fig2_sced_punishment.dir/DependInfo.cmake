@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_sced_punishment.cpp" "bench/CMakeFiles/fig2_sced_punishment.dir/fig2_sced_punishment.cpp.o" "gcc" "bench/CMakeFiles/fig2_sced_punishment.dir/fig2_sced_punishment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hfsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hfsc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/hfsc_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hfsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

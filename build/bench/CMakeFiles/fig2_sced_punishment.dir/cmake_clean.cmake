@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sced_punishment.dir/fig2_sced_punishment.cpp.o"
+  "CMakeFiles/fig2_sced_punishment.dir/fig2_sced_punishment.cpp.o.d"
+  "fig2_sced_punishment"
+  "fig2_sced_punishment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sced_punishment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

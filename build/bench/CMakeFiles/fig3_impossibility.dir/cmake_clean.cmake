@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_impossibility.dir/fig3_impossibility.cpp.o"
+  "CMakeFiles/fig3_impossibility.dir/fig3_impossibility.cpp.o.d"
+  "fig3_impossibility"
+  "fig3_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

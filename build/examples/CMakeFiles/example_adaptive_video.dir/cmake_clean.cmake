@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_video.dir/adaptive_video.cpp.o"
+  "CMakeFiles/example_adaptive_video.dir/adaptive_video.cpp.o.d"
+  "example_adaptive_video"
+  "example_adaptive_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_campus_linksharing.dir/campus_linksharing.cpp.o"
+  "CMakeFiles/example_campus_linksharing.dir/campus_linksharing.cpp.o.d"
+  "example_campus_linksharing"
+  "example_campus_linksharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_campus_linksharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

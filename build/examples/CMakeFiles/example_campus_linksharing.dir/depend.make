@@ -1,0 +1,2 @@
+# Empty dependencies file for example_campus_linksharing.
+# This may be replaced when dependencies are built.

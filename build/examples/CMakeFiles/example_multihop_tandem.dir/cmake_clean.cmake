@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multihop_tandem.dir/multihop_tandem.cpp.o"
+  "CMakeFiles/example_multihop_tandem.dir/multihop_tandem.cpp.o.d"
+  "example_multihop_tandem"
+  "example_multihop_tandem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multihop_tandem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

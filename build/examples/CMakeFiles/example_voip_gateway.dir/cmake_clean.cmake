@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_voip_gateway.dir/voip_gateway.cpp.o"
+  "CMakeFiles/example_voip_gateway.dir/voip_gateway.cpp.o.d"
+  "example_voip_gateway"
+  "example_voip_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_voip_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

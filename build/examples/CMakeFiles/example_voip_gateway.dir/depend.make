@@ -1,0 +1,2 @@
+# Empty dependencies file for example_voip_gateway.
+# This may be replaced when dependencies are built.

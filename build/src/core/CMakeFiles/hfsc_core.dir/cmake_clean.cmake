@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfsc_core.dir/eligible_set.cpp.o"
+  "CMakeFiles/hfsc_core.dir/eligible_set.cpp.o.d"
+  "CMakeFiles/hfsc_core.dir/hfsc.cpp.o"
+  "CMakeFiles/hfsc_core.dir/hfsc.cpp.o.d"
+  "libhfsc_core.a"
+  "libhfsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/curve/piecewise.cpp" "src/curve/CMakeFiles/hfsc_curve.dir/piecewise.cpp.o" "gcc" "src/curve/CMakeFiles/hfsc_curve.dir/piecewise.cpp.o.d"
+  "/root/repo/src/curve/runtime_curve.cpp" "src/curve/CMakeFiles/hfsc_curve.dir/runtime_curve.cpp.o" "gcc" "src/curve/CMakeFiles/hfsc_curve.dir/runtime_curve.cpp.o.d"
+  "/root/repo/src/curve/service_curve.cpp" "src/curve/CMakeFiles/hfsc_curve.dir/service_curve.cpp.o" "gcc" "src/curve/CMakeFiles/hfsc_curve.dir/service_curve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfsc_curve.dir/piecewise.cpp.o"
+  "CMakeFiles/hfsc_curve.dir/piecewise.cpp.o.d"
+  "CMakeFiles/hfsc_curve.dir/runtime_curve.cpp.o"
+  "CMakeFiles/hfsc_curve.dir/runtime_curve.cpp.o.d"
+  "CMakeFiles/hfsc_curve.dir/service_curve.cpp.o"
+  "CMakeFiles/hfsc_curve.dir/service_curve.cpp.o.d"
+  "libhfsc_curve.a"
+  "libhfsc_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfsc_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhfsc_curve.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cbq.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/cbq.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/cbq.cpp.o.d"
+  "/root/repo/src/sched/classifier.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/classifier.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/classifier.cpp.o.d"
+  "/root/repo/src/sched/conditioning.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/conditioning.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/conditioning.cpp.o.d"
+  "/root/repo/src/sched/drr.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/drr.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/drr.cpp.o.d"
+  "/root/repo/src/sched/fsc_flat.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/fsc_flat.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/fsc_flat.cpp.o.d"
+  "/root/repo/src/sched/gps.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/gps.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/gps.cpp.o.d"
+  "/root/repo/src/sched/hpfq.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/hpfq.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/hpfq.cpp.o.d"
+  "/root/repo/src/sched/pfq.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/pfq.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/pfq.cpp.o.d"
+  "/root/repo/src/sched/pfq_sched.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/pfq_sched.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/pfq_sched.cpp.o.d"
+  "/root/repo/src/sched/sced.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/sced.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/sced.cpp.o.d"
+  "/root/repo/src/sched/virtual_clock.cpp" "src/sched/CMakeFiles/hfsc_sched.dir/virtual_clock.cpp.o" "gcc" "src/sched/CMakeFiles/hfsc_sched.dir/virtual_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/curve/CMakeFiles/hfsc_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hfsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfsc_sched.dir/cbq.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/cbq.cpp.o.d"
+  "CMakeFiles/hfsc_sched.dir/classifier.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/classifier.cpp.o.d"
+  "CMakeFiles/hfsc_sched.dir/conditioning.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/conditioning.cpp.o.d"
+  "CMakeFiles/hfsc_sched.dir/drr.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/drr.cpp.o.d"
+  "CMakeFiles/hfsc_sched.dir/fsc_flat.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/fsc_flat.cpp.o.d"
+  "CMakeFiles/hfsc_sched.dir/gps.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/gps.cpp.o.d"
+  "CMakeFiles/hfsc_sched.dir/hpfq.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/hpfq.cpp.o.d"
+  "CMakeFiles/hfsc_sched.dir/pfq.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/pfq.cpp.o.d"
+  "CMakeFiles/hfsc_sched.dir/pfq_sched.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/pfq_sched.cpp.o.d"
+  "CMakeFiles/hfsc_sched.dir/sced.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/sced.cpp.o.d"
+  "CMakeFiles/hfsc_sched.dir/virtual_clock.cpp.o"
+  "CMakeFiles/hfsc_sched.dir/virtual_clock.cpp.o.d"
+  "libhfsc_sched.a"
+  "libhfsc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfsc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

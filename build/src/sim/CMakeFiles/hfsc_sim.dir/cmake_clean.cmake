@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfsc_sim.dir/scenario.cpp.o"
+  "CMakeFiles/hfsc_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/hfsc_sim.dir/sources.cpp.o"
+  "CMakeFiles/hfsc_sim.dir/sources.cpp.o.d"
+  "CMakeFiles/hfsc_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/hfsc_sim.dir/trace_io.cpp.o.d"
+  "libhfsc_sim.a"
+  "libhfsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfsc_util.dir/stats.cpp.o"
+  "CMakeFiles/hfsc_util.dir/stats.cpp.o.d"
+  "libhfsc_util.a"
+  "libhfsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfsc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_classifier.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_classifier.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_classifier.cpp.o.d"
+  "/root/repo/tests/test_conditioning.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_conditioning.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_conditioning.cpp.o.d"
+  "/root/repo/tests/test_drr_cbq.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_drr_cbq.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_drr_cbq.cpp.o.d"
+  "/root/repo/tests/test_eligible_set.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_eligible_set.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_eligible_set.cpp.o.d"
+  "/root/repo/tests/test_gps.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_gps.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_gps.cpp.o.d"
+  "/root/repo/tests/test_hfsc_basic.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_basic.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_basic.cpp.o.d"
+  "/root/repo/tests/test_hfsc_dynamic.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_dynamic.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_dynamic.cpp.o.d"
+  "/root/repo/tests/test_hfsc_edge.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_edge.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_edge.cpp.o.d"
+  "/root/repo/tests/test_hfsc_fuzz.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_fuzz.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_fuzz.cpp.o.d"
+  "/root/repo/tests/test_hfsc_guarantees.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_guarantees.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_guarantees.cpp.o.d"
+  "/root/repo/tests/test_hfsc_linksharing.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_linksharing.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_linksharing.cpp.o.d"
+  "/root/repo/tests/test_hfsc_upperlimit.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_upperlimit.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_hfsc_upperlimit.cpp.o.d"
+  "/root/repo/tests/test_hpfq_policies.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_hpfq_policies.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_hpfq_policies.cpp.o.d"
+  "/root/repo/tests/test_indexed_heap.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_indexed_heap.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_indexed_heap.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_linear_curve_advantage.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_linear_curve_advantage.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_linear_curve_advantage.cpp.o.d"
+  "/root/repo/tests/test_pfq.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_pfq.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_pfq.cpp.o.d"
+  "/root/repo/tests/test_piecewise.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_piecewise.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_piecewise.cpp.o.d"
+  "/root/repo/tests/test_router_pipeline.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_router_pipeline.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_router_pipeline.cpp.o.d"
+  "/root/repo/tests/test_runtime_curve.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_runtime_curve.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_runtime_curve.cpp.o.d"
+  "/root/repo/tests/test_sced_vc.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_sced_vc.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_sced_vc.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_service_curve.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_service_curve.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_service_curve.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_stats_rng.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_stats_rng.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_stats_rng.cpp.o.d"
+  "/root/repo/tests/test_tandem_trace.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_tandem_trace.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_tandem_trace.cpp.o.d"
+  "/root/repo/tests/test_types.cpp" "tests/CMakeFiles/hfsc_tests.dir/test_types.cpp.o" "gcc" "tests/CMakeFiles/hfsc_tests.dir/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hfsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hfsc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/hfsc_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hfsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfsc_sim_tool.dir/hfsc_sim.cpp.o"
+  "CMakeFiles/hfsc_sim_tool.dir/hfsc_sim.cpp.o.d"
+  "hfsc_sim"
+  "hfsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfsc_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
