@@ -1,0 +1,162 @@
+#include "core/auditor.hpp"
+
+#include <sstream>
+
+namespace hfsc {
+
+std::string AuditReport::to_string() const {
+  if (failures.empty()) return "audit clean";
+  std::ostringstream os;
+  os << failures.size() << " audit failure(s):";
+  for (const std::string& f : failures) os << "\n  " << f;
+  return os.str();
+}
+
+AuditReport audit(const Hfsc& s) {
+  AuditReport r;
+  const auto& nodes = s.nodes_;
+  const auto& queues = s.queues_;
+  auto fail = [&](ClassId c, const std::string& what) {
+    r.failures.push_back("class " + std::to_string(c) + ": " + what);
+  };
+
+  std::size_t queued_packets = 0;
+  Bytes queued_bytes = 0;
+
+  for (ClassId c = 0; c < nodes.size(); ++c) {
+    const auto& n = nodes[c];
+
+    if (n.deleted) {
+      if (c == kRootClass) fail(c, "root marked deleted");
+      if (n.active) fail(c, "deleted but active");
+      if (queues.has(c)) fail(c, "deleted but has queued packets");
+      if (s.rt_requests_->contains(c)) fail(c, "deleted but in eligible set");
+      if (!n.children.empty()) fail(c, "deleted with live children");
+      continue;
+    }
+
+    // Tree structure: the parent/child links must mirror each other.
+    if (c != kRootClass) {
+      if (n.parent >= nodes.size() || nodes[n.parent].deleted) {
+        fail(c, "parent link points at an unknown or deleted class");
+        continue;
+      }
+      const auto& p = nodes[n.parent];
+      if (n.idx_in_parent >= p.children.size() ||
+          p.children[n.idx_in_parent] != c) {
+        fail(c, "idx_in_parent does not match the parent's children list");
+      }
+    }
+    for (std::uint32_t i = 0; i < n.children.size(); ++i) {
+      const ClassId child = n.children[i];
+      if (child == kRootClass || child >= nodes.size() ||
+          nodes[child].deleted) {
+        fail(c, "children list holds an invalid class id");
+      } else if (nodes[child].parent != c) {
+        fail(c, "child's parent link disagrees");
+      }
+    }
+
+    // Queue accounting: packets live only at leaves.
+    const std::size_t qlen = queues.queue_len(c);
+    queued_packets += qlen;
+    queued_bytes += queues.bytes_in(c);
+    if (qlen > 0 && (c == kRootClass || !n.children.empty())) {
+      fail(c, "non-leaf class has queued packets");
+    }
+
+    const bool is_leaf = c != kRootClass && n.children.empty();
+    const bool backlogged = queues.has(c);
+
+    // Active flags: leaf active <=> ls curve + backlog; interior (and
+    // root) active <=> non-empty active-children heap.
+    if (is_leaf) {
+      const bool should = n.has_ls() && backlogged;
+      if (n.active != should) {
+        fail(c, n.active ? "leaf active without ls backlog"
+                         : "backlogged ls leaf not active");
+      }
+    } else {
+      if (n.active != !n.active_children.empty()) {
+        fail(c, "interior active flag disagrees with the children heap");
+      }
+    }
+
+    // Heap consistency: the heap holds exactly the active children, keyed
+    // by their current virtual time, under the watermark.
+    std::size_t active_kids = 0;
+    for (std::uint32_t i = 0; i < n.children.size(); ++i) {
+      const ClassId child = n.children[i];
+      if (child >= nodes.size() || nodes[child].deleted) continue;
+      const auto& ch = nodes[child];
+      if (ch.active) {
+        ++active_kids;
+        if (!n.active_children.contains(i)) {
+          fail(c, "active child missing from the heap");
+        } else {
+          if (n.active_children.key_of(i) != ch.vt) {
+            fail(c, "heap key out of sync with child vt");
+          }
+          if (n.vt_watermark < n.active_children.key_of(i)) {
+            fail(c, "vt watermark below an active child's key");
+          }
+        }
+      } else if (n.active_children.contains(i)) {
+        fail(c, "passive child still in the heap");
+      }
+    }
+    if (n.active_children.size() != active_kids) {
+      fail(c, "heap size does not match the number of active children");
+    }
+
+    // Real-time side: eligible-set membership <=> backlogged rt leaf, and
+    // the cached (e, d) equal the curves' inverses at the operating point.
+    const bool should_request = is_leaf && n.has_rt() && backlogged;
+    if (s.rt_requests_->contains(c) != should_request) {
+      fail(c, should_request ? "backlogged rt leaf missing from eligible set"
+                             : "stale entry in the eligible set");
+    }
+    if (should_request) {
+      if (n.e != n.ec.y2x(n.cumul)) {
+        fail(c, "cached eligible time disagrees with E^-1(c)");
+      }
+      if (n.d != n.dc.y2x(sat_add(n.cumul, queues.head(c).len))) {
+        fail(c, "cached deadline disagrees with D^-1(c + len)");
+      }
+      if (n.e > n.d) fail(c, "eligible time after deadline");
+    }
+
+    // Curve/counter consistency.
+    if (n.active && c != kRootClass && n.has_ls() &&
+        n.vt != n.vc.y2x(n.total)) {
+      fail(c, "virtual time disagrees with V^-1(w)");
+    }
+    if (n.has_ul() && n.fit != n.uc.y2x(n.total)) {
+      fail(c, "fit time disagrees with U^-1(w)");
+    }
+    if (n.cumul > n.total) fail(c, "rt service exceeds total service");
+
+    // Service conservation: live children never out-serve the parent.
+    if (!n.children.empty()) {
+      Bytes child_total = 0;
+      for (const ClassId child : n.children) {
+        if (child < nodes.size()) child_total = sat_add(child_total, nodes[child].total);
+      }
+      if (child_total > n.total) {
+        fail(c, "children's total service exceeds the parent's");
+      }
+    }
+  }
+
+  // Whole-scheduler queue totals must match the per-class sums.
+  if (queued_packets != queues.packets()) {
+    fail(kRootClass, "per-class packet counts do not sum to the backlog");
+  }
+  if (queued_bytes != queues.bytes()) {
+    fail(kRootClass, "per-class byte counts do not sum to the backlog");
+  }
+
+  return r;
+}
+
+}  // namespace hfsc

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/auditor.hpp"
+
 namespace hfsc {
 
 namespace {
@@ -15,21 +17,47 @@ constexpr TimeNs avg(TimeNs a, TimeNs b) noexcept {
 Hfsc::Hfsc(RateBps link_rate, EligibleSetKind kind, SystemVtPolicy vt_policy)
     : link_rate_(link_rate), vt_policy_(vt_policy),
       rt_requests_(make_eligible_set(kind)) {
-  assert(link_rate > 0);
+  ensure(link_rate > 0, Errc::kInvalidArgument, "link rate must be > 0");
   nodes_.emplace_back();  // root
 }
 
+void Hfsc::check_config(const ClassConfig& cfg, bool leaf) const {
+  ensure(cfg.rt.is_zero() || cfg.rt.is_supported(), Errc::kUnsupportedCurve,
+         "rt curve must be concave or convex with m1 = 0");
+  ensure(cfg.ls.is_zero() || cfg.ls.is_supported(), Errc::kUnsupportedCurve,
+         "ls curve must be concave or convex with m1 = 0");
+  ensure(cfg.ul.is_zero() || cfg.ul.is_supported(), Errc::kUnsupportedCurve,
+         "ul curve must be concave or convex with m1 = 0");
+  if (leaf) {
+    ensure(!cfg.rt.is_zero() || !cfg.ls.is_zero(), Errc::kMissingCurve,
+           "a leaf needs at least one of rt/ls to ever receive service");
+  } else {
+    ensure(!cfg.ls.is_zero(), Errc::kMissingCurve,
+           "interior classes need a link-sharing curve");
+  }
+}
+
+void Hfsc::maybe_self_check() {
+  if (self_check_every_ == 0 || in_self_check_) return;
+  if (++op_count_ % self_check_every_ != 0) return;
+  in_self_check_ = true;  // audit() reads state only; guard re-entry anyway
+  const AuditReport report = audit(*this);
+  in_self_check_ = false;
+  ++self_checks_run_;
+  if (!report.ok()) {
+    throw Error(Errc::kInvariantViolation, report.to_string());
+  }
+}
+
 ClassId Hfsc::add_class(ClassId parent, ClassConfig cfg) {
-  assert(parent < nodes_.size());
-  assert(!queues_.has(parent) &&
+  ensure(parent < nodes_.size() && (parent == kRootClass || live(parent)),
+         Errc::kInvalidClass, "unknown or deleted parent class");
+  ensure(!queues_.has(parent), Errc::kHasBacklog,
          "cannot add children under a class that queues packets");
-  assert((parent == kRootClass || nodes_[parent].has_ls()) &&
+  ensure(parent == kRootClass || nodes_[parent].has_ls(), Errc::kMissingCurve,
          "interior classes need a link-sharing curve");
-  assert(cfg.rt.is_zero() || cfg.rt.is_supported());
-  assert(cfg.ls.is_zero() || cfg.ls.is_supported());
-  assert(cfg.ul.is_zero() || cfg.ul.is_supported());
-  assert((!cfg.rt.is_zero() || !cfg.ls.is_zero()) &&
-         "a class needs at least one of rt/ls to ever receive service");
+  check_config(cfg, /*leaf=*/true);
+  maybe_self_check();
 
   Node n;
   n.parent = parent;
@@ -193,16 +221,11 @@ std::optional<Packet> Hfsc::serve(ClassId leaf, Criterion crit, TimeNs now) {
 }
 
 void Hfsc::change_class(TimeNs now, ClassId cls, ClassConfig cfg) {
-  assert(cls > 0 && cls < nodes_.size() && !nodes_[cls].deleted);
+  ensure(live(cls), Errc::kInvalidClass, "unknown or deleted class");
   Node& n = nodes_[cls];
-  assert(cfg.rt.is_zero() || cfg.rt.is_supported());
-  assert(cfg.ls.is_zero() || cfg.ls.is_supported());
-  assert(cfg.ul.is_zero() || cfg.ul.is_supported());
-  assert((n.children.empty() || !cfg.ls.is_zero()) &&
-         "interior classes need a link-sharing curve");
-  assert((n.children.empty() ? (!cfg.rt.is_zero() || !cfg.ls.is_zero())
-                             : true) &&
-         "a leaf needs at least one of rt/ls");
+  check_config(cfg, /*leaf=*/n.children.empty());
+  maybe_self_check();
+  now = clamp_now(now);
 
   const bool had_ls = n.has_ls();
   n.cfg = cfg;
@@ -246,9 +269,10 @@ void Hfsc::change_class(TimeNs now, ClassId cls, ClassConfig cfg) {
 }
 
 void Hfsc::delete_class(ClassId cls) {
-  assert(cls > 0 && cls < nodes_.size() && !nodes_[cls].deleted);
+  ensure(live(cls), Errc::kInvalidClass, "unknown or deleted class");
   Node& n = nodes_[cls];
-  assert(n.children.empty() && "delete children first");
+  ensure(n.children.empty(), Errc::kHasChildren, "delete children first");
+  maybe_self_check();
 
   // Purge queued packets, counting them as drops.
   while (queues_.has(cls)) {
@@ -280,14 +304,37 @@ void Hfsc::delete_class(ClassId cls) {
 }
 
 void Hfsc::set_queue_limit(ClassId cls, std::size_t max_packets) {
-  assert(cls > 0 && cls < nodes_.size());
+  ensure(live(cls), Errc::kInvalidClass, "unknown or deleted class");
+  maybe_self_check();
   nodes_[cls].queue_limit = max_packets;
 }
 
 void Hfsc::enqueue(TimeNs now, Packet pkt) {
-  assert(pkt.cls > 0 && pkt.cls < nodes_.size());
-  assert(nodes_[pkt.cls].children.empty() && "only leaves carry packets");
+  maybe_self_check();
+  now = clamp_now(now);
+  // Data-path hardening: absorb malformed events without throwing (the
+  // forwarding plane must survive hostile input; see util/errors.hpp).
+  if (pkt.cls == 0 || pkt.cls >= nodes_.size() || nodes_[pkt.cls].deleted ||
+      !nodes_[pkt.cls].children.empty()) {
+    ++counters_.bad_class;
+    if (pkt.cls < nodes_.size() && pkt.cls != 0) {
+      ++nodes_[pkt.cls].pkts_dropped;
+      nodes_[pkt.cls].bytes_dropped += pkt.len;
+    }
+    return;
+  }
   Node& n = nodes_[pkt.cls];
+  if (pkt.len == 0) {
+    ++counters_.zero_len;
+    ++n.pkts_dropped;
+    return;
+  }
+  if (pkt.len > max_packet_len_) {
+    ++counters_.oversized;
+    ++n.pkts_dropped;
+    n.bytes_dropped += pkt.len;
+    return;
+  }
   if (n.queue_limit != 0 && queues_.queue_len(pkt.cls) >= n.queue_limit) {
     ++n.pkts_dropped;
     n.bytes_dropped += pkt.len;
@@ -301,6 +348,8 @@ void Hfsc::enqueue(TimeNs now, Packet pkt) {
 }
 
 std::optional<Packet> Hfsc::dequeue(TimeNs now) {
+  maybe_self_check();
+  now = clamp_now(now);
   if (queues_.packets() == 0) return std::nullopt;
   // Real-time criterion: used exactly when some leaf is eligible — i.e.
   // when leaving the choice to link-sharing could endanger a guarantee.

@@ -38,10 +38,13 @@
 #include "curve/runtime_curve.hpp"
 #include "sched/class_queues.hpp"
 #include "sched/scheduler.hpp"
+#include "util/errors.hpp"
 #include "util/indexed_heap.hpp"
 #include "util/types.hpp"
 
 namespace hfsc {
+
+struct AuditReport;  // core/auditor.hpp
 
 // Which criterion released a packet; exposed for instrumentation.
 enum class Criterion { kRealTime, kLinkShare };
@@ -81,6 +84,12 @@ enum class SystemVtPolicy { kMin, kMax, kMidpoint };
 
 class Hfsc final : public Scheduler {
  public:
+  // Packets longer than this are dropped-and-counted on arrival (a length
+  // that large is a corrupted event, and admitting it would distort the
+  // byte accounting for everyone else).  Override with set_max_packet_len.
+  static constexpr Bytes kDefaultMaxPacketLen = kMaxSanePacketLen;
+
+  // Throws Error{kInvalidArgument} if link_rate == 0.
   explicit Hfsc(RateBps link_rate,
                 EligibleSetKind kind = EligibleSetKind::kDualHeap,
                 SystemVtPolicy vt_policy = SystemVtPolicy::kMidpoint);
@@ -89,10 +98,16 @@ class Hfsc final : public Scheduler {
   // classes may receive packets; interior classes' rt curves are ignored
   // (the paper's architecture applies the real-time criterion to leaves
   // only).  A class that has queued packets must remain a leaf.
+  // Throws Error on misuse: unknown/deleted parent (kInvalidClass),
+  // parent with queued packets (kHasBacklog), interior parent without an
+  // ls curve (kMissingCurve), unsupported curve shapes
+  // (kUnsupportedCurve), or a config with neither rt nor ls
+  // (kMissingCurve).
   ClassId add_class(ClassId parent, ClassConfig cfg);
 
   // Caps a leaf's queue at `max_packets` (0 = unlimited, the default).
-  // Arrivals beyond the cap are tail-dropped and counted.
+  // Arrivals beyond the cap are tail-dropped and counted.  Throws
+  // Error{kInvalidClass} for an unknown, root, or deleted class.
   void set_queue_limit(ClassId cls, std::size_t max_packets);
 
   // Replaces a class's service curves at runtime (the authors'
@@ -100,18 +115,43 @@ class Hfsc final : public Scheduler {
   // re-anchored at the class's current operating point — (now, c) for the
   // deadline/eligible pair, (v, w) for the virtual curve — so guarantees
   // resume from the present instead of re-crediting the past.  An
-  // interior class must keep a link-sharing curve.
+  // interior class must keep a link-sharing curve.  Throws Error on
+  // misuse (see add_class).
   void change_class(TimeNs now, ClassId cls, ClassConfig cfg);
 
   // Deletes a leaf class: queued packets are dropped (counted against the
   // class), the class is detached from the tree and its id becomes
-  // invalid.  Interior classes must have their children deleted first.
+  // invalid.  Interior classes must have their children deleted first
+  // (Error{kHasChildren} otherwise).
   void delete_class(ClassId cls);
 
   bool is_deleted(ClassId cls) const { return nodes_[cls].deleted; }
 
+  // Data path — never throws.  A packet for an unknown/deleted/interior
+  // class, a zero-length packet, or one above the maximum length is
+  // dropped and counted in data_path_counters(); a `now` that runs
+  // backwards is clamped to the last time seen (and counted) so internal
+  // curves stay monotone under clock anomalies.
   void enqueue(TimeNs now, Packet pkt) override;
   std::optional<Packet> dequeue(TimeNs now) override;
+
+  void set_max_packet_len(Bytes len) {
+    ensure(len > 0, Errc::kInvalidArgument, "max packet length must be > 0");
+    max_packet_len_ = len;
+  }
+  Bytes max_packet_len() const noexcept { return max_packet_len_; }
+  const DataPathCounters& data_path_counters() const noexcept {
+    return counters_;
+  }
+
+  // Opt-in self-check: every `every_n` public operations (enqueue,
+  // dequeue, mutators) run the invariant auditor (core/auditor.hpp) and
+  // throw Error{kInvariantViolation} on the first inconsistency.
+  // 0 disables (the default).
+  void enable_self_check(std::size_t every_n) noexcept {
+    self_check_every_ = every_n;
+  }
+  std::uint64_t self_checks_run() const noexcept { return self_checks_run_; }
 
   std::size_t backlog_packets() const noexcept override {
     return queues_.packets();
@@ -219,6 +259,23 @@ class Hfsc final : public Scheduler {
 
   std::optional<Packet> serve(ClassId leaf, Criterion crit, TimeNs now);
 
+  // True when `cls` names a live (non-root, non-deleted) class.
+  bool live(ClassId cls) const noexcept {
+    return cls > 0 && cls < nodes_.size() && !nodes_[cls].deleted;
+  }
+  // Validates a ClassConfig for a class with/without children; throws.
+  void check_config(const ClassConfig& cfg, bool leaf) const;
+  // Clamps a data-path clock that ran backwards, counting the anomaly.
+  TimeNs clamp_now(TimeNs now) noexcept {
+    if (now < last_now_) {
+      ++counters_.clock_regressions;
+      return last_now_;
+    }
+    last_now_ = now;
+    return now;
+  }
+  void maybe_self_check();
+
   RateBps link_rate_;
   SystemVtPolicy vt_policy_;
   std::vector<Node> nodes_;  // nodes_[0] = root
@@ -228,6 +285,17 @@ class Hfsc final : public Scheduler {
   std::uint64_t rt_selections_ = 0;
   std::uint64_t ls_selections_ = 0;
   Criterion last_criterion_ = Criterion::kLinkShare;
+
+  // Robustness state (see util/errors.hpp and core/auditor.hpp).
+  Bytes max_packet_len_ = kDefaultMaxPacketLen;
+  TimeNs last_now_ = 0;  // data-path monotonic-clock watermark
+  DataPathCounters counters_;
+  std::size_t self_check_every_ = 0;
+  std::uint64_t op_count_ = 0;
+  std::uint64_t self_checks_run_ = 0;
+  bool in_self_check_ = false;
+
+  friend AuditReport audit(const Hfsc&);
 };
 
 }  // namespace hfsc

@@ -8,7 +8,8 @@ namespace hfsc {
 
 Cbq::Cbq(RateBps link_rate, int avg_const)
     : link_rate_(link_rate), w_(1.0 / static_cast<double>(avg_const)) {
-  assert(link_rate > 0 && avg_const > 1);
+  ensure(link_rate > 0, Errc::kInvalidArgument, "link rate must be > 0");
+  ensure(avg_const > 1, Errc::kInvalidArgument, "avg_const must be > 1");
   Node root;
   root.rate = link_rate;
   root.is_leaf = false;
@@ -18,8 +19,10 @@ Cbq::Cbq(RateBps link_rate, int avg_const)
 }
 
 ClassId Cbq::add_class(ClassId parent, RateBps rate, bool borrow) {
-  assert(parent < nodes_.size());
-  assert(rate > 0);
+  ensure(parent < nodes_.size(), Errc::kInvalidClass, "unknown parent class");
+  ensure(rate > 0, Errc::kInvalidArgument, "class rate must be > 0");
+  ensure(!queues_.has(parent), Errc::kHasBacklog,
+         "cannot add children to a class that queues packets");
   nodes_[parent].is_leaf = false;
   Node n;
   n.parent = parent;
@@ -101,7 +104,19 @@ void Cbq::charge(ClassId cls, Bytes len, TimeNs now) {
 }
 
 void Cbq::enqueue(TimeNs /*now*/, Packet pkt) {
-  assert(pkt.cls < nodes_.size() && nodes_[pkt.cls].is_leaf);
+  if (pkt.cls == kRootClass || pkt.cls >= nodes_.size() ||
+      !nodes_[pkt.cls].is_leaf) {
+    ++counters_.bad_class;
+    return;
+  }
+  if (pkt.len == 0) {
+    ++counters_.zero_len;
+    return;
+  }
+  if (pkt.len > kMaxSanePacketLen) {
+    ++counters_.oversized;
+    return;
+  }
   queues_.push(pkt);
   for (ClassId c = pkt.cls; c != kRootClass; c = nodes_[c].parent) {
     ++nodes_[c].subtree_backlog;

@@ -23,19 +23,24 @@
 
 #include "sched/class_queues.hpp"
 #include "sched/scheduler.hpp"
+#include "util/errors.hpp"
 
 namespace hfsc {
 
 class Cbq final : public Scheduler {
  public:
   // avg_const is the EWMA weight denominator (the classic 1/16).
+  // Throws Error{kInvalidArgument} on a zero link rate or avg_const <= 1.
   explicit Cbq(RateBps link_rate, int avg_const = 16);
 
   // Adds a class with `rate` (its allocation) under `parent`
   // (kRootClass for top level).  `borrow` lets it exceed the allocation
   // while an ancestor is underlimit.  Only leaves queue packets.
+  // Throws Error on an unknown parent or zero rate.
   ClassId add_class(ClassId parent, RateBps rate, bool borrow = true);
 
+  // Data path — never throws; packets for unknown or interior classes
+  // and zero-length/oversized packets are dropped and counted.
   void enqueue(TimeNs now, Packet pkt) override;
   std::optional<Packet> dequeue(TimeNs now) override;
 
@@ -49,6 +54,9 @@ class Cbq final : public Scheduler {
   // Estimator introspection (tests).
   double avgidle_ns(ClassId cls) const { return nodes_[cls].avgidle; }
   bool underlimit(ClassId cls) const { return nodes_[cls].avgidle >= 0.0; }
+  const DataPathCounters& data_path_counters() const noexcept {
+    return counters_;
+  }
 
  private:
   struct Node {
@@ -84,6 +92,7 @@ class Cbq final : public Scheduler {
   std::vector<Node> nodes_;
   ClassQueues queues_;
   std::deque<ClassId> round_;  // backlogged leaves, WRR order
+  DataPathCounters counters_;
 };
 
 }  // namespace hfsc

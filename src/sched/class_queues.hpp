@@ -45,6 +45,15 @@ class ClassQueues {
     return cls < q_.size() ? q_[cls].size() : 0;
   }
 
+  // Bytes queued for one class (O(queue length); auditing/introspection).
+  Bytes bytes_in(ClassId cls) const noexcept {
+    Bytes b = 0;
+    if (cls < q_.size()) {
+      for (const Packet& p : q_[cls]) b += p.len;
+    }
+    return b;
+  }
+
   std::size_t packets() const noexcept { return packets_; }
   Bytes bytes() const noexcept { return bytes_; }
   std::size_t num_classes() const noexcept { return q_.size(); }

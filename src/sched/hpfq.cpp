@@ -1,10 +1,9 @@
 #include "sched/hpfq.hpp"
 
-#include <cassert>
-
 namespace hfsc {
 
 HPfq::HPfq(RateBps link_rate, PfqPolicy policy) : policy_(policy) {
+  ensure(link_rate > 0, Errc::kInvalidArgument, "link rate must be > 0");
   Node root;
   root.server = std::make_unique<PfqServer>(link_rate, policy);
   root.rate = link_rate;
@@ -12,10 +11,11 @@ HPfq::HPfq(RateBps link_rate, PfqPolicy policy) : policy_(policy) {
 }
 
 ClassId HPfq::add_class(ClassId parent, RateBps rate) {
-  assert(parent < nodes_.size());
+  ensure(parent < nodes_.size(), Errc::kInvalidClass, "unknown parent class");
+  ensure(rate > 0, Errc::kInvalidArgument, "class rate must be > 0");
   if (nodes_[parent].is_leaf()) {
     // First child under an interior-to-be class: give it a server.
-    assert(!queues_.has(parent) &&
+    ensure(!queues_.has(parent), Errc::kHasBacklog,
            "cannot add children to a class that queues packets");
     nodes_[parent].server =
         std::make_unique<PfqServer>(nodes_[parent].rate, policy_);
@@ -46,7 +46,19 @@ Bytes HPfq::head_len(ClassId n) {
 }
 
 void HPfq::enqueue(TimeNs /*now*/, Packet pkt) {
-  assert(pkt.cls < nodes_.size() && nodes_[pkt.cls].is_leaf());
+  if (pkt.cls == kRootClass || pkt.cls >= nodes_.size() ||
+      !nodes_[pkt.cls].is_leaf()) {
+    ++counters_.bad_class;
+    return;
+  }
+  if (pkt.len == 0) {
+    ++counters_.zero_len;
+    return;
+  }
+  if (pkt.len > kMaxSanePacketLen) {
+    ++counters_.oversized;
+    return;
+  }
   const bool was_empty = !queues_.has(pkt.cls);
   queues_.push(pkt);
   if (!was_empty) return;

@@ -25,20 +25,24 @@
 #include "sched/class_queues.hpp"
 #include "sched/pfq.hpp"
 #include "sched/scheduler.hpp"
+#include "util/errors.hpp"
 
 namespace hfsc {
 
 class HPfq final : public Scheduler {
  public:
   // policy applies to every node; the paper's H-PFQ uses WF2Q+ (SEFF).
+  // Throws Error{kInvalidArgument} if link_rate == 0.
   explicit HPfq(RateBps link_rate, PfqPolicy policy = PfqPolicy::SEFF);
 
   // Adds a class under `parent` (kRootClass for top level) with the given
   // guaranteed rate.  Classes that receive packets must stay leaves;
-  // adding a child under a class that already queued packets is not
-  // supported.
+  // adding a child under a class that already queued packets throws
+  // Error{kHasBacklog}; an unknown parent or zero rate also throws.
   ClassId add_class(ClassId parent, RateBps rate);
 
+  // Data path — never throws; packets for unknown or interior classes
+  // and zero-length/oversized packets are dropped and counted.
   void enqueue(TimeNs now, Packet pkt) override;
   std::optional<Packet> dequeue(TimeNs now) override;
 
@@ -49,6 +53,9 @@ class HPfq final : public Scheduler {
   std::string name() const override { return "H-PFQ"; }
 
   std::size_t depth_of(ClassId cls) const;
+  const DataPathCounters& data_path_counters() const noexcept {
+    return counters_;
+  }
 
  private:
   struct Node {
@@ -67,6 +74,7 @@ class HPfq final : public Scheduler {
   PfqPolicy policy_;
   std::vector<Node> nodes_;  // nodes_[0] is the root
   ClassQueues queues_;
+  DataPathCounters counters_;
 };
 
 }  // namespace hfsc

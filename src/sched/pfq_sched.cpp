@@ -1,10 +1,9 @@
 #include "sched/pfq_sched.hpp"
 
-#include <cassert>
-
 namespace hfsc {
 
 ClassId PfqSched::add_session(RateBps weight) {
+  ensure(weight > 0, Errc::kInvalidArgument, "session weight must be > 0");
   if (child_of_.empty()) child_of_.push_back(0);  // burn id 0
   child_of_.push_back(server_.add_child(weight));
   const ClassId id = static_cast<ClassId>(child_of_.size() - 1);
@@ -13,7 +12,18 @@ ClassId PfqSched::add_session(RateBps weight) {
 }
 
 void PfqSched::enqueue(TimeNs /*now*/, Packet pkt) {
-  assert(pkt.cls >= 1 && pkt.cls < child_of_.size());
+  if (pkt.cls < 1 || pkt.cls >= child_of_.size()) {
+    ++counters_.bad_class;
+    return;
+  }
+  if (pkt.len == 0) {
+    ++counters_.zero_len;
+    return;
+  }
+  if (pkt.len > kMaxSanePacketLen) {
+    ++counters_.oversized;
+    return;
+  }
   const bool was_empty = !queues_.has(pkt.cls);
   queues_.push(pkt);
   if (was_empty) {

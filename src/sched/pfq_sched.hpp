@@ -9,17 +9,23 @@
 #include "sched/class_queues.hpp"
 #include "sched/pfq.hpp"
 #include "sched/scheduler.hpp"
+#include "util/errors.hpp"
 
 namespace hfsc {
 
 class PfqSched final : public Scheduler {
  public:
   PfqSched(RateBps link_rate, PfqPolicy policy)
-      : server_(link_rate, policy), policy_(policy) {}
+      : server_(link_rate, policy), policy_(policy) {
+    ensure(link_rate > 0, Errc::kInvalidArgument, "link rate must be > 0");
+  }
 
-  // Registers a session with the given weight (bytes/s).
+  // Registers a session with the given weight (bytes/s); throws
+  // Error{kInvalidArgument} on a zero weight.
   ClassId add_session(RateBps weight);
 
+  // Data path — never throws; packets for unknown sessions and
+  // zero-length/oversized packets are dropped and counted.
   void enqueue(TimeNs now, Packet pkt) override;
   std::optional<Packet> dequeue(TimeNs now) override;
 
@@ -30,6 +36,9 @@ class PfqSched final : public Scheduler {
   std::string name() const override;
 
   TimeNs vtime() const noexcept { return server_.vtime(); }
+  const DataPathCounters& data_path_counters() const noexcept {
+    return counters_;
+  }
 
  private:
   PfqServer server_;
@@ -37,6 +46,7 @@ class PfqSched final : public Scheduler {
   ClassQueues queues_;
   // ClassId -> server child index (ids start at 1, children at 0).
   std::vector<std::uint32_t> child_of_;
+  DataPathCounters counters_;
 };
 
 }  // namespace hfsc

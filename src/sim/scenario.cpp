@@ -99,12 +99,19 @@ Bytes parse_bytes(const std::string& tok) {
 namespace {
 
 ServiceCurve parse_spec(std::istringstream& ls, std::size_t line) {
+  // An explicitly written spec that evaluates to the zero curve is a
+  // config mistake (the class would silently never receive that kind of
+  // service), so it is rejected rather than parsed.
+  auto nonzero = [line](const ServiceCurve& sc) {
+    if (sc.is_zero()) fail(line, "zero-rate service curve");
+    return sc;
+  };
   std::string kind;
   if (!(ls >> kind)) fail(line, "missing curve spec");
   if (kind == "linear") {
     std::string r;
     if (!(ls >> r)) fail(line, "linear needs a rate");
-    return ServiceCurve::linear(parse_rate(r));
+    return nonzero(ServiceCurve::linear(parse_rate(r)));
   }
   if (kind == "curve") {
     std::string m1, d, m2;
@@ -114,12 +121,12 @@ ServiceCurve parse_spec(std::istringstream& ls, std::size_t line) {
       fail(line, "unsupported curve shape (must be concave, or convex with "
                  "m1 = 0)");
     }
-    return sc;
+    return nonzero(sc);
   }
   if (kind == "udr") {
     std::string u, d, r;
     if (!(ls >> u >> d >> r)) fail(line, "udr needs <u> <d> <r>");
-    return from_udr(parse_bytes(u), parse_time(d), parse_rate(r));
+    return nonzero(from_udr(parse_bytes(u), parse_time(d), parse_rate(r)));
   }
   fail(line, "unknown curve spec kind: " + kind);
 }
@@ -251,7 +258,13 @@ Scenario Scenario::parse_file(const std::string& path) {
 }
 
 ScenarioResult run_scenario(const Scenario& sc) {
+  return run_scenario(sc, ScenarioRunOptions{});
+}
+
+ScenarioResult run_scenario(const Scenario& sc,
+                            const ScenarioRunOptions& opts) {
   Hfsc sched(sc.link_rate);
+  if (opts.audit_every != 0) sched.enable_self_check(opts.audit_every);
   std::map<std::string, ClassId> ids;
   for (const ScenarioClass& c : sc.classes) {
     const ClassId parent = c.parent == "root" ? kRootClass : ids.at(c.parent);

@@ -104,7 +104,16 @@ struct ScenarioResult {
   std::string to_table() const;
 };
 
+struct ScenarioRunOptions {
+  // Run the invariant auditor (core/auditor.hpp) every N scheduler
+  // operations during the run; 0 disables.  A violation surfaces as
+  // Error{kInvariantViolation}.
+  std::size_t audit_every = 0;
+};
+
 // Builds the H-FSC hierarchy, runs the workload, gathers statistics.
 ScenarioResult run_scenario(const Scenario& sc);
+ScenarioResult run_scenario(const Scenario& sc,
+                            const ScenarioRunOptions& opts);
 
 }  // namespace hfsc

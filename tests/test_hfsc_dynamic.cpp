@@ -2,6 +2,7 @@
 // delete_class.
 #include <gtest/gtest.h>
 
+#include "core/auditor.hpp"
 #include "core/hfsc.hpp"
 #include "sim/simulator.hpp"
 
@@ -157,6 +158,96 @@ TEST(HfscDelete, SwapRemoveKeepsSiblingBookkeeping) {
   // And the tree still works for new traffic.
   sched.enqueue(now, Packet{kids[4], 800, now, 99});
   EXPECT_TRUE(sched.dequeue(now).has_value());
+}
+
+TEST(HfscChange, MidRealTimeServiceKeepsAuditorGreen) {
+  // Re-shape a backlogged leaf between two real-time services: its rt
+  // curve is re-anchored mid-backlog, and every structural invariant the
+  // auditor checks must survive the transition.
+  const RateBps link = mbps(10);
+  Hfsc sched(link);
+  const ClassId org = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(link)));
+  const ClassId rt = sched.add_class(
+      org, ClassConfig::both(ServiceCurve::linear(mbps(8))));
+  const ClassId bg = sched.add_class(
+      org, ClassConfig::link_share_only(ServiceCurve::linear(mbps(2))));
+
+  TimeNs now = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    sched.enqueue(now, Packet{rt, 1000, now, i});
+    sched.enqueue(now, Packet{bg, 1000, now, 100 + i});
+  }
+  // First service at t=0 must pick the rt leaf by the real-time
+  // criterion (its deadline is due; bg has no guarantee).
+  auto p = sched.dequeue(now);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->cls, rt);
+  EXPECT_EQ(sched.last_criterion(), Criterion::kRealTime);
+  now += tx_time(p->len, link);
+
+  // Mid-service (rt still backlogged, cumul > 0): swap in a concave
+  // two-piece curve with a different long-term rate.
+  sched.change_class(
+      now, rt, ClassConfig::both(ServiceCurve{mbps(9), msec(2), mbps(4)}));
+  AuditReport report = audit(sched);
+  ASSERT_TRUE(report.ok()) << report.to_string();
+
+  // The leaf keeps its backlog, keeps receiving service, and the tree
+  // stays consistent through the drain.
+  std::size_t rt_left = 7, bg_left = 8;
+  while (sched.backlog_packets() > 0) {
+    p = sched.dequeue(now);
+    ASSERT_TRUE(p.has_value());
+    (p->cls == rt ? rt_left : bg_left)--;
+    now += tx_time(p->len, link);
+  }
+  EXPECT_EQ(rt_left, 0u);
+  EXPECT_EQ(bg_left, 0u);
+  report = audit(sched);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(HfscDelete, MidRealTimeServiceKeepsAuditorGreen) {
+  // Delete a leaf that is backlogged and mid-real-time-service; its
+  // packets are purged, the rt eligible set and parent heaps shed it,
+  // and the sibling inherits the link cleanly.
+  const RateBps link = mbps(10);
+  Hfsc sched(link);
+  const ClassId org = sched.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(link)));
+  const ClassId victim = sched.add_class(
+      org, ClassConfig::both(ServiceCurve::linear(mbps(8))));
+  const ClassId sibling = sched.add_class(
+      org, ClassConfig::both(ServiceCurve::linear(mbps(2))));
+
+  TimeNs now = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    sched.enqueue(now, Packet{victim, 1000, now, i});
+    sched.enqueue(now, Packet{sibling, 1000, now, 100 + i});
+  }
+  auto p = sched.dequeue(now);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->cls, victim);
+  EXPECT_EQ(sched.last_criterion(), Criterion::kRealTime);
+  now += tx_time(p->len, link);
+
+  sched.delete_class(victim);
+  EXPECT_TRUE(sched.is_deleted(victim));
+  EXPECT_EQ(sched.packets_dropped(victim), 7u);
+  AuditReport report = audit(sched);
+  ASSERT_TRUE(report.ok()) << report.to_string();
+
+  // Only the sibling's packets remain and all of them drain.
+  std::size_t got = 0;
+  while ((p = sched.dequeue(now))) {
+    EXPECT_EQ(p->cls, sibling);
+    ++got;
+    now += tx_time(p->len, link);
+  }
+  EXPECT_EQ(got, 8u);
+  report = audit(sched);
+  EXPECT_TRUE(report.ok()) << report.to_string();
 }
 
 TEST(HfscDelete, ParentBecomesLeafAgain) {

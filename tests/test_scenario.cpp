@@ -103,6 +103,66 @@ TEST(ScenarioParse, ErrorsCarryLineNumbers) {
                "missing duration");
 }
 
+TEST(ScenarioParse, RejectsZeroRateServiceCurves) {
+  auto expect_error = [](const char* text, const char* needle) {
+    std::istringstream in(text);
+    try {
+      (void)Scenario::parse(in);
+      FAIL() << "expected parse error containing '" << needle << "'";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+      // The message must carry the offending line number (line 3 below).
+      EXPECT_NE(what.find("3"), std::string::npos) << what;
+    }
+  };
+  expect_error("link 10Mbps\nduration 1s\nclass a root ls linear 0bps\n",
+               "zero-rate service curve");
+  expect_error("link 10Mbps\nduration 1s\n"
+               "class a root rt curve 0bps 5ms 0bps\n",
+               "zero-rate service curve");
+  expect_error("link 10Mbps\nduration 1s\n"
+               "class a root rt udr 0 5ms 0bps ls linear 1Mbps\n",
+               "zero-rate service curve");
+}
+
+TEST(ScenarioParse, RejectsDuplicateClassNamesAcrossParents) {
+  std::istringstream in(R"(
+link 10Mbps
+duration 1s
+class org1 root ls linear 5Mbps
+class org2 root ls linear 5Mbps
+class a org1 ls linear 1Mbps
+class a org2 ls linear 1Mbps
+)");
+  try {
+    (void)Scenario::parse(in);
+    FAIL() << "expected duplicate-class parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate class"), std::string::npos) << what;
+    EXPECT_NE(what.find("7"), std::string::npos) << what;  // line number
+  }
+}
+
+TEST(ScenarioRun, AuditOptionRunsSelfChecks) {
+  std::istringstream in(R"(
+link 10Mbps
+duration 1s
+class org  root ls linear 10Mbps
+class a    org  ls linear 5Mbps
+class b    org  ls linear 5Mbps
+source cbr a 2Mbps 1000 0s 1s
+source cbr b 2Mbps 1000 0s 1s
+)");
+  const Scenario sc = Scenario::parse(in);
+  ScenarioRunOptions opts;
+  opts.audit_every = 64;
+  ScenarioResult r;
+  ASSERT_NO_THROW(r = run_scenario(sc, opts));
+  EXPECT_EQ(r.per_class.size(), 2u);
+}
+
 TEST(ScenarioRun, EndToEndWithHierarchy) {
   std::istringstream in(R"(
 link 10Mbps

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI gate: build and test libhfsc in a plain Release configuration and an
+# address+undefined sanitizer configuration.  Any test failure, sanitizer
+# report (-fno-sanitize-recover=all aborts on the first finding), or build
+# error fails the script.
+#
+#   $ tools/ci_check.sh            # both configs
+#   $ tools/ci_check.sh release    # just the Release config
+#   $ tools/ci_check.sh sanitize   # just the sanitizer config
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+what="${1:-all}"
+
+run_config() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== ${name}: configure ==="
+  cmake -B "${build_dir}" -S "${repo}" "$@"
+  echo "=== ${name}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ${name}: ctest ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+case "${what}" in
+  release|all)
+    run_config "Release" "${repo}/build-ci-release" \
+      -DCMAKE_BUILD_TYPE=Release
+    ;;&
+  sanitize|all)
+    run_config "ASan+UBSan" "${repo}/build-ci-sanitize" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DHFSC_SANITIZE=address;undefined"
+    ;;&
+  release|sanitize|all)
+    echo "=== ci_check: OK (${what}) ==="
+    ;;
+  *)
+    echo "usage: $0 [release|sanitize|all]" >&2
+    exit 2
+    ;;
+esac

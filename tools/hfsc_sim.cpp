@@ -1,23 +1,65 @@
 // hfsc_sim — run an H-FSC scenario file and print per-class statistics.
 //
-//   $ hfsc_sim scenarios/campus.hfsc
+//   $ hfsc_sim [--audit[=N]] scenarios/campus.hfsc
+//
+// --audit enables the runtime invariant auditor (core/auditor.hpp) every
+// N scheduler operations during the run (default 256).  Parse and
+// scheduler errors exit with code 1 and a one-line message.
 //
 // See src/sim/scenario.hpp for the file format.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <string>
 
 #include "sim/scenario.hpp"
+#include "util/errors.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--audit[=N]] <scenario-file>\n", argv0);
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <scenario-file>\n", argv[0]);
-    return 2;
+  std::size_t audit_every = 0;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--audit") == 0) {
+      audit_every = 256;
+    } else if (std::strncmp(arg, "--audit=", 8) == 0) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(arg + 8, &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "error: --audit needs a positive integer\n");
+        return 2;
+      }
+      audit_every = static_cast<std::size_t>(n);
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (path == nullptr) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
   }
+  if (path == nullptr) return usage(argv[0]);
+
   try {
-    const hfsc::Scenario sc = hfsc::Scenario::parse_file(argv[1]);
-    const hfsc::ScenarioResult result = hfsc::run_scenario(sc);
+    const hfsc::Scenario sc = hfsc::Scenario::parse_file(path);
+    hfsc::ScenarioRunOptions opts;
+    opts.audit_every = audit_every;
+    const hfsc::ScenarioResult result = hfsc::run_scenario(sc, opts);
     std::printf("%s", result.to_table().c_str());
     return 0;
+  } catch (const hfsc::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
