@@ -156,6 +156,46 @@ AuditReport audit(const Hfsc& s) {
     fail(kRootClass, "per-class byte counts do not sum to the backlog");
   }
 
+  // Admission bookkeeping: the tracked aggregate must equal the sum over
+  // the live leaves' rt curves, and that sum must still fit under the
+  // link curve (normalized PiecewiseLinear representations are canonical,
+  // so == is curve equality).
+  if (s.admission_) {
+    PiecewiseLinear expect;
+    std::size_t expect_count = 0;
+    for (ClassId c = 1; c < nodes.size(); ++c) {
+      const auto& n = nodes[c];
+      if (n.deleted || !n.children.empty() || !n.has_rt()) continue;
+      expect = expect.sum(PiecewiseLinear::from_service_curve(n.cfg.rt));
+      ++expect_count;
+    }
+    if (s.admission_->admitted() != expect_count) {
+      fail(kRootClass, "admission bookkeeping tracks " +
+                           std::to_string(s.admission_->admitted()) +
+                           " curves but the tree has " +
+                           std::to_string(expect_count) + " rt leaves");
+    }
+    if (!(s.admission_->aggregate() == expect)) {
+      fail(kRootClass,
+           "admission aggregate curve out of sync with the leaf rt curves");
+    }
+    const PiecewiseLinear link = PiecewiseLinear::from_service_curve(
+        ServiceCurve::linear(s.admission_->link_rate()));
+    if (!link.dominates(expect)) {
+      fail(kRootClass, "admitted rt curves exceed the admission link curve");
+    }
+  }
+
+  // Watchdog bookkeeping: progress stamps never run ahead of the
+  // scheduler's clock (they are only written with clamped `now` values).
+  for (ClassId c = 1; c < nodes.size(); ++c) {
+    const auto& n = nodes[c];
+    if (n.deleted) continue;
+    if (n.last_progress > s.last_now_) {
+      fail(c, "starvation progress stamp is in the future");
+    }
+  }
+
   return r;
 }
 

@@ -1,0 +1,50 @@
+// Checkpoint / restore for Hfsc (docs/ROBUSTNESS.md Section 8).
+//
+// checkpoint() serializes the complete scheduling state of an Hfsc — the
+// class tree with all runtime curves and work counters, every queued
+// packet, the data-path counters and the admission/watchdog configuration
+// — to a versioned line-oriented text format.  restore_checkpoint()
+// rebuilds a fresh scheduler from the stream; the derived structures
+// (child heaps, the eligible set) are reconstructed from the serialized
+// per-class state rather than stored, which works because their observable
+// behaviour is a function of their content (IndexedHeap breaks key ties by
+// id).  A restored scheduler passes audit() and produces the same dequeue
+// sequence as the original from that point on, packet for packet.
+//
+// Deliberately EXCLUDED from the format (and therefore from the digest):
+// observability counters that move without the scheduling state moving —
+// admission_rejections_, the self-check configuration and counters, and
+// the starvation-event counter/scan clock.  That makes state_digest() the
+// atomicity oracle for Txn: a failed commit may bump the rejection
+// counter, but the digest must not change.
+//
+// Version policy: the first line is "hfsc-checkpoint <version>".  A reader
+// accepts exactly the versions it knows (currently only version 1);
+// anything else — wrong magic, unknown version, truncation, malformed or
+// internally inconsistent records — throws Error{kBadCheckpoint}.  Any
+// change to the serialized field set bumps kCheckpointVersion.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace hfsc {
+
+class Hfsc;
+
+inline constexpr int kCheckpointVersion = 1;
+
+// Writes the scheduler's state to `out`.  Never modifies the scheduler.
+void checkpoint(const Hfsc& sched, std::ostream& out);
+
+// Rebuilds a scheduler from a stream produced by checkpoint().  Throws
+// Error{kBadCheckpoint} on any malformed input, including state that
+// fails the invariant auditor after reconstruction.
+Hfsc restore_checkpoint(std::istream& in);
+
+// FNV-1a hash of the checkpoint serialization: equal digests mean equal
+// scheduling state (up to the deliberate exclusions above).  Used by the
+// Txn atomicity fuzzer and the fault-injection harness.
+std::uint64_t state_digest(const Hfsc& sched);
+
+}  // namespace hfsc

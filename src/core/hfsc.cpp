@@ -15,13 +15,13 @@ constexpr TimeNs avg(TimeNs a, TimeNs b) noexcept {
 }  // namespace
 
 Hfsc::Hfsc(RateBps link_rate, EligibleSetKind kind, SystemVtPolicy vt_policy)
-    : link_rate_(link_rate), vt_policy_(vt_policy),
+    : link_rate_(link_rate), es_kind_(kind), vt_policy_(vt_policy),
       rt_requests_(make_eligible_set(kind)) {
   ensure(link_rate > 0, Errc::kInvalidArgument, "link rate must be > 0");
   nodes_.emplace_back();  // root
 }
 
-void Hfsc::check_config(const ClassConfig& cfg, bool leaf) const {
+void Hfsc::check_config(const ClassConfig& cfg, bool leaf) {
   ensure(cfg.rt.is_zero() || cfg.rt.is_supported(), Errc::kUnsupportedCurve,
          "rt curve must be concave or convex with m1 = 0");
   ensure(cfg.ls.is_zero() || cfg.ls.is_supported(), Errc::kUnsupportedCurve,
@@ -38,7 +38,9 @@ void Hfsc::check_config(const ClassConfig& cfg, bool leaf) const {
 }
 
 void Hfsc::maybe_self_check() {
-  if (self_check_every_ == 0 || in_self_check_) return;
+  // A Txn commit counts as one operation; it self-checks once at the end
+  // rather than after each applied op (mid-apply state is transient).
+  if (self_check_every_ == 0 || in_self_check_ || in_txn_apply_) return;
   if (++op_count_ % self_check_every_ != 0) return;
   in_self_check_ = true;  // audit() reads state only; guard re-entry anyway
   const AuditReport report = audit(*this);
@@ -57,6 +59,17 @@ ClassId Hfsc::add_class(ClassId parent, ClassConfig cfg) {
   ensure(parent == kRootClass || nodes_[parent].has_ls(), Errc::kMissingCurve,
          "interior classes need a link-sharing curve");
   check_config(cfg, /*leaf=*/true);
+  if (admission_ && !in_txn_apply_) {
+    std::vector<ServiceCurve> curves = leaf_rt_curves();
+    if (parent != kRootClass && nodes_[parent].children.empty() &&
+        nodes_[parent].has_rt()) {
+      // The parent turns interior; its rt curve becomes inert.
+      curves.erase(
+          std::find(curves.begin(), curves.end(), nodes_[parent].cfg.rt));
+    }
+    if (!cfg.rt.is_zero()) curves.push_back(cfg.rt);
+    apply_admission(curves);
+  }
   maybe_self_check();
 
   Node n;
@@ -200,6 +213,8 @@ std::optional<Packet> Hfsc::serve(ClassId leaf, Criterion crit, TimeNs now) {
     ++ls_selections_;
   }
   ++n.pkts_sent;
+  n.last_progress = now;
+  n.starved_flagged = false;
   charge_total(leaf, p.len, now);
   if (queues_.has(leaf)) {
     if (n.has_rt()) {
@@ -224,6 +239,14 @@ void Hfsc::change_class(TimeNs now, ClassId cls, ClassConfig cfg) {
   ensure(live(cls), Errc::kInvalidClass, "unknown or deleted class");
   Node& n = nodes_[cls];
   check_config(cfg, /*leaf=*/n.children.empty());
+  if (admission_ && !in_txn_apply_ && n.children.empty()) {
+    std::vector<ServiceCurve> curves = leaf_rt_curves();
+    if (n.has_rt()) {
+      curves.erase(std::find(curves.begin(), curves.end(), n.cfg.rt));
+    }
+    if (!cfg.rt.is_zero()) curves.push_back(cfg.rt);
+    apply_admission(curves);
+  }
   maybe_self_check();
   now = clamp_now(now);
 
@@ -272,6 +295,19 @@ void Hfsc::delete_class(ClassId cls) {
   ensure(live(cls), Errc::kInvalidClass, "unknown or deleted class");
   Node& n = nodes_[cls];
   ensure(n.children.empty(), Errc::kHasChildren, "delete children first");
+  if (admission_ && !in_txn_apply_) {
+    std::vector<ServiceCurve> curves = leaf_rt_curves();
+    if (n.has_rt()) {
+      curves.erase(std::find(curves.begin(), curves.end(), n.cfg.rt));
+    }
+    if (n.parent != kRootClass && nodes_[n.parent].children.size() == 1 &&
+        nodes_[n.parent].has_rt()) {
+      // The parent becomes a leaf again; its rt guarantee re-activates
+      // and must fit back under the link curve.
+      curves.push_back(nodes_[n.parent].cfg.rt);
+    }
+    apply_admission(curves);
+  }
   maybe_self_check();
 
   // Purge queued packets, counting them as drops.
@@ -343,6 +379,8 @@ void Hfsc::enqueue(TimeNs now, Packet pkt) {
   const bool was_empty = !queues_.has(pkt.cls);
   queues_.push(pkt);
   if (!was_empty) return;
+  n.last_progress = now;  // a starvation episode starts at backlog onset
+  n.starved_flagged = false;
   if (n.has_rt()) update_ed(pkt.cls, now);
   if (n.has_ls()) activate_ls_path(pkt.cls, now);
 }
@@ -350,6 +388,7 @@ void Hfsc::enqueue(TimeNs now, Packet pkt) {
 std::optional<Packet> Hfsc::dequeue(TimeNs now) {
   maybe_self_check();
   now = clamp_now(now);
+  maybe_watchdog(now);
   if (queues_.packets() == 0) return std::nullopt;
   // Real-time criterion: used exactly when some leaf is eligible — i.e.
   // when leaving the choice to link-sharing could endanger a guarantee.
@@ -367,6 +406,86 @@ std::optional<Packet> Hfsc::dequeue(TimeNs now) {
 
 TimeNs Hfsc::next_wakeup(TimeNs /*now*/) const noexcept {
   return std::min(rt_requests_->next_eligible_time(), ls_next_fit_);
+}
+
+// ----------------------------------------------------- admission control
+
+std::vector<ServiceCurve> Hfsc::leaf_rt_curves() const {
+  std::vector<ServiceCurve> out;
+  for (ClassId c = 1; c < nodes_.size(); ++c) {
+    const Node& n = nodes_[c];
+    if (!n.deleted && n.children.empty() && n.has_rt()) {
+      out.push_back(n.cfg.rt);
+    }
+  }
+  return out;
+}
+
+void Hfsc::apply_admission(const std::vector<ServiceCurve>& curves) {
+  AdmissionControl fresh(admission_->link_rate());
+  for (const ServiceCurve& sc : curves) {
+    if (!fresh.admit(sc)) {
+      ++admission_rejections_;
+      throw Error(
+          Errc::kAdmissionRejected,
+          "real-time curve " + to_string(sc) +
+              " pushes the aggregate above the link curve (link rate " +
+              std::to_string(fresh.link_rate()) + " B/s, " +
+              std::to_string(fresh.utilization() * 100.0) +
+              "% already reserved); lower the curve, delete another "
+              "real-time class, or raise the admission link rate");
+    }
+  }
+  *admission_ = std::move(fresh);
+}
+
+void Hfsc::enable_admission_control(RateBps link_rate) {
+  // The AdmissionControl constructor rejects link_rate == 0.  Validate
+  // the existing hierarchy before enabling so a failure leaves the
+  // previous admission state (enabled or not) untouched.
+  auto fresh = std::make_unique<AdmissionControl>(link_rate);
+  for (const ServiceCurve& sc : leaf_rt_curves()) {
+    if (!fresh->admit(sc)) {
+      ++admission_rejections_;
+      throw Error(Errc::kAdmissionRejected,
+                  "existing real-time curves already exceed the link curve "
+                  "(offending curve " +
+                      to_string(sc) +
+                      "); admission control left unchanged");
+    }
+  }
+  admission_ = std::move(fresh);
+}
+
+// -------------------------------------------------- starvation watchdog
+
+void Hfsc::maybe_watchdog(TimeNs now) {
+  if (starvation_horizon_ == 0 || now < next_starvation_scan_) return;
+  next_starvation_scan_ =
+      sat_add(now, std::max<TimeNs>(1, starvation_horizon_ / 4));
+  for (ClassId c = 1; c < nodes_.size(); ++c) {
+    Node& n = nodes_[c];
+    if (n.deleted || !n.children.empty() || n.starved_flagged) continue;
+    if (!queues_.has(c)) continue;
+    if (now - n.last_progress >= starvation_horizon_) {
+      n.starved_flagged = true;
+      ++starvation_events_;
+    }
+  }
+}
+
+std::vector<ClassId> Hfsc::starved_classes(TimeNs now) const {
+  std::vector<ClassId> out;
+  if (starvation_horizon_ == 0) return out;
+  for (ClassId c = 1; c < nodes_.size(); ++c) {
+    const Node& n = nodes_[c];
+    if (n.deleted || !n.children.empty() || !queues_.has(c)) continue;
+    if (now >= n.last_progress &&
+        now - n.last_progress >= starvation_horizon_) {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 }  // namespace hfsc

@@ -30,11 +30,13 @@
 // guarantees are unaffected.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/eligible_set.hpp"
+#include "curve/piecewise.hpp"
 #include "curve/runtime_curve.hpp"
 #include "sched/class_queues.hpp"
 #include "sched/scheduler.hpp"
@@ -126,6 +128,108 @@ class Hfsc final : public Scheduler {
   void delete_class(ClassId cls);
 
   bool is_deleted(ClassId cls) const { return nodes_[cls].deleted; }
+
+  // --- Transactional reconfiguration --------------------------------------
+  // A Txn stages any number of mutations and applies them atomically at
+  // commit(): the whole batch is first validated (including the admission
+  // check when enabled) against a shadow of the hierarchy, so a failing
+  // commit throws hfsc::Error and leaves the live scheduler bit-for-bit
+  // untouched.  Staged add_class calls return the ids the classes will
+  // have after a successful commit; later staged ops may refer to them.
+  // Staging itself never validates — all errors surface at commit.
+  //
+  // Data-path traffic may keep flowing while a Txn is open; commit
+  // re-validates against the state at commit time.  Adding classes
+  // directly (outside the Txn) while one is open invalidates any staged
+  // ids, which commit detects (Error{kTxnInvalid}).
+  class Txn {
+   public:
+    explicit Txn(Hfsc& sched);
+    ~Txn();  // rolls back if still open
+    Txn(Txn&&) noexcept;
+    Txn(const Txn&) = delete;
+    Txn& operator=(const Txn&) = delete;
+    Txn& operator=(Txn&&) = delete;
+
+    // Stages a mutation; returns the id the class will have on commit.
+    ClassId add_class(ClassId parent, ClassConfig cfg);
+    void change_class(TimeNs now, ClassId cls, ClassConfig cfg);
+    void delete_class(ClassId cls);
+    void set_queue_limit(ClassId cls, std::size_t max_packets);
+
+    // Validates the whole batch against a shadow of the live hierarchy,
+    // then applies it.  Throws hfsc::Error on the first invalid op or on
+    // admission rejection, leaving the scheduler untouched and the Txn
+    // open (fix or rollback).  On success the Txn is closed.
+    void commit();
+    // Discards all staged ops and closes the Txn.
+    void rollback() noexcept;
+
+    bool open() const noexcept { return open_; }
+    std::size_t num_ops() const noexcept;
+
+   private:
+    struct Op;
+    struct Shadow;
+
+    Shadow make_shadow() const;
+    // Replays one op onto the shadow, throwing on any rule the live
+    // mutators would reject; returns the id assigned (adds only).
+    static ClassId replay(Shadow& sh, const Op& op);
+
+    Hfsc* s_;
+    std::vector<Op> ops_;
+    std::size_t base_classes_;  // num_classes() at begin; id prediction base
+    bool open_ = true;
+  };
+
+  // Opens a transaction.  Multiple may be staged concurrently, but commits
+  // are validated against the live state, last-committer-wins.
+  Txn begin() { return Txn(*this); }
+
+  // --- Admission-gated overload protection --------------------------------
+  // Once enabled, every mutation (direct or transactional) that would make
+  // the sum of leaf real-time curves exceed the linear link curve of
+  // `link_rate` throws Error{kAdmissionRejected} and changes nothing (the
+  // paper's feasibility condition, Section II).  Enabling validates the
+  // current hierarchy first and throws — leaving admission disabled — if
+  // it is already infeasible.  Only leaf classes' rt curves count: an
+  // interior class's rt curve is inert until it becomes a leaf again.
+  void enable_admission_control(RateBps link_rate);
+  void enable_admission_control() { enable_admission_control(link_rate_); }
+  void disable_admission_control() noexcept { admission_.reset(); }
+  bool admission_enabled() const noexcept { return admission_ != nullptr; }
+  // Fraction of the admission link's long-term rate reserved; 0 when
+  // admission control is disabled.
+  double admission_utilization() const noexcept {
+    return admission_ ? admission_->utilization() : 0.0;
+  }
+  // Mutations refused by the admission check so far.
+  std::uint64_t admission_rejections() const noexcept {
+    return admission_rejections_;
+  }
+  const AdmissionControl* admission_control() const noexcept {
+    return admission_.get();
+  }
+
+  // --- Starvation watchdog -------------------------------------------------
+  // Flags any backlogged leaf that has received no service for `horizon`
+  // nanoseconds (0 disables).  Detection is passive: dequeue() scans at
+  // most every horizon/4 of clock advance, counts newly starved classes in
+  // starvation_events(), and starved_classes() reports the current set on
+  // demand.  Starvation is legal under upper limits or rt-only curves; the
+  // watchdog is an observability hook, not an enforcement mechanism.
+  void enable_starvation_watchdog(TimeNs horizon) noexcept {
+    starvation_horizon_ = horizon;
+    next_starvation_scan_ = 0;
+  }
+  TimeNs starvation_horizon() const noexcept { return starvation_horizon_; }
+  std::uint64_t starvation_events() const noexcept {
+    return starvation_events_;
+  }
+  // Backlogged leaves with no service since `now - horizon` (empty when
+  // the watchdog is disabled).
+  std::vector<ClassId> starved_classes(TimeNs now) const;
 
   // Data path — never throws.  A packet for an unknown/deleted/interior
   // class, a zero-length packet, or one above the maximum length is
@@ -223,6 +327,12 @@ class Hfsc final : public Scheduler {
     std::uint64_t pkts_dropped = 0;
     Bytes bytes_dropped = 0;
 
+    // Starvation watchdog: last time the leaf was served or became
+    // backlogged, and whether the current starvation episode was already
+    // counted (reset on service).
+    TimeNs last_progress = 0;
+    bool starved_flagged = false;
+
     bool active = false;       // leaf: backlogged; interior: any active child
     bool ever_active = false;  // curves initialized
     bool deleted = false;
@@ -264,7 +374,16 @@ class Hfsc final : public Scheduler {
     return cls > 0 && cls < nodes_.size() && !nodes_[cls].deleted;
   }
   // Validates a ClassConfig for a class with/without children; throws.
-  void check_config(const ClassConfig& cfg, bool leaf) const;
+  static void check_config(const ClassConfig& cfg, bool leaf);
+  // The rt curves of all live leaves — the set the admission check gates.
+  std::vector<ServiceCurve> leaf_rt_curves() const;
+  // Re-admits `curves` into a fresh AdmissionControl and installs it, or
+  // throws Error{kAdmissionRejected} (counting the rejection) leaving the
+  // previous bookkeeping in place.  No-op when admission is disabled or a
+  // Txn commit is mid-apply (the commit validated the final state).
+  void apply_admission(const std::vector<ServiceCurve>& curves);
+  // Scans for newly starved leaves; rate-limited to every horizon/4.
+  void maybe_watchdog(TimeNs now);
   // Clamps a data-path clock that ran backwards, counting the anomaly.
   TimeNs clamp_now(TimeNs now) noexcept {
     if (now < last_now_) {
@@ -277,6 +396,7 @@ class Hfsc final : public Scheduler {
   void maybe_self_check();
 
   RateBps link_rate_;
+  EligibleSetKind es_kind_;  // recorded for checkpoint/restore
   SystemVtPolicy vt_policy_;
   std::vector<Node> nodes_;  // nodes_[0] = root
   ClassQueues queues_;
@@ -295,7 +415,17 @@ class Hfsc final : public Scheduler {
   std::uint64_t self_checks_run_ = 0;
   bool in_self_check_ = false;
 
+  // Admission / transaction / watchdog state (this PR's robustness layer).
+  std::unique_ptr<AdmissionControl> admission_;
+  std::uint64_t admission_rejections_ = 0;
+  TimeNs starvation_horizon_ = 0;  // 0 = watchdog off
+  TimeNs next_starvation_scan_ = 0;
+  std::uint64_t starvation_events_ = 0;
+  bool in_txn_apply_ = false;  // suppresses per-op gating during commit
+
   friend AuditReport audit(const Hfsc&);
+  friend void checkpoint(const Hfsc&, std::ostream&);  // core/checkpoint.hpp
+  friend Hfsc restore_checkpoint(std::istream&);
 };
 
 }  // namespace hfsc

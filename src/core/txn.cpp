@@ -1,0 +1,218 @@
+// Hfsc::Txn — transactional live reconfiguration.
+//
+// A Txn records mutations without touching the scheduler.  commit()
+// replays the whole batch onto a Shadow — a minimal structural model of
+// the hierarchy (parent links, configs, child counts, backlog flags) —
+// enforcing exactly the rules the live mutators enforce, plus the
+// admission check over the final state when admission control is on.
+// Only after every op validates does commit() apply the batch through
+// the live mutators, so any hfsc::Error leaves the scheduler bit-for-bit
+// untouched (tests/test_txn_atomicity_fuzz.cpp proves this by state
+// digest over >= 10k failing batches).
+//
+// Ids for staged add_class calls are predicted: the live scheduler
+// assigns ids densely (nodes are never erased from the vector, only
+// tombstoned), so the k-th staged add gets num_classes() + k.  The
+// prediction is checked at commit; direct adds made while the Txn was
+// open make it stale and commit throws Error{kTxnInvalid}.
+
+#include <algorithm>
+
+#include "core/hfsc.hpp"
+
+namespace hfsc {
+
+struct Hfsc::Txn::Op {
+  enum class Kind { kAdd, kChange, kDelete, kQueueLimit };
+  Kind kind;
+  ClassId cls = 0;  // kAdd: the parent; otherwise the target class
+  ClassConfig cfg{};
+  TimeNs now = 0;           // kChange re-anchor time
+  std::size_t limit = 0;    // kQueueLimit
+};
+
+struct Hfsc::Txn::Shadow {
+  struct SNode {
+    ClassId parent = kRootClass;
+    ClassConfig cfg{};
+    std::uint32_t children = 0;
+    bool deleted = false;
+    bool backlogged = false;
+  };
+  std::vector<SNode> nodes;
+
+  bool live(ClassId c) const noexcept {
+    return c > 0 && c < nodes.size() && !nodes[c].deleted;
+  }
+};
+
+Hfsc::Txn::Txn(Hfsc& sched) : s_(&sched), base_classes_(sched.num_classes()) {}
+
+Hfsc::Txn::~Txn() {
+  if (open_) rollback();
+}
+
+Hfsc::Txn::Txn(Txn&& other) noexcept
+    : s_(other.s_), ops_(std::move(other.ops_)),
+      base_classes_(other.base_classes_), open_(other.open_) {
+  other.open_ = false;
+}
+
+Hfsc::Txn::Shadow Hfsc::Txn::make_shadow() const {
+  Shadow sh;
+  sh.nodes.resize(s_->nodes_.size());
+  for (ClassId c = 0; c < s_->nodes_.size(); ++c) {
+    const Node& n = s_->nodes_[c];
+    Shadow::SNode& sn = sh.nodes[c];
+    sn.parent = n.parent;
+    sn.cfg = n.cfg;
+    sn.children = static_cast<std::uint32_t>(n.children.size());
+    sn.deleted = n.deleted;
+    sn.backlogged = s_->queues_.has(c);
+  }
+  return sh;
+}
+
+ClassId Hfsc::Txn::replay(Shadow& sh, const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kAdd: {
+      ensure(op.cls < sh.nodes.size() &&
+                 (op.cls == kRootClass || sh.live(op.cls)),
+             Errc::kInvalidClass, "unknown or deleted parent class");
+      ensure(!sh.nodes[op.cls].backlogged, Errc::kHasBacklog,
+             "cannot add children under a class that queues packets");
+      ensure(op.cls == kRootClass || !sh.nodes[op.cls].cfg.ls.is_zero(),
+             Errc::kMissingCurve,
+             "interior classes need a link-sharing curve");
+      check_config(op.cfg, /*leaf=*/true);
+      Shadow::SNode sn;
+      sn.parent = op.cls;
+      sn.cfg = op.cfg;
+      sh.nodes.push_back(sn);
+      ++sh.nodes[op.cls].children;
+      return static_cast<ClassId>(sh.nodes.size() - 1);
+    }
+    case Op::Kind::kChange: {
+      ensure(sh.live(op.cls), Errc::kInvalidClass, "unknown or deleted class");
+      check_config(op.cfg, /*leaf=*/sh.nodes[op.cls].children == 0);
+      sh.nodes[op.cls].cfg = op.cfg;
+      return op.cls;
+    }
+    case Op::Kind::kDelete: {
+      ensure(sh.live(op.cls), Errc::kInvalidClass, "unknown or deleted class");
+      ensure(sh.nodes[op.cls].children == 0, Errc::kHasChildren,
+             "delete children first");
+      sh.nodes[op.cls].deleted = true;
+      sh.nodes[op.cls].backlogged = false;
+      --sh.nodes[sh.nodes[op.cls].parent].children;
+      return op.cls;
+    }
+    case Op::Kind::kQueueLimit: {
+      ensure(sh.live(op.cls), Errc::kInvalidClass, "unknown or deleted class");
+      return op.cls;
+    }
+  }
+  throw Error(Errc::kTxnInvalid, "corrupt staged op");
+}
+
+ClassId Hfsc::Txn::add_class(ClassId parent, ClassConfig cfg) {
+  ensure(open_, Errc::kTxnInvalid, "transaction already closed");
+  std::size_t adds = 0;
+  for (const Op& op : ops_) adds += op.kind == Op::Kind::kAdd;
+  ops_.push_back(Op{Op::Kind::kAdd, parent, cfg, 0, 0});
+  return static_cast<ClassId>(base_classes_ + adds);
+}
+
+void Hfsc::Txn::change_class(TimeNs now, ClassId cls, ClassConfig cfg) {
+  ensure(open_, Errc::kTxnInvalid, "transaction already closed");
+  ops_.push_back(Op{Op::Kind::kChange, cls, cfg, now, 0});
+}
+
+void Hfsc::Txn::delete_class(ClassId cls) {
+  ensure(open_, Errc::kTxnInvalid, "transaction already closed");
+  ops_.push_back(Op{Op::Kind::kDelete, cls, ClassConfig{}, 0, 0});
+}
+
+void Hfsc::Txn::set_queue_limit(ClassId cls, std::size_t max_packets) {
+  ensure(open_, Errc::kTxnInvalid, "transaction already closed");
+  ops_.push_back(Op{Op::Kind::kQueueLimit, cls, ClassConfig{}, 0, max_packets});
+}
+
+std::size_t Hfsc::Txn::num_ops() const noexcept { return ops_.size(); }
+
+void Hfsc::Txn::rollback() noexcept {
+  ops_.clear();
+  open_ = false;
+}
+
+void Hfsc::Txn::commit() {
+  ensure(open_, Errc::kTxnInvalid, "transaction already closed");
+  ensure(s_->num_classes() == base_classes_ ||
+             std::none_of(ops_.begin(), ops_.end(),
+                          [](const Op& op) {
+                            return op.kind == Op::Kind::kAdd;
+                          }),
+         Errc::kTxnInvalid,
+         "classes were added outside the transaction since begin(); the "
+         "staged ids are stale — rollback and re-stage");
+
+  // Phase 1: validate the whole batch against a shadow of the live tree.
+  // Any throw here (or in the admission check below) leaves the scheduler
+  // untouched and the transaction open.
+  Shadow sh = make_shadow();
+  for (const Op& op : ops_) replay(sh, op);
+
+  // Phase 2: admission over the final state — the sum of the surviving
+  // leaves' rt curves must stay below the link curve (Section II).
+  std::unique_ptr<AdmissionControl> fresh;
+  if (s_->admission_) {
+    fresh = std::make_unique<AdmissionControl>(s_->admission_->link_rate());
+    for (ClassId c = 1; c < sh.nodes.size(); ++c) {
+      const Shadow::SNode& sn = sh.nodes[c];
+      if (sn.deleted || sn.children != 0 || sn.cfg.rt.is_zero()) continue;
+      if (!fresh->admit(sn.cfg.rt)) {
+        ++s_->admission_rejections_;
+        throw Error(Errc::kAdmissionRejected,
+                    "committing this batch would put real-time curve " +
+                        to_string(sn.cfg.rt) +
+                        " (class " + std::to_string(c) +
+                        ") above the link curve; shrink the batch's rt "
+                        "curves or raise the admission link rate");
+      }
+    }
+  }
+
+  // Phase 3: apply.  Validation mirrored every rule the live mutators
+  // enforce, so none of these calls can throw; per-op admission gating
+  // and self-checks are suspended for the batch (the final state was
+  // validated above, and intermediate states are transient).
+  s_->in_txn_apply_ = true;
+  try {
+    for (const Op& op : ops_) {
+      switch (op.kind) {
+        case Op::Kind::kAdd:
+          s_->add_class(op.cls, op.cfg);
+          break;
+        case Op::Kind::kChange:
+          s_->change_class(op.now, op.cls, op.cfg);
+          break;
+        case Op::Kind::kDelete:
+          s_->delete_class(op.cls);
+          break;
+        case Op::Kind::kQueueLimit:
+          s_->set_queue_limit(op.cls, op.limit);
+          break;
+      }
+    }
+  } catch (...) {
+    s_->in_txn_apply_ = false;
+    throw;  // unreachable unless the scheduler was already corrupt
+  }
+  s_->in_txn_apply_ = false;
+  if (fresh) s_->admission_ = std::move(fresh);
+  open_ = false;
+  ops_.clear();
+  s_->maybe_self_check();
+}
+
+}  // namespace hfsc

@@ -165,7 +165,9 @@ bool AdmissionControl::admit(const ServiceCurve& sc) {
 
 void AdmissionControl::release(const ServiceCurve& sc) {
   const auto it = std::find(curves_.begin(), curves_.end(), sc);
-  assert(it != curves_.end() && "releasing a curve that was not admitted");
+  ensure(it != curves_.end(), Errc::kInvalidArgument,
+         "releasing a service curve that was never admitted: " +
+             to_string(sc));
   curves_.erase(it);
   --admitted_count_;
   // Recompute the sum (exact, avoids subtraction rounding drift).

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "curve/service_curve.hpp"
+#include "util/errors.hpp"
 #include "util/types.hpp"
 
 namespace hfsc {
@@ -35,6 +36,8 @@ class PiecewiseLinear {
     TimeNs x = 0;      // start of the piece
     Bytes y = 0;       // value at x
     RateBps slope = 0; // slope on [x, next x)
+
+    friend bool operator==(const Piece&, const Piece&) noexcept = default;
   };
 
   PiecewiseLinear() : pieces_{Piece{0, 0, 0}} {}
@@ -68,6 +71,11 @@ class PiecewiseLinear {
   const std::vector<Piece>& pieces() const noexcept { return pieces_; }
   RateBps tail_rate() const noexcept { return pieces_.back().slope; }
 
+  // Normalized representations are canonical, so piece-wise equality is
+  // curve equality (used by the auditor's admission bookkeeping check).
+  friend bool operator==(const PiecewiseLinear&,
+                         const PiecewiseLinear&) noexcept = default;
+
  private:
   void normalize();
 
@@ -77,10 +85,18 @@ class PiecewiseLinear {
 // Admission control for a link's real-time obligations (Section II's
 // feasibility condition).  Tracks the running sum of admitted service
 // curves and admits a new one only while  sum + candidate <= link curve.
+// Hfsc::enable_admission_control wires an instance into every mutation
+// path (direct mutators and Hfsc::Txn commits) so the scheduler refuses
+// configurations whose guarantees it cannot honour.
 class AdmissionControl {
  public:
+  // Throws Error{kInvalidArgument} if link_rate == 0 (a zero-rate link
+  // can admit nothing, so constructing one is always a config mistake).
   explicit AdmissionControl(RateBps link_rate)
-      : link_(PiecewiseLinear::from_service_curve(
+      : link_rate_((ensure(link_rate > 0, Errc::kInvalidArgument,
+                           "admission link rate must be > 0"),
+                    link_rate)),
+        link_(PiecewiseLinear::from_service_curve(
             ServiceCurve::linear(link_rate))),
         sum_() {}
 
@@ -88,17 +104,22 @@ class AdmissionControl {
   // aggregate would exceed the link curve somewhere.
   bool admit(const ServiceCurve& sc);
 
-  // Releases a previously admitted curve (sessions leaving).
+  // Releases a previously admitted curve (sessions leaving).  Throws
+  // Error{kInvalidArgument} if no matching curve is currently admitted —
+  // silently shrinking the bookkeeping would let later admits overcommit
+  // the link.
   void release(const ServiceCurve& sc);
 
   // Fraction of the link's long-term rate currently reserved, in
   // [0, 1+] (long-term slopes only).
   double utilization() const noexcept;
 
+  RateBps link_rate() const noexcept { return link_rate_; }
   std::size_t admitted() const noexcept { return admitted_count_; }
   const PiecewiseLinear& aggregate() const noexcept { return sum_; }
 
  private:
+  RateBps link_rate_;
   PiecewiseLinear link_;
   PiecewiseLinear sum_;
   std::vector<ServiceCurve> curves_;  // for release-by-recompute

@@ -31,6 +31,22 @@ class RuntimeCurve {
       : x_(x0), y_(y0), dx_(s.d), dy_(seg_x2y(s.d, s.m1)), m1_(s.m1),
         m2_(s.m2) {}
 
+  // Rebuilds a curve from its raw coefficients (checkpoint restore; see
+  // core/checkpoint.hpp).  The fields must come from a prior curve's
+  // accessors — no derivation such as dy = m1 * dx is re-applied, so a
+  // flattened eligible curve round-trips exactly.
+  static RuntimeCurve from_parts(TimeNs x, Bytes y, TimeNs dx, Bytes dy,
+                                 RateBps m1, RateBps m2) noexcept {
+    RuntimeCurve c;
+    c.x_ = x;
+    c.y_ = y;
+    c.dx_ = dx;
+    c.dy_ = dy;
+    c.m1_ = m1;
+    c.m2_ = m2;
+    return c;
+  }
+
   // C(t); values left of the anchor clamp to y (the algorithm never
   // queries there, but clamping keeps the function total and monotone).
   Bytes x2y(TimeNs t) const noexcept {

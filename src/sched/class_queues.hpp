@@ -54,6 +54,12 @@ class ClassQueues {
     return b;
   }
 
+  // Read-only view of one class's FIFO, head first (checkpointing).
+  const std::deque<Packet>& queue(ClassId cls) const {
+    assert(cls < q_.size());
+    return q_[cls];
+  }
+
   std::size_t packets() const noexcept { return packets_; }
   Bytes bytes() const noexcept { return bytes_; }
   std::size_t num_classes() const noexcept { return q_.size(); }

@@ -29,6 +29,14 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
+ protected:
+  // Concrete schedulers may be movable (checkpoint restore returns an Hfsc
+  // by value); moving through a Scheduler* is still impossible.
+  Scheduler(Scheduler&&) = default;
+  Scheduler& operator=(Scheduler&&) = default;
+
+ public:
+
   // Accepts a packet for pkt.cls at time `now` (== pkt.arrival normally).
   virtual void enqueue(TimeNs now, Packet pkt) = 0;
 

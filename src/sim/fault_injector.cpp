@@ -1,6 +1,9 @@
 #include "sim/fault_injector.hpp"
 
 #include <algorithm>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
 
 namespace hfsc {
 
@@ -111,10 +114,79 @@ void FaultInjector::churn(TimeNs inner_now) {
   }
 }
 
+void FaultInjector::txn_churn(TimeNs inner_now) {
+  if (hfsc_ == nullptr) return;
+  const bool commit = plan_.p_txn_commit > 0 && rng_.chance(plan_.p_txn_commit);
+  const bool abort = !commit && plan_.p_txn_abort > 0 &&
+                     rng_.chance(plan_.p_txn_abort);
+  if (!commit && !abort) return;
+
+  // Stage a batch mixing every op kind: a couple of ephemeral adds, a
+  // re-shape of a mutable leaf, a queue-limit flap on a staged ephemeral,
+  // and (sometimes) the delete of an existing ephemeral.  All ops are
+  // valid, so commit() must succeed; rollback() must leave no trace.
+  Hfsc::Txn txn = hfsc_->begin();
+  std::vector<ClassId> staged;
+  const std::size_t n_adds = 1 + rng_.uniform(0, 2);
+  for (std::size_t i = 0; i < n_adds; ++i) {
+    const RateBps r = kbps(1 + rng_.uniform(0, 999));
+    staged.push_back(txn.add_class(
+        churn_parent_,
+        ClassConfig::link_share_only(ServiceCurve::linear(r))));
+  }
+  if (!mutable_leaves_.empty() && rng_.chance(0.5)) {
+    const ClassId cls =
+        mutable_leaves_[rng_.uniform(0, mutable_leaves_.size() - 1)];
+    const RateBps m2 = kbps(100 + rng_.uniform(0, 900));
+    const RateBps m1 = m2 * (1 + rng_.uniform(0, 3));
+    txn.change_class(inner_now, cls,
+                     ClassConfig::both(ServiceCurve{
+                         m1, usec(100) + rng_.uniform(0, msec(5)), m2}));
+  }
+  if (rng_.chance(0.5)) {
+    // Against a *predicted* id from this very batch — ephemeral leaves
+    // carry no traffic, so a committed limit cannot perturb the workload.
+    const ClassId cls = staged[rng_.uniform(0, staged.size() - 1)];
+    txn.set_queue_limit(
+        cls, rng_.chance(0.3) ? 0
+                              : static_cast<std::size_t>(rng_.uniform(1, 16)));
+  }
+  if (!ephemeral_.empty() && rng_.chance(0.5)) {
+    const std::size_t i = rng_.uniform(0, ephemeral_.size() - 1);
+    txn.delete_class(ephemeral_[i]);
+    if (commit) ephemeral_.erase(ephemeral_.begin() + static_cast<long>(i));
+  }
+
+  if (commit) {
+    txn.commit();
+    ephemeral_.insert(ephemeral_.end(), staged.begin(), staged.end());
+    ++counts_.txn_commits;
+  } else {
+    txn.rollback();
+    ++counts_.txn_aborts;
+  }
+}
+
+void FaultInjector::checkpoint_roundtrip() {
+  if (hfsc_ == nullptr || plan_.p_checkpoint == 0 ||
+      !rng_.chance(plan_.p_checkpoint)) {
+    return;
+  }
+  std::stringstream buf;
+  checkpoint(*hfsc_, buf);
+  const Hfsc restored = restore_checkpoint(buf);  // throws on corruption
+  if (state_digest(restored) != state_digest(*hfsc_)) {
+    ++counts_.checkpoint_mismatches;
+  }
+  ++counts_.checkpoint_roundtrips;
+}
+
 void FaultInjector::enqueue(TimeNs now, Packet pkt) {
   const TimeNs inner_now = perturb_now(now);
   inject_packets(inner_now);
   churn(inner_now);
+  txn_churn(inner_now);
+  checkpoint_roundtrip();
   inner_.enqueue(inner_now, pkt);
 }
 
@@ -122,6 +194,8 @@ std::optional<Packet> FaultInjector::dequeue(TimeNs now) {
   const TimeNs inner_now = perturb_now(now);
   inject_packets(inner_now);
   churn(inner_now);
+  txn_churn(inner_now);
+  checkpoint_roundtrip();
   return inner_.dequeue(inner_now);
 }
 

@@ -44,6 +44,14 @@ struct FaultPlan {
   // Config churn (requires enable_churn).
   double p_queue_limit = 0.0;  // flap a mutable leaf's queue limit
   double p_class_churn = 0.0;  // add/change/delete classes mid-backlog
+  // Transactional churn (requires enable_churn): whole batches staged
+  // through Hfsc::Txn and either committed or rolled back mid-backlog.
+  double p_txn_commit = 0.0;
+  double p_txn_abort = 0.0;
+  // Checkpoint/restore round trip mid-backlog: serialize, restore into a
+  // fresh Hfsc and compare state digests.  The injector keeps driving the
+  // ORIGINAL instance; a digest mismatch is counted, not thrown.
+  double p_checkpoint = 0.0;
 };
 
 struct FaultCounts {
@@ -56,11 +64,16 @@ struct FaultCounts {
   std::uint64_t classes_added = 0;
   std::uint64_t classes_changed = 0;
   std::uint64_t classes_deleted = 0;
+  std::uint64_t txn_commits = 0;
+  std::uint64_t txn_aborts = 0;
+  std::uint64_t checkpoint_roundtrips = 0;
+  std::uint64_t checkpoint_mismatches = 0;  // restored digest != original
 
   std::uint64_t total() const noexcept {
     return clock_jumps + clock_regressions + bad_class_packets +
            zero_len_packets + oversized_packets + queue_limit_changes +
-           classes_added + classes_changed + classes_deleted;
+           classes_added + classes_changed + classes_deleted + txn_commits +
+           txn_aborts + checkpoint_roundtrips;
   }
 };
 
@@ -103,6 +116,8 @@ class FaultInjector final : public Scheduler {
   TimeNs perturb_now(TimeNs now);
   void inject_packets(TimeNs inner_now);
   void churn(TimeNs inner_now);
+  void txn_churn(TimeNs inner_now);
+  void checkpoint_roundtrip();
 
   Scheduler& inner_;
   Hfsc* hfsc_ = nullptr;  // non-null once churn is enabled

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/checkpoint.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 
@@ -14,9 +15,16 @@ namespace hfsc {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::runtime_error("scenario line " + std::to_string(line) + ": " +
-                           what);
+// Parse errors carry the file name (when known) ahead of the line number,
+// "file.scn:12: ..." editor-style, so a failing batch run says which of
+// its inputs is broken.
+[[noreturn]] void fail_at(const std::string& name, std::size_t line,
+                          const std::string& what) {
+  if (name.empty()) {
+    throw std::runtime_error("scenario line " + std::to_string(line) + ": " +
+                             what);
+  }
+  throw std::runtime_error(name + ":" + std::to_string(line) + ": " + what);
 }
 
 // Splits "<number><suffix>" where number may be decimal.
@@ -98,42 +106,43 @@ Bytes parse_bytes(const std::string& tok) {
 
 namespace {
 
-ServiceCurve parse_spec(std::istringstream& ls, std::size_t line) {
+ServiceCurve parse_spec(std::istringstream& ls, const std::string& fname,
+                        std::size_t line) {
   // An explicitly written spec that evaluates to the zero curve is a
   // config mistake (the class would silently never receive that kind of
   // service), so it is rejected rather than parsed.
-  auto nonzero = [line](const ServiceCurve& sc) {
-    if (sc.is_zero()) fail(line, "zero-rate service curve");
+  auto nonzero = [&fname, line](const ServiceCurve& sc) {
+    if (sc.is_zero()) fail_at(fname, line, "zero-rate service curve");
     return sc;
   };
   std::string kind;
-  if (!(ls >> kind)) fail(line, "missing curve spec");
+  if (!(ls >> kind)) fail_at(fname, line, "missing curve spec");
   if (kind == "linear") {
     std::string r;
-    if (!(ls >> r)) fail(line, "linear needs a rate");
+    if (!(ls >> r)) fail_at(fname, line, "linear needs a rate");
     return nonzero(ServiceCurve::linear(parse_rate(r)));
   }
   if (kind == "curve") {
     std::string m1, d, m2;
-    if (!(ls >> m1 >> d >> m2)) fail(line, "curve needs <m1> <d> <m2>");
+    if (!(ls >> m1 >> d >> m2)) fail_at(fname, line, "curve needs <m1> <d> <m2>");
     const ServiceCurve sc{parse_rate(m1), parse_time(d), parse_rate(m2)};
     if (!sc.is_supported()) {
-      fail(line, "unsupported curve shape (must be concave, or convex with "
+      fail_at(fname, line, "unsupported curve shape (must be concave, or convex with "
                  "m1 = 0)");
     }
     return nonzero(sc);
   }
   if (kind == "udr") {
     std::string u, d, r;
-    if (!(ls >> u >> d >> r)) fail(line, "udr needs <u> <d> <r>");
+    if (!(ls >> u >> d >> r)) fail_at(fname, line, "udr needs <u> <d> <r>");
     return nonzero(from_udr(parse_bytes(u), parse_time(d), parse_rate(r)));
   }
-  fail(line, "unknown curve spec kind: " + kind);
+  fail_at(fname, line, "unknown curve spec kind: " + kind);
 }
 
 }  // namespace
 
-Scenario Scenario::parse(std::istream& in) {
+Scenario Scenario::parse(std::istream& in, const std::string& name) {
   Scenario sc;
   std::map<std::string, bool> class_names;
   std::string raw;
@@ -148,54 +157,54 @@ Scenario Scenario::parse(std::istream& in) {
 
     if (directive == "link") {
       std::string r;
-      if (!(ls >> r)) fail(line, "link needs a rate");
+      if (!(ls >> r)) fail_at(name, line, "link needs a rate");
       sc.link_rate = parse_rate(r);
     } else if (directive == "duration") {
       std::string t;
-      if (!(ls >> t)) fail(line, "duration needs a time");
+      if (!(ls >> t)) fail_at(name, line, "duration needs a time");
       sc.duration = parse_time(t);
     } else if (directive == "window") {
       std::string t;
-      if (!(ls >> t)) fail(line, "window needs a time");
+      if (!(ls >> t)) fail_at(name, line, "window needs a time");
       sc.window = parse_time(t);
     } else if (directive == "class") {
       ScenarioClass c;
       if (!(ls >> c.name >> c.parent)) {
-        fail(line, "class needs <name> <parent>");
+        fail_at(name, line, "class needs <name> <parent>");
       }
-      if (class_names.count(c.name)) fail(line, "duplicate class " + c.name);
+      if (class_names.count(c.name)) fail_at(name, line, "duplicate class " + c.name);
       if (c.parent != "root" && !class_names.count(c.parent)) {
-        fail(line, "unknown parent class " + c.parent);
+        fail_at(name, line, "unknown parent class " + c.parent);
       }
       std::string key;
       while (ls >> key) {
         if (key == "rt") {
-          c.cfg.rt = parse_spec(ls, line);
+          c.cfg.rt = parse_spec(ls, name, line);
         } else if (key == "ls") {
-          c.cfg.ls = parse_spec(ls, line);
+          c.cfg.ls = parse_spec(ls, name, line);
         } else if (key == "ul") {
-          c.cfg.ul = parse_spec(ls, line);
+          c.cfg.ul = parse_spec(ls, name, line);
         } else if (key == "qlimit") {
           std::string n;
-          if (!(ls >> n)) fail(line, "qlimit needs a count");
+          if (!(ls >> n)) fail_at(name, line, "qlimit needs a count");
           c.qlimit = static_cast<std::size_t>(parse_bytes(n));
         } else {
-          fail(line, "unknown class attribute: " + key);
+          fail_at(name, line, "unknown class attribute: " + key);
         }
       }
       if (c.cfg.rt.is_zero() && c.cfg.ls.is_zero()) {
-        fail(line, "class " + c.name + " needs at least one of rt/ls");
+        fail_at(name, line, "class " + c.name + " needs at least one of rt/ls");
       }
       class_names[c.name] = true;
       sc.classes.push_back(std::move(c));
     } else if (directive == "source") {
       std::string kind;
       ScenarioSource s;
-      if (!(ls >> kind >> s.cls)) fail(line, "source needs <kind> <class>");
-      if (!class_names.count(s.cls)) fail(line, "unknown class " + s.cls);
+      if (!(ls >> kind >> s.cls)) fail_at(name, line, "source needs <kind> <class>");
+      if (!class_names.count(s.cls)) fail_at(name, line, "unknown class " + s.cls);
       auto want = [&](const char* what) -> std::string {
         std::string tok;
-        if (!(ls >> tok)) fail(line, std::string("source missing ") + what);
+        if (!(ls >> tok)) fail_at(name, line, std::string("source missing ") + what);
         return tok;
       };
       if (kind == "cbr") {
@@ -236,25 +245,25 @@ Scenario Scenario::parse(std::istream& in) {
         s.stop = parse_time(want("stop"));
         s.seed = parse_bytes(want("seed"));
       } else {
-        fail(line, "unknown source kind: " + kind);
+        fail_at(name, line, "unknown source kind: " + kind);
       }
       std::string extra;
-      if (ls >> extra) fail(line, "trailing token: " + extra);
+      if (ls >> extra) fail_at(name, line, "trailing token: " + extra);
       sc.sources.push_back(std::move(s));
     } else {
-      fail(line, "unknown directive: " + directive);
+      fail_at(name, line, "unknown directive: " + directive);
     }
   }
-  if (sc.link_rate == 0) throw std::runtime_error("scenario: missing link");
-  if (sc.duration == 0) throw std::runtime_error("scenario: missing duration");
-  if (sc.classes.empty()) throw std::runtime_error("scenario: no classes");
+  if (sc.link_rate == 0) fail_at(name.empty() ? "scenario" : name, line, "missing link");
+  if (sc.duration == 0) fail_at(name.empty() ? "scenario" : name, line, "missing duration");
+  if (sc.classes.empty()) fail_at(name.empty() ? "scenario" : name, line, "no classes");
   return sc;
 }
 
 Scenario Scenario::parse_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open scenario: " + path);
-  return parse(f);
+  return parse(f, path);
 }
 
 ScenarioResult run_scenario(const Scenario& sc) {
@@ -265,10 +274,17 @@ ScenarioResult run_scenario(const Scenario& sc,
                             const ScenarioRunOptions& opts) {
   Hfsc sched(sc.link_rate);
   if (opts.audit_every != 0) sched.enable_self_check(opts.audit_every);
+  if (opts.admission) sched.enable_admission_control();
   std::map<std::string, ClassId> ids;
   for (const ScenarioClass& c : sc.classes) {
     const ClassId parent = c.parent == "root" ? kRootClass : ids.at(c.parent);
-    const ClassId id = sched.add_class(parent, c.cfg);
+    ClassId id;
+    try {
+      id = sched.add_class(parent, c.cfg);
+    } catch (const Error& e) {
+      // One line, names the class: "class 'audio': admission rejected: …".
+      throw std::runtime_error("class '" + c.name + "': " + e.what());
+    }
     if (c.qlimit != 0) sched.set_queue_limit(id, c.qlimit);
     ids[c.name] = id;
   }
@@ -298,6 +314,15 @@ ScenarioResult run_scenario(const Scenario& sc,
     }
   }
   sim.run(sc.duration);
+
+  if (!opts.checkpoint_path.empty()) {
+    std::ofstream ck(opts.checkpoint_path);
+    if (!ck) {
+      throw std::runtime_error("cannot write checkpoint: " +
+                               opts.checkpoint_path);
+    }
+    checkpoint(sched, ck);
+  }
 
   ScenarioResult out;
   const auto& t = sim.tracker();

@@ -81,8 +81,9 @@ struct Scenario {
 
   // Parses a scenario; throws std::runtime_error with a line number on
   // any malformed directive, unknown class reference, or missing
-  // link/duration.
-  static Scenario parse(std::istream& in);
+  // link/duration.  When `name` is non-empty it prefixes every error
+  // editor-style ("file.scn:12: ..."); parse_file passes the path.
+  static Scenario parse(std::istream& in, const std::string& name = "");
   static Scenario parse_file(const std::string& path);
 };
 
@@ -109,6 +110,13 @@ struct ScenarioRunOptions {
   // operations during the run; 0 disables.  A violation surfaces as
   // Error{kInvariantViolation}.
   std::size_t audit_every = 0;
+  // Gate the hierarchy through admission control at the scenario's link
+  // rate: a scenario whose leaf rt curves oversubscribe the link fails
+  // with a one-line error naming the offending class instead of running.
+  bool admission = false;
+  // When non-empty, write a checkpoint (core/checkpoint.hpp) of the
+  // scheduler's final state to this path after the run.
+  std::string checkpoint_path;
 };
 
 // Builds the H-FSC hierarchy, runs the workload, gathers statistics.

@@ -37,6 +37,11 @@ enum class Errc {
   kUnsupportedCurve,    // curve shape outside the two-piece algebra
   kMissingCurve,        // class lacks a required rt/ls curve
   kInvariantViolation,  // runtime self-check (auditor) found corruption
+  kAdmissionRejected,   // aggregate rt curves would exceed the link curve
+  kTxnInvalid,          // commit/rollback on a closed Txn, or staged ids
+                        // went stale because the tree mutated outside it
+  kBadCheckpoint,       // checkpoint stream is malformed, truncated, or of
+                        // an unsupported version
 };
 
 constexpr const char* to_string(Errc c) noexcept {
@@ -49,6 +54,9 @@ constexpr const char* to_string(Errc c) noexcept {
     case Errc::kUnsupportedCurve: return "unsupported curve";
     case Errc::kMissingCurve: return "missing curve";
     case Errc::kInvariantViolation: return "invariant violation";
+    case Errc::kAdmissionRejected: return "admission rejected";
+    case Errc::kTxnInvalid: return "invalid transaction";
+    case Errc::kBadCheckpoint: return "bad checkpoint";
   }
   return "unknown error";
 }

@@ -1,0 +1,216 @@
+// Checkpoint/restore tests (core/checkpoint.{hpp,cpp}): a mid-backlog
+// round trip must audit clean, match the original's state digest, and
+// dequeue packet-for-packet identically until drain; malformed streams
+// must throw Error{kBadCheckpoint}.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/auditor.hpp"
+#include "core/checkpoint.hpp"
+#include "core/hfsc.hpp"
+#include "util/rng.hpp"
+
+namespace hfsc {
+namespace {
+
+// A busy two-org hierarchy with rt/ls/ul curves, deletions (tombstones),
+// queue limits, dropped packets and a partially drained backlog — the
+// checkpoint must capture all of it.
+struct Busy {
+  Hfsc sched;
+  std::vector<ClassId> leaves;
+  TimeNs now = 0;
+  std::uint64_t seq = 0;
+
+  explicit Busy(EligibleSetKind kind)
+      : sched(mbps(20), kind) {
+    const RateBps link = mbps(20);
+    const ClassId org1 = sched.add_class(
+        kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(link / 2)));
+    const ClassId org2 = sched.add_class(
+        kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(link / 2)));
+    leaves.push_back(sched.add_class(
+        org1, ClassConfig::both(ServiceCurve{link / 4, msec(2), link / 8})));
+    leaves.push_back(sched.add_class(
+        org1, ClassConfig::link_share_only(ServiceCurve::linear(link / 8))));
+    leaves.push_back(sched.add_class(
+        org2, ClassConfig{ServiceCurve::linear(link / 8),
+                          ServiceCurve::linear(link / 8),
+                          ServiceCurve::linear(link / 4)}));
+    sched.set_queue_limit(leaves[1], 16);
+    sched.enable_admission_control();
+    sched.enable_starvation_watchdog(sec(1));
+    // A tombstone: restore must keep dense ids across it.
+    const ClassId doomed = sched.add_class(
+        org2, ClassConfig::link_share_only(ServiceCurve::linear(kbps(100))));
+    sched.delete_class(doomed);
+
+    Rng rng(0xC0FFEE);
+    for (int i = 0; i < 400; ++i) {
+      const std::size_t l = rng.uniform(0, leaves.size() - 1);
+      sched.enqueue(now, Packet{leaves[l], 40 + rng.uniform(0, 1460),
+                                now, seq++});
+      if (rng.chance(0.4)) {
+        const auto p = sched.dequeue(now);
+        if (p) now += tx_time(p->len, mbps(20));
+      }
+      now += rng.uniform(0, usec(200));
+    }
+    // An anomaly for the data-path counters.
+    sched.enqueue(now, Packet{9999, 100, now, seq++});
+  }
+};
+
+class CheckpointRoundTrip
+    : public ::testing::TestWithParam<EligibleSetKind> {};
+
+TEST_P(CheckpointRoundTrip, MidBacklogRestoreIsExact) {
+  Busy b(GetParam());
+  ASSERT_GT(b.sched.backlog_packets(), 0u);
+
+  std::stringstream buf;
+  checkpoint(b.sched, buf);
+  Hfsc restored = restore_checkpoint(buf);
+
+  const AuditReport report = audit(restored);
+  ASSERT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(state_digest(restored), state_digest(b.sched));
+
+  // Statistics and configuration survive.
+  EXPECT_EQ(restored.num_classes(), b.sched.num_classes());
+  EXPECT_EQ(restored.backlog_packets(), b.sched.backlog_packets());
+  EXPECT_EQ(restored.backlog_bytes(), b.sched.backlog_bytes());
+  EXPECT_TRUE(restored.admission_enabled());
+  EXPECT_DOUBLE_EQ(restored.admission_utilization(),
+                   b.sched.admission_utilization());
+  EXPECT_EQ(restored.starvation_horizon(), b.sched.starvation_horizon());
+  EXPECT_EQ(restored.link_rate(), b.sched.link_rate());
+  for (ClassId c = 1; c < b.sched.num_classes(); ++c) {
+    EXPECT_EQ(restored.is_deleted(c), b.sched.is_deleted(c));
+    if (b.sched.is_deleted(c)) continue;
+    EXPECT_EQ(restored.packets_sent(c), b.sched.packets_sent(c));
+    EXPECT_EQ(restored.packets_dropped(c), b.sched.packets_dropped(c));
+    EXPECT_EQ(restored.total_work(c), b.sched.total_work(c));
+    EXPECT_EQ(restored.rt_work(c), b.sched.rt_work(c));
+    EXPECT_EQ(restored.vtime(c), b.sched.vtime(c));
+  }
+  EXPECT_EQ(restored.data_path_counters().bad_class,
+            b.sched.data_path_counters().bad_class);
+
+  // Packet-for-packet identical dequeue order until drain, including
+  // fresh arrivals landing on both after the restore.
+  TimeNs now = b.now;
+  std::uint64_t seq = b.seq;
+  Rng rng(0xF00D);
+  int served = 0;
+  while (b.sched.backlog_packets() > 0) {
+    if (seq < b.seq + 100 && rng.chance(0.2)) {  // bounded, then drain out
+      const std::size_t l = rng.uniform(0, b.leaves.size() - 1);
+      const Bytes len = 40 + rng.uniform(0, 1460);
+      b.sched.enqueue(now, Packet{b.leaves[l], len, now, seq});
+      restored.enqueue(now, Packet{b.leaves[l], len, now, seq});
+      ++seq;
+    }
+    const auto po = b.sched.dequeue(now);
+    const auto pr = restored.dequeue(now);
+    ASSERT_EQ(po.has_value(), pr.has_value());
+    if (po) {
+      ASSERT_EQ(po->cls, pr->cls) << "diverged after " << served << " packets";
+      ASSERT_EQ(po->seq, pr->seq);
+      ASSERT_EQ(po->len, pr->len);
+      now += tx_time(po->len, mbps(20));
+      ++served;
+    } else {
+      now += usec(100);
+    }
+  }
+  EXPECT_EQ(restored.backlog_packets(), 0u);
+  EXPECT_GT(served, 0);
+  EXPECT_EQ(state_digest(restored), state_digest(b.sched));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEligibleSets, CheckpointRoundTrip,
+                         ::testing::Values(EligibleSetKind::kDualHeap,
+                                           EligibleSetKind::kAugTree,
+                                           EligibleSetKind::kCalendar));
+
+TEST(Checkpoint, RejectsForeignMagic) {
+  std::istringstream in("not-a-checkpoint 1\n");
+  try {
+    restore_checkpoint(in);
+    FAIL() << "foreign magic must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBadCheckpoint);
+  }
+}
+
+TEST(Checkpoint, RejectsUnknownVersion) {
+  std::istringstream in("hfsc-checkpoint 999\n");
+  try {
+    restore_checkpoint(in);
+    FAIL() << "future versions must be rejected, not misparsed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBadCheckpoint);
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  Busy b(EligibleSetKind::kDualHeap);
+  std::stringstream buf;
+  checkpoint(b.sched, buf);
+  const std::string full = buf.str();
+  // Chop at a few representative depths; every prefix must throw rather
+  // than yield a half-restored scheduler.
+  for (const double frac : {0.1, 0.5, 0.9, 0.99}) {
+    std::istringstream cut(
+        full.substr(0, static_cast<std::size_t>(full.size() * frac)));
+    EXPECT_THROW(restore_checkpoint(cut), Error) << "fraction " << frac;
+  }
+}
+
+TEST(Checkpoint, RejectsCorruptStructure) {
+  // A parent pointing at itself.
+  std::istringstream in(
+      "hfsc-checkpoint 1\nlink 1000000 0 2\nmaxpkt 67108864\nclock 0 0\n"
+      "selections 0 0 1\ncounters 0 0 0 0\nadmission 0 0\nwatchdog 0\n"
+      "classes 2\n"
+      "node 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n"
+      "cfg 0 0 0 0 0 0 0 0 0\n"
+      "curve dc 0 0 0 0 0 0\ncurve ec 0 0 0 0 0 0\n"
+      "curve vc 0 0 0 0 0 0\ncurve uc 0 0 0 0 0 0\n"
+      "node 1 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n"
+      "cfg 0 0 0 0 0 125000 0 0 0\n"
+      "curve dc 0 0 0 0 0 0\ncurve ec 0 0 0 0 0 0\n"
+      "curve vc 0 0 0 0 0 0\ncurve uc 0 0 0 0 0 0\n"
+      "end\n");
+  try {
+    restore_checkpoint(in);
+    FAIL() << "self-parenting node must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBadCheckpoint);
+  }
+}
+
+TEST(Checkpoint, DigestIgnoresObservabilityCounters) {
+  Hfsc s(mbps(10));
+  const ClassId org = s.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(10))));
+  s.add_class(org, ClassConfig::both(ServiceCurve::linear(mbps(4))));
+  s.enable_admission_control();
+  const std::uint64_t before = state_digest(s);
+
+  // A rejected direct mutation bumps admission_rejections() but must not
+  // move the digest — that is exactly what makes the digest usable as the
+  // Txn atomicity oracle.
+  EXPECT_THROW(
+      s.add_class(org, ClassConfig::both(ServiceCurve::linear(mbps(20)))),
+      Error);
+  EXPECT_EQ(s.admission_rejections(), 1u);
+  EXPECT_EQ(state_digest(s), before);
+}
+
+}  // namespace
+}  // namespace hfsc

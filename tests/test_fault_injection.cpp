@@ -62,6 +62,9 @@ TEST(FaultInjection, HundredThousandOpsMatchDrrOracle) {
   plan.p_zero_len = 0.01;
   plan.p_oversized = 0.01;
   plan.p_class_churn = 0.02;  // ephemeral adds/deletes + leaf re-shaping
+  plan.p_txn_commit = 0.01;   // transactional batches applied mid-backlog
+  plan.p_txn_abort = 0.01;    // staged batches discarded mid-backlog
+  plan.p_checkpoint = 0.001;  // checkpoint/restore round trip mid-backlog
   FaultInjector injector(sched, plan, /*seed=*/0xFA17);
   injector.enable_churn(sched, churn_parent, leaves);
 
@@ -138,6 +141,11 @@ TEST(FaultInjection, HundredThousandOpsMatchDrrOracle) {
   EXPECT_GT(fc.classes_added, 0u);
   EXPECT_GT(fc.classes_changed, 0u);
   EXPECT_GT(fc.classes_deleted, 0u);
+  EXPECT_GT(fc.txn_commits, 0u);
+  EXPECT_GT(fc.txn_aborts, 0u);
+  EXPECT_GT(fc.checkpoint_roundtrips, 0u);
+  EXPECT_EQ(fc.checkpoint_mismatches, 0u)
+      << "a restored checkpoint diverged from the original's state digest";
 
   // ... and the hardened data path must have absorbed all of it.
   const DataPathCounters& dc = sched.data_path_counters();

@@ -3,6 +3,8 @@
 // files).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "sim/scenario.hpp"
@@ -143,6 +145,54 @@ class a org2 ls linear 1Mbps
     EXPECT_NE(what.find("duplicate class"), std::string::npos) << what;
     EXPECT_NE(what.find("7"), std::string::npos) << what;  // line number
   }
+}
+
+TEST(ScenarioParse, FileErrorsCarryTheFileName) {
+  const std::string path = ::testing::TempDir() + "hfsc_bad_scenario.hfsc";
+  {
+    std::ofstream out(path);
+    out << "link 10Mbps\nduration 1s\nbogus x\n";
+  }
+  try {
+    (void)Scenario::parse_file(path);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    // file:line: message — greppable straight into an editor.
+    EXPECT_NE(what.find(path + ":3:"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown directive"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioRun, AdmissionExceedingScenarioFailsWithOneLineError) {
+  // 8 + 7 Mb/s of rt guarantees on a 10 Mb/s link: infeasible.  With the
+  // admission option on, the run must fail with a single actionable line
+  // naming the class that broke the budget.
+  std::istringstream in(R"(
+link 10Mbps
+duration 1s
+class org   root ls linear 10Mbps
+class voice org  rt linear 8Mbps ls linear 8Mbps
+class video org  rt linear 7Mbps ls linear 7Mbps
+source cbr voice 1Mbps 1000 0s 1s
+)");
+  const Scenario sc = Scenario::parse(in);
+  ScenarioRunOptions opts;
+  opts.admission = true;
+  try {
+    (void)run_scenario(sc, opts);
+    FAIL() << "infeasible scenario must be refused up front";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find('\n'), std::string::npos) << what;
+    EXPECT_NE(what.find("class 'video'"), std::string::npos) << what;
+    EXPECT_NE(what.find("admission"), std::string::npos) << what;
+  }
+  // Without the option the same scenario still runs (link-sharing only
+  // degrades; no guarantees are promised).
+  ScenarioRunOptions lax;
+  EXPECT_NO_THROW((void)run_scenario(sc, lax));
 }
 
 TEST(ScenarioRun, AuditOptionRunsSelfChecks) {

@@ -1,0 +1,208 @@
+// Unit tests for Hfsc::Txn — transactional live reconfiguration
+// (src/core/txn.cpp): staging, predicted ids, atomic commit, rollback,
+// and the equivalence between a committed batch and the same mutations
+// applied directly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/auditor.hpp"
+#include "core/checkpoint.hpp"
+#include "core/hfsc.hpp"
+
+namespace hfsc {
+namespace {
+
+ClassConfig ls_only(RateBps r) {
+  return ClassConfig::link_share_only(ServiceCurve::linear(r));
+}
+
+TEST(Txn, CommitAppliesAllStagedOps) {
+  Hfsc s(mbps(10));
+  const ClassId org = s.add_class(kRootClass, ls_only(mbps(10)));
+
+  Hfsc::Txn txn = s.begin();
+  const ClassId a = txn.add_class(org, ls_only(mbps(4)));
+  const ClassId b = txn.add_class(org, ClassConfig::both(
+                                           ServiceCurve::linear(mbps(2))));
+  txn.set_queue_limit(a, 7);
+  EXPECT_TRUE(txn.open());
+  EXPECT_EQ(txn.num_ops(), 3u);
+  // Nothing is applied while staging.
+  EXPECT_EQ(s.num_classes(), 2u);
+
+  txn.commit();
+  EXPECT_FALSE(txn.open());
+  EXPECT_EQ(s.num_classes(), 4u);
+  EXPECT_TRUE(s.is_leaf(a));
+  EXPECT_TRUE(s.is_leaf(b));
+  EXPECT_EQ(s.parent_of(a), org);
+  EXPECT_EQ(s.parent_of(b), org);
+  EXPECT_EQ(s.config_of(b).rt, ServiceCurve::linear(mbps(2)));
+
+  // The staged queue limit is live: the 8th packet tail-drops.
+  for (int i = 0; i < 10; ++i) s.enqueue(0, Packet{a, 100, 0, 0});
+  EXPECT_EQ(s.backlog_packets(), 7u);
+
+  const AuditReport report = audit(s);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Txn, StagedIdsAreUsableWithinTheBatch) {
+  Hfsc s(mbps(10));
+  Hfsc::Txn txn = s.begin();
+  // Build a two-level subtree entirely inside the batch, then mutate and
+  // partially tear it down — all against predicted ids.
+  const ClassId org = txn.add_class(kRootClass, ls_only(mbps(8)));
+  const ClassId kid1 = txn.add_class(org, ls_only(mbps(4)));
+  const ClassId kid2 = txn.add_class(org, ls_only(mbps(4)));
+  txn.change_class(0, kid1, ClassConfig::both(ServiceCurve::linear(mbps(3))));
+  txn.delete_class(kid2);
+  txn.commit();
+
+  EXPECT_EQ(s.num_classes(), 4u);  // root + org + kid1 + tombstoned kid2
+  EXPECT_FALSE(s.is_deleted(org));
+  EXPECT_FALSE(s.is_deleted(kid1));
+  EXPECT_TRUE(s.is_deleted(kid2));
+  EXPECT_EQ(s.config_of(kid1).rt, ServiceCurve::linear(mbps(3)));
+  const AuditReport report = audit(s);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Txn, RollbackAndDestructorLeaveNoTrace) {
+  Hfsc s(mbps(10));
+  const ClassId org = s.add_class(kRootClass, ls_only(mbps(10)));
+  const std::uint64_t before = state_digest(s);
+
+  Hfsc::Txn txn = s.begin();
+  txn.add_class(org, ls_only(mbps(1)));
+  txn.delete_class(org);
+  txn.rollback();
+  EXPECT_FALSE(txn.open());
+  EXPECT_EQ(state_digest(s), before);
+
+  {
+    Hfsc::Txn dropped = s.begin();
+    dropped.add_class(org, ls_only(mbps(1)));
+    // Destroyed while open: the destructor rolls back.
+  }
+  EXPECT_EQ(state_digest(s), before);
+}
+
+TEST(Txn, FailedCommitIsAtomicAndLeavesTheTxnOpen) {
+  Hfsc s(mbps(10));
+  const ClassId org = s.add_class(kRootClass, ls_only(mbps(10)));
+  const ClassId leaf = s.add_class(org, ls_only(mbps(5)));
+  const std::uint64_t before = state_digest(s);
+
+  Hfsc::Txn txn = s.begin();
+  txn.add_class(org, ls_only(mbps(1)));     // valid
+  txn.delete_class(org);                    // invalid: org still has `leaf`
+  try {
+    txn.commit();
+    FAIL() << "commit of an invalid batch must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kHasChildren);
+  }
+  EXPECT_TRUE(txn.open());  // fixable: drop the bad op by re-staging
+  EXPECT_EQ(state_digest(s), before);
+  EXPECT_EQ(s.num_classes(), 3u);
+
+  // The same handle can be rolled back and a fresh batch committed.
+  txn.rollback();
+  Hfsc::Txn retry = s.begin();
+  retry.delete_class(leaf);
+  retry.delete_class(org);  // valid now: its only child dies first
+  retry.commit();
+  EXPECT_TRUE(s.is_deleted(org));
+  EXPECT_TRUE(s.is_deleted(leaf));
+}
+
+TEST(Txn, OpsOnClosedTxnThrow) {
+  Hfsc s(mbps(10));
+  Hfsc::Txn txn = s.begin();
+  txn.add_class(kRootClass, ls_only(mbps(1)));
+  txn.commit();
+  EXPECT_THROW(txn.add_class(kRootClass, ls_only(mbps(1))), Error);
+  EXPECT_THROW(txn.commit(), Error);
+  try {
+    txn.delete_class(1);
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kTxnInvalid);
+  }
+}
+
+TEST(Txn, DirectAddsWhileOpenInvalidateStagedIds) {
+  Hfsc s(mbps(10));
+  Hfsc::Txn txn = s.begin();
+  txn.add_class(kRootClass, ls_only(mbps(1)));
+  // A direct (non-transactional) add shifts the id the staged add would
+  // get, so the commit must refuse rather than attach ops to the wrong
+  // class.
+  s.add_class(kRootClass, ls_only(mbps(2)));
+  try {
+    txn.commit();
+    FAIL() << "stale staged ids must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kTxnInvalid);
+  }
+
+  // Batches without adds are immune to id shift and still commit.
+  const ClassId direct = 1;
+  Hfsc::Txn txn2 = s.begin();
+  txn2.set_queue_limit(direct, 3);
+  s.add_class(kRootClass, ls_only(mbps(3)));
+  txn2.commit();
+}
+
+TEST(Txn, CommittedBatchMatchesDirectMutationsBitForBit) {
+  const auto build = [](Hfsc& s, bool transactional) {
+    const ClassId org = s.add_class(
+        kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(8))));
+    if (transactional) {
+      Hfsc::Txn txn = s.begin();
+      const ClassId a = txn.add_class(org, ClassConfig::both(
+                                               ServiceCurve::linear(mbps(2))));
+      const ClassId b = txn.add_class(
+          org, ClassConfig::both(ServiceCurve{mbps(4), msec(2), mbps(1)}));
+      txn.set_queue_limit(a, 64);
+      txn.change_class(0, b,
+                       ClassConfig::both(ServiceCurve::linear(mbps(3))));
+      txn.commit();
+    } else {
+      const ClassId a = s.add_class(org, ClassConfig::both(
+                                             ServiceCurve::linear(mbps(2))));
+      const ClassId b = s.add_class(
+          org, ClassConfig::both(ServiceCurve{mbps(4), msec(2), mbps(1)}));
+      s.set_queue_limit(a, 64);
+      s.change_class(0, b, ClassConfig::both(ServiceCurve::linear(mbps(3))));
+    }
+  };
+  Hfsc via_txn(mbps(10));
+  Hfsc direct(mbps(10));
+  build(via_txn, true);
+  build(direct, false);
+  EXPECT_EQ(state_digest(via_txn), state_digest(direct));
+}
+
+TEST(Txn, CommitValidatesAgainstBacklogAtCommitTime) {
+  Hfsc s(mbps(10));
+  const ClassId org = s.add_class(kRootClass, ls_only(mbps(10)));
+  const ClassId leaf = s.add_class(org, ls_only(mbps(5)));
+
+  Hfsc::Txn txn = s.begin();
+  txn.add_class(leaf, ls_only(mbps(1)));  // leaf is quiet right now...
+  s.enqueue(0, Packet{leaf, 100, 0, 0});  // ...but gains backlog pre-commit
+  try {
+    txn.commit();
+    FAIL() << "adding under a backlogged class must fail at commit";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kHasBacklog);
+  }
+  EXPECT_EQ(s.backlog_packets(), 1u);
+  const AuditReport report = audit(s);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -2,11 +2,17 @@
 # CI gate: build and test libhfsc in a plain Release configuration and an
 # address+undefined sanitizer configuration.  Any test failure, sanitizer
 # report (-fno-sanitize-recover=all aborts on the first finding), or build
-# error fails the script.
+# error fails the script.  ctest runs with a 120 s per-test timeout and
+# stops at the first failing test, so a broken config fails fast instead
+# of grinding through the rest of the suite.
 #
 #   $ tools/ci_check.sh            # both configs
 #   $ tools/ci_check.sh release    # just the Release config
 #   $ tools/ci_check.sh sanitize   # just the sanitizer config
+#
+# The randomized long-running suites carry the ctest label "fuzz"
+# (tests/CMakeLists.txt); exclude them for a quick local gate with
+#   $ CTEST_ARGS="-LE fuzz" tools/ci_check.sh release
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,7 +27,9 @@ run_config() {
   echo "=== ${name}: build ==="
   cmake --build "${build_dir}" -j "${jobs}"
   echo "=== ${name}: ctest ==="
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  # shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+    --timeout 120 --stop-on-failure ${CTEST_ARGS:-}
 }
 
 case "${what}" in

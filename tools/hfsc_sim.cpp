@@ -1,32 +1,73 @@
 // hfsc_sim — run an H-FSC scenario file and print per-class statistics.
 //
-//   $ hfsc_sim [--audit[=N]] scenarios/campus.hfsc
+//   $ hfsc_sim [--audit[=N]] [--admission] [--checkpoint=FILE] scenario.hfsc
+//   $ hfsc_sim --restore=FILE
 //
 // --audit enables the runtime invariant auditor (core/auditor.hpp) every
-// N scheduler operations during the run (default 256).  Parse and
-// scheduler errors exit with code 1 and a one-line message.
+// N scheduler operations during the run (default 256).  --admission
+// refuses scenarios whose leaf rt curves oversubscribe the link (one-line
+// error naming the class).  --checkpoint writes the scheduler's final
+// state to FILE after the run; --restore loads such a file, audits it and
+// prints a summary instead of running a scenario.  Parse and scheduler
+// errors exit with code 1 and a one-line message.
 //
-// See src/sim/scenario.hpp for the file format.
+// See src/sim/scenario.hpp for the file format and core/checkpoint.hpp
+// for the checkpoint format.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <string>
 
+#include "core/auditor.hpp"
+#include "core/checkpoint.hpp"
+#include "core/hfsc.hpp"
 #include "sim/scenario.hpp"
 #include "util/errors.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--audit[=N]] <scenario-file>\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s [--audit[=N]] [--admission] [--checkpoint=FILE] "
+               "<scenario-file>\n       %s --restore=FILE\n",
+               argv0, argv0);
   return 2;
+}
+
+int restore_summary(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open checkpoint: %s\n", file.c_str());
+    return 1;
+  }
+  // restore_checkpoint already audits and throws on a dirty state; run
+  // the audit again here to print its verdict alongside the summary.
+  const hfsc::Hfsc sched = hfsc::restore_checkpoint(in);
+  const hfsc::AuditReport report = hfsc::audit(sched);
+  std::size_t live = 0;
+  for (hfsc::ClassId c = 1; c < sched.num_classes(); ++c) {
+    if (!sched.is_deleted(c)) ++live;
+  }
+  std::printf("checkpoint: %s\n", file.c_str());
+  std::printf("classes: %zu live (%zu ids)\n", live,
+              static_cast<std::size_t>(sched.num_classes() - 1));
+  std::printf("backlog: %zu packets, %llu bytes\n", sched.backlog_packets(),
+              static_cast<unsigned long long>(sched.backlog_bytes()));
+  std::printf("digest: %016llx\n",
+              static_cast<unsigned long long>(hfsc::state_digest(sched)));
+  std::printf("audit: %s\n", report.to_string().c_str());
+  return report.ok() ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t audit_every = 0;
+  bool admission = false;
+  std::string checkpoint_path;
+  std::string restore_path;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -40,6 +81,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       audit_every = static_cast<std::size_t>(n);
+    } else if (std::strcmp(arg, "--admission") == 0) {
+      admission = true;
+    } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
+      checkpoint_path = arg + 13;
+      if (checkpoint_path.empty()) return usage(argv[0]);
+    } else if (std::strncmp(arg, "--restore=", 10) == 0) {
+      restore_path = arg + 10;
+      if (restore_path.empty()) return usage(argv[0]);
     } else if (arg[0] == '-') {
       return usage(argv[0]);
     } else if (path == nullptr) {
@@ -48,18 +97,25 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (path == nullptr) return usage(argv[0]);
 
   try {
+    if (!restore_path.empty()) {
+      if (path != nullptr || admission || audit_every != 0 ||
+          !checkpoint_path.empty()) {
+        return usage(argv[0]);
+      }
+      return restore_summary(restore_path);
+    }
+    if (path == nullptr) return usage(argv[0]);
+
     const hfsc::Scenario sc = hfsc::Scenario::parse_file(path);
     hfsc::ScenarioRunOptions opts;
     opts.audit_every = audit_every;
+    opts.admission = admission;
+    opts.checkpoint_path = checkpoint_path;
     const hfsc::ScenarioResult result = hfsc::run_scenario(sc, opts);
     std::printf("%s", result.to_table().c_str());
     return 0;
-  } catch (const hfsc::Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
