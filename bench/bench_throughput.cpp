@@ -1,0 +1,318 @@
+// bench_throughput — the canonical hot-path benchmark (machine-readable).
+//
+// Drives a steady-state backlogged workload through H-FSC and reports
+// dequeue throughput plus per-dequeue latency percentiles for every
+// EligibleSet kind on two hierarchy shapes:
+//
+//   * wide1000 — 1000 leaves directly under the root (the eligible-set
+//     and active-children heaps dominate);
+//   * deep8    — a complete binary tree 8 levels deep, 256 leaves (the
+//     per-level virtual-time bookkeeping of charge_total dominates).
+//
+// Unlike the google-benchmark binaries (bench_overhead,
+// bench_eligible_ablation) this tool emits one JSON document so the repo
+// can keep a trajectory of numbers across PRs: run it from the repo root
+// and commit the refreshed BENCH_throughput.json.
+//
+//   $ bench_throughput [--packets=N] [--smoke] [--out=FILE]
+//                      [--workload=wide1000|deep8] [--kind=NAME]
+//
+// --smoke cuts the packet count so CI can gate on "the bench still runs
+// and produces sane JSON" without paying for a full measurement.
+//
+// Methodology: two phases per (workload, kind) combination.  Phase A
+// times the whole steady-state loop (one dequeue + one refill enqueue
+// per packet) with two clock reads total, giving an undisturbed
+// throughput figure.  Phase B re-runs a sample of the same loop with a
+// clock read around each dequeue to collect the latency distribution;
+// the two phases are reported separately because per-op timing itself
+// costs tens of nanoseconds.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/hfsc.hpp"
+
+namespace hfsc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr RateBps kLink = gbps(10);
+constexpr Bytes kPktLen = 1000;
+constexpr int kBacklogPerLeaf = 4;
+
+struct Workload {
+  const char* name;
+  std::vector<ClassId> (*build)(Hfsc&);
+};
+
+// 1000 leaves under the root, each with a concave rt+ls curve.
+std::vector<ClassId> build_wide(Hfsc& s) {
+  constexpr int kLeaves = 1000;
+  const RateBps r = kLink / kLeaves;
+  std::vector<ClassId> leaves;
+  leaves.reserve(kLeaves);
+  for (int i = 0; i < kLeaves; ++i) {
+    leaves.push_back(s.add_class(
+        kRootClass, ClassConfig::both(ServiceCurve{2 * r, msec(5), r})));
+  }
+  return leaves;
+}
+
+// Complete binary tree, 8 levels of classes below the root (256 leaves).
+std::vector<ClassId> build_deep(Hfsc& s) {
+  constexpr int kDepth = 8;
+  std::vector<ClassId> level{kRootClass};
+  for (int d = 1; d <= kDepth; ++d) {
+    const std::size_t width = std::size_t{1} << d;
+    const RateBps share = kLink / static_cast<RateBps>(width);
+    std::vector<ClassId> next;
+    next.reserve(width);
+    for (const ClassId p : level) {
+      for (int k = 0; k < 2; ++k) {
+        next.push_back(s.add_class(
+            p, d == kDepth
+                   ? ClassConfig::both(ServiceCurve{2 * share, msec(5), share})
+                   : ClassConfig::link_share_only(
+                         ServiceCurve::linear(share))));
+      }
+    }
+    level = std::move(next);
+  }
+  return level;
+}
+
+const char* kind_name(EligibleSetKind k) {
+  switch (k) {
+    case EligibleSetKind::kDualHeap:
+      return "dual_heap";
+    case EligibleSetKind::kAugTree:
+      return "aug_tree";
+    case EligibleSetKind::kCalendar:
+      return "calendar";
+  }
+  return "?";
+}
+
+struct Result {
+  std::string workload;
+  std::string kind;
+  std::uint64_t packets = 0;
+  std::uint64_t wall_ns = 0;
+  double pkts_per_sec = 0.0;
+  std::uint64_t lat_samples = 0;
+  double ns_mean = 0.0;
+  std::uint64_t ns_p50 = 0;
+  std::uint64_t ns_p99 = 0;
+};
+
+// One steady-state pass: each iteration dequeues a packet and refills the
+// class it came from, so the per-leaf backlog stays constant.  Returns the
+// number of packets actually dequeued (== iters unless the config is
+// broken, which the caller checks).
+std::uint64_t run_loop(Hfsc& s, TimeNs& now, const TimeNs step,
+                       std::uint64_t iters, std::uint64_t& seq,
+                       std::vector<std::uint32_t>* lat) {
+  std::uint64_t served = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    now += step;
+    std::optional<Packet> p;
+    if (lat) {
+      const std::uint64_t t0 = now_ns();
+      p = s.dequeue(now);
+      const std::uint64_t t1 = now_ns();
+      lat->push_back(static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(t1 - t0, 0xFFFFFFFFu)));
+    } else {
+      p = s.dequeue(now);
+    }
+    if (p) {
+      ++served;
+      s.enqueue(now, Packet{p->cls, kPktLen, now, seq++});
+    }
+  }
+  return served;
+}
+
+Result run_one(const Workload& w, EligibleSetKind kind, std::uint64_t packets,
+               std::uint64_t lat_samples) {
+  Hfsc s(kLink, kind);
+  const std::vector<ClassId> leaves = w.build(s);
+  TimeNs now = 0;
+  std::uint64_t seq = 0;
+  for (int r = 0; r < kBacklogPerLeaf; ++r) {
+    for (const ClassId c : leaves) {
+      s.enqueue(now, Packet{c, kPktLen, now, seq++});
+    }
+  }
+  const TimeNs step = tx_time(kPktLen, kLink);
+
+  // Warmup: reach the steady state (heaps at final size, curves past
+  // their knees) before the timed phase.
+  std::uint64_t warm = std::min<std::uint64_t>(packets / 10, 100'000);
+  run_loop(s, now, step, warm, seq, nullptr);
+
+  Result res;
+  res.workload = w.name;
+  res.kind = kind_name(kind);
+  res.packets = packets;
+
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t served = run_loop(s, now, step, packets, seq, nullptr);
+  res.wall_ns = now_ns() - t0;
+  if (served != packets) {
+    std::fprintf(stderr,
+                 "FATAL: %s/%s served %llu of %llu packets — broken config\n",
+                 res.workload.c_str(), res.kind.c_str(),
+                 static_cast<unsigned long long>(served),
+                 static_cast<unsigned long long>(packets));
+    std::exit(1);
+  }
+  res.pkts_per_sec =
+      res.wall_ns == 0 ? 0.0 : 1e9 * static_cast<double>(packets) /
+                                   static_cast<double>(res.wall_ns);
+
+  std::vector<std::uint32_t> lat;
+  lat.reserve(lat_samples);
+  run_loop(s, now, step, lat_samples, seq, &lat);
+  res.lat_samples = lat.size();
+  if (!lat.empty()) {
+    std::uint64_t sum = 0;
+    for (const std::uint32_t v : lat) sum += v;
+    res.ns_mean = static_cast<double>(sum) / static_cast<double>(lat.size());
+    auto pct = [&](double q) {
+      const std::size_t idx = static_cast<std::size_t>(
+          q * static_cast<double>(lat.size() - 1));
+      std::nth_element(lat.begin(), lat.begin() + idx, lat.end());
+      return static_cast<std::uint64_t>(lat[idx]);
+    };
+    res.ns_p50 = pct(0.50);
+    res.ns_p99 = pct(0.99);
+  }
+  return res;
+}
+
+void write_json(const std::vector<Result>& results, std::uint64_t packets,
+                bool smoke, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "FATAL: cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_throughput\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"link_rate_bps\": %llu,\n",
+               static_cast<unsigned long long>(kLink));
+  std::fprintf(f, "  \"packet_len\": %llu,\n",
+               static_cast<unsigned long long>(kPktLen));
+  std::fprintf(f, "  \"packets_per_combo\": %llu,\n",
+               static_cast<unsigned long long>(packets));
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"eligible_set\": \"%s\", "
+        "\"packets\": %llu, \"wall_ns\": %llu, \"pkts_per_sec\": %.0f, "
+        "\"lat_samples\": %llu, \"ns_per_dequeue_mean\": %.1f, "
+        "\"ns_per_dequeue_p50\": %llu, \"ns_per_dequeue_p99\": %llu}%s\n",
+        r.workload.c_str(), r.kind.c_str(),
+        static_cast<unsigned long long>(r.packets),
+        static_cast<unsigned long long>(r.wall_ns), r.pkts_per_sec,
+        static_cast<unsigned long long>(r.lat_samples), r.ns_mean,
+        static_cast<unsigned long long>(r.ns_p50),
+        static_cast<unsigned long long>(r.ns_p99),
+        i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace hfsc
+
+int main(int argc, char** argv) {
+  using namespace hfsc;
+  std::uint64_t packets = 10'000'000;
+  std::uint64_t lat_samples = 1'000'000;
+  bool smoke = false;
+  std::string out = "BENCH_throughput.json";
+  std::string only_workload;
+  std::string only_kind;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (const char* v = val("--packets=")) {
+      packets = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--out=")) {
+      out = v;
+    } else if (const char* v = val("--workload=")) {
+      only_workload = v;
+    } else if (const char* v = val("--kind=")) {
+      only_kind = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--packets=N] [--smoke] [--out=FILE]\n"
+                   "          [--workload=wide1000|deep8] "
+                   "[--kind=dual_heap|aug_tree|calendar]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    packets = std::min<std::uint64_t>(packets, 200'000);
+    lat_samples = 50'000;
+  }
+  lat_samples = std::min(lat_samples, packets);
+
+  const Workload workloads[] = {
+      {"wide1000", &build_wide},
+      {"deep8", &build_deep},
+  };
+  const EligibleSetKind kinds[] = {EligibleSetKind::kDualHeap,
+                                   EligibleSetKind::kAugTree,
+                                   EligibleSetKind::kCalendar};
+
+  std::vector<Result> results;
+  for (const Workload& w : workloads) {
+    if (!only_workload.empty() && only_workload != w.name) continue;
+    for (const EligibleSetKind k : kinds) {
+      if (!only_kind.empty() && only_kind != kind_name(k)) continue;
+      const Result r = run_one(w, k, packets, lat_samples);
+      std::printf(
+          "%-8s %-9s  %10.0f pkts/s  mean %6.1f ns  p50 %4llu ns  "
+          "p99 %4llu ns\n",
+          r.workload.c_str(), r.kind.c_str(), r.pkts_per_sec, r.ns_mean,
+          static_cast<unsigned long long>(r.ns_p50),
+          static_cast<unsigned long long>(r.ns_p99));
+      results.push_back(r);
+    }
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "no (workload, kind) combination selected\n");
+    return 2;
+  }
+  write_json(results, packets, smoke, out);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -22,9 +22,19 @@ AuditReport audit(const Hfsc& s) {
 
   std::size_t queued_packets = 0;
   Bytes queued_bytes = 0;
+  std::size_t ul_count = 0;
 
   for (ClassId c = 0; c < nodes.size(); ++c) {
     const auto& n = nodes[c];
+
+    // The hot path trusts cached curve-presence flags instead of testing
+    // cfg each time; they must never drift from the configuration.
+    if (n.has_rt() != !n.cfg.rt.is_zero() ||
+        n.has_ls() != !n.cfg.ls.is_zero() ||
+        n.has_ul() != !n.cfg.ul.is_zero()) {
+      fail(c, "cached curve-presence flags disagree with the config");
+    }
+    if (c != kRootClass && !n.deleted && n.has_ul()) ++ul_count;
 
     if (n.deleted) {
       if (c == kRootClass) fail(c, "root marked deleted");
@@ -154,6 +164,11 @@ AuditReport audit(const Hfsc& s) {
   }
   if (queued_bytes != queues.bytes()) {
     fail(kRootClass, "per-class byte counts do not sum to the backlog");
+  }
+  if (s.num_ul_ != ul_count) {
+    fail(kRootClass, "cached upper-limit class count out of sync (" +
+                         std::to_string(s.num_ul_) + " cached, " +
+                         std::to_string(ul_count) + " live)");
   }
 
   // Admission bookkeeping: the tracked aggregate must equal the sum over

@@ -200,6 +200,8 @@ Hfsc restore_checkpoint(std::istream& in) {
     n.ec = get_curve(in, "ec");
     n.vc = get_curve(in, "vc");
     n.uc = get_curve(in, "uc");
+    n.refresh_flags();  // cfg was written directly; re-derive cached flags
+    if (c != 0 && !n.deleted && n.has_ul()) ++s.num_ul_;
     if (c == 0 && (n.parent != kRootClass || n.deleted)) {
       bad("corrupt root record");
     }

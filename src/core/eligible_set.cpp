@@ -5,47 +5,14 @@
 
 namespace hfsc {
 
-// ---------------------------------------------------------------- DualHeap
-
-void DualHeapEligibleSet::update(ClassId cls, TimeNs e, TimeNs d, TimeNs now) {
-  if (cls >= deadline_of_.size()) deadline_of_.resize(cls + 1, 0);
-  deadline_of_[cls] = d;
-  if (pending_.contains(cls)) pending_.erase(cls);
-  if (ready_.contains(cls)) ready_.erase(cls);
-  if (e <= now) {
-    ready_.push(cls, d);
-  } else {
-    pending_.push(cls, e);
-  }
-}
-
-void DualHeapEligibleSet::erase(ClassId cls) {
-  if (pending_.contains(cls)) pending_.erase(cls);
-  if (ready_.contains(cls)) ready_.erase(cls);
-}
-
-std::optional<ClassId> DualHeapEligibleSet::min_deadline_eligible(TimeNs now) {
-  while (!pending_.empty() && pending_.top_key() <= now) {
-    const ClassId cls = pending_.pop();
-    ready_.push(cls, deadline_of_[cls]);
-  }
-  if (ready_.empty()) return std::nullopt;
-  return ready_.top_id();
-}
-
-TimeNs DualHeapEligibleSet::next_eligible_time() const {
-  if (!ready_.empty()) return 0;
-  if (pending_.empty()) return kTimeInfinity;
-  return pending_.top_key();
-}
-
 // ----------------------------------------------------------------- AugTree
 
 struct AugTreeEligibleSet::Node {
   TimeNs e = 0;
   TimeNs d = 0;
-  TimeNs min_d = 0;  // min deadline in this subtree
+  TimeNs min_d = 0;      // min deadline in this subtree
   ClassId cls = 0;
+  ClassId min_d_cls = 0; // smallest class id achieving min_d in the subtree
   std::uint64_t prio = 0;
   Node* left = nullptr;
   Node* right = nullptr;
@@ -53,13 +20,25 @@ struct AugTreeEligibleSet::Node {
 
 AugTreeEligibleSet::AugTreeEligibleSet() = default;
 
-AugTreeEligibleSet::~AugTreeEligibleSet() { destroy(root_); }
+AugTreeEligibleSet::~AugTreeEligibleSet() = default;  // pool_ owns the nodes
 
-void AugTreeEligibleSet::destroy(Node* n) {
-  if (!n) return;
-  destroy(n->left);
-  destroy(n->right);
-  delete n;
+AugTreeEligibleSet::Node* AugTreeEligibleSet::alloc_node() {
+  if (free_list_ == nullptr) {
+    pool_.push_back(std::make_unique<Node[]>(kPoolChunk));
+    Node* chunk = pool_.back().get();
+    for (std::size_t i = 0; i < kPoolChunk; ++i) {
+      chunk[i].left = free_list_;
+      free_list_ = &chunk[i];
+    }
+  }
+  Node* n = free_list_;
+  free_list_ = n->left;
+  return n;
+}
+
+void AugTreeEligibleSet::free_node(Node* n) noexcept {
+  n->left = free_list_;
+  free_list_ = n;
 }
 
 std::uint64_t AugTreeEligibleSet::next_priority() {
@@ -74,8 +53,16 @@ std::uint64_t AugTreeEligibleSet::next_priority() {
 
 void AugTreeEligibleSet::pull(Node* n) {
   n->min_d = n->d;
-  if (n->left) n->min_d = std::min(n->min_d, n->left->min_d);
-  if (n->right) n->min_d = std::min(n->min_d, n->right->min_d);
+  n->min_d_cls = n->cls;
+  auto fold = [&](const Node* c) {
+    if (c && (c->min_d < n->min_d ||
+              (c->min_d == n->min_d && c->min_d_cls < n->min_d_cls))) {
+      n->min_d = c->min_d;
+      n->min_d_cls = c->min_d_cls;
+    }
+  };
+  fold(n->left);
+  fold(n->right);
 }
 
 AugTreeEligibleSet::Node* AugTreeEligibleSet::merge(Node* a, Node* b) {
@@ -109,11 +96,12 @@ void AugTreeEligibleSet::split(Node* n, TimeNs e, ClassId cls, Node** l,
   }
 }
 
-void AugTreeEligibleSet::update(ClassId cls, TimeNs e, TimeNs d,
-                                TimeNs /*now*/) {
+void AugTreeEligibleSet::update(ClassId cls, TimeNs e, TimeNs d, TimeNs now) {
   erase(cls);
+  seen_now_ = std::max(seen_now_, now);
   if (cls >= node_of_.size()) node_of_.resize(cls + 1, nullptr);
-  Node* fresh = new Node{e, d, d, cls, next_priority(), nullptr, nullptr};
+  Node* fresh = alloc_node();
+  *fresh = Node{e, d, d, cls, cls, next_priority(), nullptr, nullptr};
   node_of_[cls] = fresh;
   Node *l, *r;
   split(root_, e, cls, &l, &r);
@@ -122,13 +110,13 @@ void AugTreeEligibleSet::update(ClassId cls, TimeNs e, TimeNs d,
 
 void AugTreeEligibleSet::erase(ClassId cls) {
   if (cls >= node_of_.size() || node_of_[cls] == nullptr) return;
-  const Node* target = node_of_[cls];
+  Node* target = node_of_[cls];
   Node *l, *mid, *r;
   split(root_, target->e, target->cls, &l, &mid);
   // mid's leftmost node is exactly (e, cls); split it off.
   split(mid, target->e, target->cls + 1, &mid, &r);
   assert(mid != nullptr && mid->cls == cls && !mid->left && !mid->right);
-  delete mid;
+  free_node(mid);
   node_of_[cls] = nullptr;
   root_ = merge(l, r);
 }
@@ -140,56 +128,39 @@ bool AugTreeEligibleSet::contains(ClassId cls) const {
 bool AugTreeEligibleSet::empty() const { return root_ == nullptr; }
 
 std::optional<ClassId> AugTreeEligibleSet::min_deadline_eligible(TimeNs now) {
-  // Find the minimum deadline among nodes with e <= now by walking the
-  // tree: at each node, the left subtree is entirely eligible if we later
-  // move right, and we track the best candidate found so far.
+  seen_now_ = std::max(seen_now_, now);
+  // Walk the e <= now prefix: at a node with e <= now, the node itself and
+  // its whole left subtree are eligible — the subtree contributes its
+  // (min_d, min_d_cls) pair directly, no descent required.
   Node* n = root_;
-  const Node* best = nullptr;
-  auto consider = [&](const Node* cand) {
-    if (cand && (!best || cand->d < best->d ||
-                 (cand->d == best->d && cand->cls < best->cls))) {
-      best = cand;
+  bool have = false;
+  TimeNs best_d = 0;
+  ClassId best_cls = 0;
+  auto consider = [&](TimeNs d, ClassId cls) {
+    if (!have || d < best_d || (d == best_d && cls < best_cls)) {
+      have = true;
+      best_d = d;
+      best_cls = cls;
     }
   };
-  // First pass: find the best over the eligible prefix.
   while (n) {
     if (n->e <= now) {
-      // n and its whole left subtree are eligible.
-      consider(n);
-      if (n->left) {
-        // The left subtree is fully eligible; its min_d is usable, but we
-        // need the concrete node — descend for it only if it can win.
-        if (!best || n->left->min_d < best->d) {
-          // Locate a node achieving min_d in the (fully eligible) subtree.
-          Node* m = n->left;
-          const TimeNs want = n->left->min_d;
-          while (m) {
-            if (m->d == want) {
-              consider(m);
-              break;
-            }
-            if (m->left && m->left->min_d == want) {
-              m = m->left;
-            } else {
-              m = m->right;
-            }
-          }
-        }
-      }
+      consider(n->d, n->cls);
+      if (n->left) consider(n->left->min_d, n->left->min_d_cls);
       n = n->right;
     } else {
       n = n->left;
     }
   }
-  if (!best) return std::nullopt;
-  return best->cls;
+  if (!have) return std::nullopt;
+  return best_cls;
 }
 
 TimeNs AugTreeEligibleSet::next_eligible_time() const {
   if (!root_) return kTimeInfinity;
   const Node* n = root_;
   while (n->left) n = n->left;
-  return n->e;
+  return n->e <= seen_now_ ? 0 : n->e;
 }
 
 // ---------------------------------------------------------------- Calendar
@@ -218,7 +189,7 @@ void CalendarEligibleSet::update(ClassId cls, TimeNs e, TimeNs d, TimeNs now) {
   } else {
     r.in_ready = false;
     r.bucket = bucket_of(e);
-    buckets_[r.bucket].push_back(cls);
+    buckets_[r.bucket].push_back(Entry{cls, e});
   }
 }
 
@@ -229,7 +200,9 @@ void CalendarEligibleSet::erase(ClassId cls) {
     ready_.erase(cls);
   } else {
     auto& b = buckets_[r.bucket];
-    const auto it = std::find(b.begin(), b.end(), cls);
+    const auto it =
+        std::find_if(b.begin(), b.end(),
+                     [cls](const Entry& en) { return en.cls == cls; });
     assert(it != b.end());
     *it = b.back();
     b.pop_back();
@@ -249,9 +222,12 @@ void CalendarEligibleSet::migrate(TimeNs now) {
   for (std::size_t day_slot = first; day_slot <= last; ++day_slot) {
     auto& b = buckets_[day_slot % n];
     for (std::size_t i = 0; i < b.size();) {
-      const ClassId cls = b[i];
-      Request& r = req_[cls];
-      if (r.e <= now) {
+      // The exact-time re-check is what makes day rollover safe: an entry
+      // whose eligible time lies a full revolution (or more) ahead shares
+      // this bucket but fails e <= now and stays pending.
+      if (b[i].e <= now) {
+        const ClassId cls = b[i].cls;
+        Request& r = req_[cls];
         r.in_ready = true;
         ready_.push(cls, r.d);
         b[i] = b.back();
@@ -275,7 +251,7 @@ TimeNs CalendarEligibleSet::next_eligible_time() const {
   if (size_ == 0) return kTimeInfinity;
   TimeNs best = kTimeInfinity;
   for (const auto& b : buckets_) {
-    for (const ClassId cls : b) best = std::min(best, req_[cls].e);
+    for (const Entry& en : b) best = std::min(best, en.e);
   }
   return best;
 }

@@ -18,6 +18,9 @@ Hfsc::Hfsc(RateBps link_rate, EligibleSetKind kind, SystemVtPolicy vt_policy)
     : link_rate_(link_rate), es_kind_(kind), vt_policy_(vt_policy),
       rt_requests_(make_eligible_set(kind)) {
   ensure(link_rate > 0, Errc::kInvalidArgument, "link rate must be > 0");
+  if (kind == EligibleSetKind::kDualHeap) {
+    rt_fast_ = static_cast<DualHeapEligibleSet*>(rt_requests_.get());
+  }
   nodes_.emplace_back();  // root
 }
 
@@ -75,6 +78,7 @@ ClassId Hfsc::add_class(ClassId parent, ClassConfig cfg) {
   Node n;
   n.parent = parent;
   n.cfg = cfg;
+  n.refresh_flags();
   n.idx_in_parent = static_cast<std::uint32_t>(nodes_[parent].children.size());
   // Anchor all runtime curves at the origin; the becomes-active min-fold
   // re-anchors them (min(S(t), S(t - a) + c) == S(t - a) + c at first
@@ -87,6 +91,7 @@ ClassId Hfsc::add_class(ClassId parent, ClassConfig cfg) {
   if (!cfg.ls.is_zero()) n.vc = RuntimeCurve(cfg.ls, 0, 0);
   if (!cfg.ul.is_zero()) n.uc = RuntimeCurve(cfg.ul, 0, 0);
 
+  if (n.has_ul()) ++num_ul_;
   nodes_.push_back(std::move(n));
   const ClassId id = static_cast<ClassId>(nodes_.size() - 1);
   nodes_[parent].children.push_back(id);
@@ -118,7 +123,7 @@ void Hfsc::update_ed(ClassId cls, TimeNs now) {
   if (n.cfg.rt.m1 < n.cfg.rt.m2) n.ec.flatten_to_second_slope();
   n.e = n.ec.y2x(n.cumul);
   n.d = n.dc.y2x(sat_add(n.cumul, queues_.head(cls).len));
-  rt_requests_->update(cls, n.e, n.d, now);
+  es_update(cls, n.e, n.d, now);
 }
 
 void Hfsc::update_d(ClassId cls) {
@@ -178,12 +183,23 @@ std::optional<ClassId> Hfsc::ls_select(TimeNs now) {
   ls_next_fit_ = kTimeInfinity;
   if (!nodes_[kRootClass].active) return std::nullopt;
   ClassId c = kRootClass;
+  if (num_ul_ == 0) {
+    // No upper-limit curve anywhere in the hierarchy: the min-vt child is
+    // always serviceable, so descend without the pop/restore machinery.
+    while (!nodes_[c].children.empty()) {
+      Node& n = nodes_[c];
+      if (n.active_children.empty()) return std::nullopt;
+      c = n.children[n.active_children.top_id()];
+    }
+    return c;
+  }
   while (!nodes_[c].children.empty()) {
     Node& n = nodes_[c];
     if (n.active_children.empty()) return std::nullopt;
     // Pop upper-limit-blocked children aside until a serviceable one
-    // surfaces, then restore them.
-    std::vector<std::pair<std::uint32_t, TimeNs>> blocked;
+    // surfaces, then restore them.  The scratch vector is a member so the
+    // steady state allocates nothing.
+    ls_blocked_.clear();
     std::optional<std::uint32_t> chosen;
     while (!n.active_children.empty()) {
       const std::uint32_t idx = n.active_children.top_id();
@@ -193,10 +209,10 @@ std::optional<ClassId> Hfsc::ls_select(TimeNs now) {
         break;
       }
       ls_next_fit_ = std::min(ls_next_fit_, nodes_[child].fit);
-      blocked.emplace_back(idx, n.active_children.top_key());
+      ls_blocked_.emplace_back(idx, n.active_children.top_key());
       n.active_children.pop();
     }
-    for (const auto& [idx, key] : blocked) n.active_children.push(idx, key);
+    for (const auto& [idx, key] : ls_blocked_) n.active_children.push(idx, key);
     if (!chosen) return std::nullopt;
     c = n.children[*chosen];
   }
@@ -225,10 +241,10 @@ std::optional<Packet> Hfsc::serve(ClassId leaf, Criterion crit, TimeNs now) {
       // Fig. 5(b): after a link-sharing service only the deadline moves
       // (c did not change but the head packet's length may differ).
       update_d(leaf);
-      rt_requests_->update(leaf, n.e, n.d, now);
+      es_update(leaf, n.e, n.d, now);
     }
   } else {
-    if (n.has_rt()) rt_requests_->erase(leaf);
+    if (n.has_rt()) es_erase(leaf);
     if (n.active) set_passive(leaf);
   }
   last_criterion_ = crit;
@@ -251,7 +267,11 @@ void Hfsc::change_class(TimeNs now, ClassId cls, ClassConfig cfg) {
   now = clamp_now(now);
 
   const bool had_ls = n.has_ls();
+  const bool had_ul = n.has_ul();
   n.cfg = cfg;
+  n.refresh_flags();
+  if (had_ul && !n.has_ul()) --num_ul_;
+  if (!had_ul && n.has_ul()) ++num_ul_;
 
   // Real-time side: re-anchor at (now, c).
   if (n.has_rt()) {
@@ -261,10 +281,10 @@ void Hfsc::change_class(TimeNs now, ClassId cls, ClassConfig cfg) {
     if (queues_.has(cls)) {
       n.e = n.ec.y2x(n.cumul);
       n.d = n.dc.y2x(sat_add(n.cumul, queues_.head(cls).len));
-      rt_requests_->update(cls, n.e, n.d, now);
+      es_update(cls, n.e, n.d, now);
     }
-  } else if (rt_requests_->contains(cls)) {
-    rt_requests_->erase(cls);
+  } else if (es_contains(cls)) {
+    es_erase(cls);
   }
 
   // Link-sharing side: re-anchor at (v, w).
@@ -316,8 +336,9 @@ void Hfsc::delete_class(ClassId cls) {
     ++n.pkts_dropped;
     n.bytes_dropped += p.len;
   }
-  if (rt_requests_->contains(cls)) rt_requests_->erase(cls);
+  if (es_contains(cls)) es_erase(cls);
   if (n.active) set_passive(cls);
+  if (n.has_ul()) --num_ul_;
 
   // Detach from the parent: swap-remove from the children vector and fix
   // the displaced sibling's index (including its heap entry if active).
@@ -392,7 +413,7 @@ std::optional<Packet> Hfsc::dequeue(TimeNs now) {
   if (queues_.packets() == 0) return std::nullopt;
   // Real-time criterion: used exactly when some leaf is eligible — i.e.
   // when leaving the choice to link-sharing could endanger a guarantee.
-  if (auto cls = rt_requests_->min_deadline_eligible(now)) {
+  if (auto cls = es_min_deadline_eligible(now)) {
     return serve(*cls, Criterion::kRealTime, now);
   }
   if (auto leaf = ls_select(now)) {
@@ -405,7 +426,7 @@ std::optional<Packet> Hfsc::dequeue(TimeNs now) {
 }
 
 TimeNs Hfsc::next_wakeup(TimeNs /*now*/) const noexcept {
-  return std::min(rt_requests_->next_eligible_time(), ls_next_fit_);
+  return std::min(es_next_eligible_time(), ls_next_fit_);
 }
 
 // ----------------------------------------------------- admission control

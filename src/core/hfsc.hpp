@@ -336,9 +336,19 @@ class Hfsc final : public Scheduler {
     bool active = false;       // leaf: backlogged; interior: any active child
     bool ever_active = false;  // curves initialized
     bool deleted = false;
-    bool has_rt() const noexcept { return !cfg.rt.is_zero(); }
-    bool has_ls() const noexcept { return !cfg.ls.is_zero(); }
-    bool has_ul() const noexcept { return !cfg.ul.is_zero(); }
+    // Curve-presence flags, cached from cfg (refresh_flags) so the hot
+    // path reads one byte instead of probing three ServiceCurve structs.
+    bool rt_flag = false;
+    bool ls_flag = false;
+    bool ul_flag = false;
+    bool has_rt() const noexcept { return rt_flag; }
+    bool has_ls() const noexcept { return ls_flag; }
+    bool has_ul() const noexcept { return ul_flag; }
+    void refresh_flags() noexcept {
+      rt_flag = !cfg.rt.is_zero();
+      ls_flag = !cfg.ls.is_zero();
+      ul_flag = !cfg.ul.is_zero();
+    }
   };
 
   // System virtual time of interior class p (Section IV-C).
@@ -395,12 +405,53 @@ class Hfsc final : public Scheduler {
   }
   void maybe_self_check();
 
+  // --- Sealed eligible-set fast path ---------------------------------------
+  // The default DualHeapEligibleSet is final with header-inline methods;
+  // when it is the configured kind, rt_fast_ points at the concrete object
+  // and these wrappers call it directly (devirtualized and inlinable into
+  // the dequeue loop).  Other kinds fall back to one virtual dispatch.
+  void es_update(ClassId cls, TimeNs e, TimeNs d, TimeNs now) {
+    if (rt_fast_) {
+      rt_fast_->update(cls, e, d, now);
+    } else {
+      rt_requests_->update(cls, e, d, now);
+    }
+  }
+  void es_erase(ClassId cls) {
+    if (rt_fast_) {
+      rt_fast_->erase(cls);
+    } else {
+      rt_requests_->erase(cls);
+    }
+  }
+  bool es_contains(ClassId cls) const {
+    return rt_fast_ ? rt_fast_->contains(cls) : rt_requests_->contains(cls);
+  }
+  std::optional<ClassId> es_min_deadline_eligible(TimeNs now) {
+    return rt_fast_ ? rt_fast_->min_deadline_eligible(now)
+                    : rt_requests_->min_deadline_eligible(now);
+  }
+  TimeNs es_next_eligible_time() const {
+    return rt_fast_ ? rt_fast_->next_eligible_time()
+                    : rt_requests_->next_eligible_time();
+  }
+
   RateBps link_rate_;
   EligibleSetKind es_kind_;  // recorded for checkpoint/restore
   SystemVtPolicy vt_policy_;
   std::vector<Node> nodes_;  // nodes_[0] = root
   ClassQueues queues_;
   std::unique_ptr<EligibleSet> rt_requests_;
+  // Non-owning view of rt_requests_ when es_kind_ == kDualHeap (the
+  // sealed fast path above); null otherwise.  Points at the pointee, so
+  // it stays valid across moves of the owning Hfsc.
+  DualHeapEligibleSet* rt_fast_ = nullptr;
+  // Scratch for ls_select: upper-limit-blocked children set aside during
+  // the descent.  A member so the steady-state path never allocates.
+  std::vector<std::pair<std::uint32_t, TimeNs>> ls_blocked_;
+  // Live classes carrying an upper-limit curve; when zero, ls_select
+  // skips the fit-time machinery entirely.
+  std::size_t num_ul_ = 0;
   TimeNs ls_next_fit_ = kTimeInfinity;
   std::uint64_t rt_selections_ = 0;
   std::uint64_t ls_selections_ = 0;

@@ -30,6 +30,8 @@ void PiecewiseLinear::normalize() {
     out.push_back(p);
   }
   pieces_ = std::move(out);
+  eval_hint_ = 0;
+  inv_hint_ = 0;
 }
 
 PiecewiseLinear PiecewiseLinear::from_service_curve(const ServiceCurve& sc) {
@@ -45,18 +47,23 @@ PiecewiseLinear PiecewiseLinear::token_bucket(Bytes burst, RateBps rate) {
 }
 
 Bytes PiecewiseLinear::eval(TimeNs t) const noexcept {
-  // Find the piece containing t (last piece with x <= t).
-  const Piece* p = &pieces_.front();
-  for (const Piece& q : pieces_) {
-    if (q.x > t) break;
-    p = &q;
-  }
-  return sat_add(p->y, seg_x2y(t - p->x, p->slope));
+  // Find the piece containing t (last piece with x <= t), resuming from
+  // the memoized segment of the previous query when it still applies.
+  std::size_t i = eval_hint_;
+  if (i >= pieces_.size() || pieces_[i].x > t) i = 0;
+  while (i + 1 < pieces_.size() && pieces_[i + 1].x <= t) ++i;
+  eval_hint_ = i;
+  const Piece& p = pieces_[i];
+  return sat_add(p.y, seg_x2y(t - p.x, p.slope));
 }
 
 TimeNs PiecewiseLinear::inverse(Bytes y) const noexcept {
   if (y <= pieces_.front().y) return 0;
-  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+  // Resume from the memoized segment when the target still lies at or
+  // beyond it (the loop below only ever advances).
+  std::size_t start = inv_hint_;
+  if (start >= pieces_.size() || y <= pieces_[start].y) start = 0;
+  for (std::size_t i = start; i < pieces_.size(); ++i) {
     const Piece& p = pieces_[i];
     const Bytes end_val = i + 1 < pieces_.size()
                               ? pieces_[i + 1].y
@@ -72,6 +79,7 @@ TimeNs PiecewiseLinear::inverse(Bytes y) const noexcept {
       // Clamp into the piece (rounding may push just past the boundary —
       // the next piece handles the remainder exactly).
       if (i + 1 < pieces_.size() && t > pieces_[i + 1].x) continue;
+      inv_hint_ = i;
       return t;
     }
   }

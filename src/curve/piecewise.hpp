@@ -73,13 +73,24 @@ class PiecewiseLinear {
 
   // Normalized representations are canonical, so piece-wise equality is
   // curve equality (used by the auditor's admission bookkeeping check).
-  friend bool operator==(const PiecewiseLinear&,
-                         const PiecewiseLinear&) noexcept = default;
+  // Manual (not defaulted): the memoized segment hints are not part of a
+  // curve's value.
+  friend bool operator==(const PiecewiseLinear& a,
+                         const PiecewiseLinear& b) noexcept {
+    return a.pieces_ == b.pieces_;
+  }
 
  private:
   void normalize();
 
   std::vector<Piece> pieces_;  // sorted by x; pieces_[0].x == 0
+
+  // Active-segment memoization for eval()/inverse(): consecutive queries
+  // at monotone (or nearby) arguments resolve in O(1) instead of
+  // re-searching the piece list.  Pure caches — mutable, reset by
+  // normalize(), never observable through results.
+  mutable std::size_t eval_hint_ = 0;
+  mutable std::size_t inv_hint_ = 0;
 };
 
 // Admission control for a link's real-time obligations (Section II's

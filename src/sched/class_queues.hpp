@@ -1,14 +1,97 @@
 // Per-class FIFO packet queues shared by all the flat schedulers.
+//
+// Each class's FIFO is a power-of-two ring buffer rather than a
+// std::deque: a deque allocates and frees a block every ~16 packets as a
+// steady push_back/pop_front cycle crosses block boundaries, which puts
+// the allocator on the per-packet hot path.  The ring grows (doubling,
+// never shrinking) only when a queue outgrows its capacity, so the
+// steady-state data path performs no allocations at all.
 #pragma once
 
 #include <cassert>
-#include <deque>
+#include <cstddef>
 #include <vector>
 
 #include "sched/packet.hpp"
 #include "util/types.hpp"
 
 namespace hfsc {
+
+// Fixed-capacity-until-grown FIFO of packets.  Supports exactly what the
+// schedulers, the auditor and checkpointing need: push_back, pop_front,
+// front, size, and head-to-tail const iteration.
+class PacketRing {
+ public:
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
+
+  const Packet& front() const noexcept {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+
+  // i-th packet counting from the head (0 = front).
+  const Packet& operator[](std::size_t i) const noexcept {
+    assert(i < count_);
+    return buf_[(head_ + i) & mask()];
+  }
+
+  void push_back(const Packet& p) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & mask()] = p;
+    ++count_;
+  }
+
+  Packet pop_front() noexcept {
+    assert(count_ > 0);
+    const Packet p = buf_[head_];
+    head_ = (head_ + 1) & mask();
+    --count_;
+    return p;
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const PacketRing* r, std::size_t i) noexcept
+        : r_(r), i_(i) {}
+    const Packet& operator*() const noexcept { return (*r_)[i_]; }
+    const Packet* operator->() const noexcept { return &(*r_)[i_]; }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const noexcept {
+      return i_ == o.i_;
+    }
+    bool operator!=(const const_iterator& o) const noexcept {
+      return i_ != o.i_;
+    }
+
+   private:
+    const PacketRing* r_;
+    std::size_t i_;
+  };
+
+  const_iterator begin() const noexcept { return {this, 0}; }
+  const_iterator end() const noexcept { return {this, count_}; }
+
+ private:
+  std::size_t mask() const noexcept { return buf_.size() - 1; }
+
+  void grow() {
+    const std::size_t cap = buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+    std::vector<Packet> fresh(cap);
+    for (std::size_t i = 0; i < count_; ++i) fresh[i] = (*this)[i];
+    buf_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;  // power of two
+
+  std::vector<Packet> buf_;  // capacity is always a power of two (or 0)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
 
 class ClassQueues {
  public:
@@ -34,8 +117,7 @@ class ClassQueues {
 
   Packet pop(ClassId cls) {
     assert(has(cls));
-    Packet p = q_[cls].front();
-    q_[cls].pop_front();
+    const Packet p = q_[cls].pop_front();
     bytes_ -= p.len;
     --packets_;
     return p;
@@ -55,7 +137,7 @@ class ClassQueues {
   }
 
   // Read-only view of one class's FIFO, head first (checkpointing).
-  const std::deque<Packet>& queue(ClassId cls) const {
+  const PacketRing& queue(ClassId cls) const {
     assert(cls < q_.size());
     return q_[cls];
   }
@@ -65,7 +147,7 @@ class ClassQueues {
   std::size_t num_classes() const noexcept { return q_.size(); }
 
  private:
-  std::vector<std::deque<Packet>> q_;
+  std::vector<PacketRing> q_;
   std::size_t packets_ = 0;
   Bytes bytes_ = 0;
 };

@@ -63,9 +63,97 @@ TEST_P(EligibleSetTest, NextEligibleTime) {
   set_->update(1, msec(30), msec(40), 0);
   set_->update(2, msec(10), msec(90), 0);
   EXPECT_EQ(set_->next_eligible_time(), msec(10));
-  // Once something is eligible the wakeup hint must not be in the future.
+  // Once something is eligible the hint is exactly 0 ("wake immediately"),
+  // not merely "not in the future" — Hfsc::next_wakeup folds it into a
+  // min with the upper-limit fit times and must not defer a due class.
   (void)set_->min_deadline_eligible(msec(15));
-  EXPECT_LE(set_->next_eligible_time(), msec(15));
+  EXPECT_EQ(set_->next_eligible_time(), 0u);
+}
+
+TEST_P(EligibleSetTest, NextEligibleTimeContract) {
+  // Shared contract across all three implementations: kTimeInfinity when
+  // empty, the minimum pending eligible time while nothing is eligible,
+  // and exactly 0 as soon as some member is eligible at the latest `now`
+  // the set has observed.
+  EXPECT_EQ(set_->next_eligible_time(), kTimeInfinity);
+  set_->update(7, msec(40), msec(50), 0);
+  set_->update(3, msec(25), msec(90), 0);
+  EXPECT_EQ(set_->next_eligible_time(), msec(25));
+  // An update whose eligible time has already passed makes the class
+  // eligible right away, so the hint collapses to 0 without any query.
+  set_->update(5, msec(1), msec(60), msec(2));
+  EXPECT_EQ(set_->next_eligible_time(), 0u);
+  set_->erase(5);
+  EXPECT_EQ(set_->next_eligible_time(), msec(25));
+  // Advancing the clock via a query re-evaluates eligibility.
+  (void)set_->min_deadline_eligible(msec(30));
+  EXPECT_EQ(set_->next_eligible_time(), 0u);
+  set_->erase(3);
+  EXPECT_EQ(set_->next_eligible_time(), msec(40));
+  set_->erase(7);
+  EXPECT_EQ(set_->next_eligible_time(), kTimeInfinity);
+}
+
+TEST_P(EligibleSetTest, DeadlineTiesBreakBySmallestClassId) {
+  // All three implementations must resolve exact deadline ties the same
+  // way (smallest ClassId) so the scheduler's packet order is identical
+  // under the eligible-set ablation.  Insert in descending id order to
+  // catch structures that keep first-inserted on top.
+  set_->update(9, msec(1), msec(20), 0);
+  set_->update(4, msec(2), msec(20), 0);
+  set_->update(6, msec(3), msec(20), 0);
+  auto got = set_->min_deadline_eligible(msec(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 4u);
+  // A strictly smaller deadline still beats a smaller id... (the update
+  // passes now = 5ms: `now` must stay monotone across calls on one
+  // instance, and the query above already advanced it)
+  set_->update(8, msec(4), msec(19), msec(5));
+  got = set_->min_deadline_eligible(msec(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 8u);
+  // ...and once it leaves, the tie group decides by id again.
+  set_->erase(8);
+  set_->erase(4);
+  got = set_->min_deadline_eligible(msec(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 6u);
+}
+
+TEST_P(EligibleSetTest, FarFutureEligibleTimeIsNotServedEarly) {
+  // Regression for the calendar-queue day rollover (run against every
+  // kind): an eligible time many full calendar revolutions ahead hashes
+  // into a bucket the scan passes long before the request matures.  The
+  // request must stay invisible until its exact eligible time.
+  // Calendar geometry: 256 buckets x 100us = 25.6ms per revolution.
+  const TimeNs far_e = msec(100);  // ~4 revolutions ahead of t=0
+  set_->update(1, far_e, far_e + msec(1), 0);
+  // Sweep the clock through several full revolutions in sub-day steps.
+  for (TimeNs t = 0; t < far_e; t += msec(4)) {
+    EXPECT_FALSE(set_->min_deadline_eligible(t).has_value())
+        << "served " << t << " ns early";
+    EXPECT_TRUE(set_->contains(1));
+  }
+  EXPECT_EQ(set_->next_eligible_time(), far_e);
+  auto got = set_->min_deadline_eligible(far_e);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST_P(EligibleSetTest, FarFutureBucketCollisionKeepsNearRequestVisible) {
+  // Two requests whose eligible times land in the SAME calendar bucket,
+  // a whole number of revolutions apart (1ms and 1ms + 4 * 25.6ms).  The
+  // near one must surface on time; the far one must not ride along.
+  const TimeNs near_e = msec(1);
+  const TimeNs far_e = near_e + 4 * usec(100) * 256;
+  set_->update(2, far_e, far_e + usec(10), 0);  // smaller deadline overall
+  set_->update(3, near_e, msec(200), 0);
+  auto got = set_->min_deadline_eligible(msec(2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 3u) << "future-revolution entry promoted a day early";
+  got = set_->min_deadline_eligible(far_e);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 2u);  // now mature, and its deadline is the smaller
 }
 
 INSTANTIATE_TEST_SUITE_P(Kinds, EligibleSetTest,

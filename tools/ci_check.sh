@@ -13,6 +13,13 @@
 # The randomized long-running suites carry the ctest label "fuzz"
 # (tests/CMakeLists.txt); exclude them for a quick local gate with
 #   $ CTEST_ARGS="-LE fuzz" tools/ci_check.sh release
+#
+# The Release config additionally runs the throughput-bench smoke (ctest
+# label "bench", its own 300 s timeout): a fast, low-packet-count pass of
+# bench/bench_throughput that gates the perf harness itself — wiring rot
+# or a served-packet miscount fails CI even when no one is watching the
+# numbers.  It runs explicitly after the suite so a CTEST_ARGS filter
+# cannot silently skip it.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -36,6 +43,9 @@ case "${what}" in
   release|all)
     run_config "Release" "${repo}/build-ci-release" \
       -DCMAKE_BUILD_TYPE=Release
+    echo "=== Release: bench smoke ==="
+    ctest --test-dir "${repo}/build-ci-release" --output-on-failure \
+      -L bench
     ;;&
   sanitize|all)
     run_config "ASan+UBSan" "${repo}/build-ci-sanitize" \
