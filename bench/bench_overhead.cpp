@@ -56,7 +56,7 @@ void drive(benchmark::State& state, MakeSched make, AddClass add) {
     benchmark::DoNotOptimize(p);
     ++i;
   }
-  state.SetLabel(sched->name());
+  state.SetLabel(std::string(sched->name()));
 }
 
 void BM_Fifo(benchmark::State& state) {

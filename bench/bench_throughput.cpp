@@ -14,6 +14,13 @@
 // can keep a trajectory of numbers across PRs: run it from the repo root
 // and commit the refreshed BENCH_throughput.json.
 //
+// Besides the H-FSC (workload, eligible-set) grid, each workload also runs
+// once under H-PFQ and CBQ, compiled from the same HierarchySpec
+// (config/hierarchy_spec.hpp), so the trajectory tracks the comparison
+// families' hot paths too.  Those loops go through the virtual Scheduler
+// interface and tolerate refused dequeues (CBQ shapes; it may idle while
+// estimators recover), so their figure is served packets over wall time.
+//
 //   $ bench_throughput [--packets=N] [--smoke] [--out=FILE]
 //                      [--workload=wide1000|deep8] [--kind=NAME]
 //
@@ -35,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "config/hierarchy_spec.hpp"
 #include "core/hfsc.hpp"
 
 namespace hfsc {
@@ -108,7 +116,8 @@ const char* kind_name(EligibleSetKind k) {
 
 struct Result {
   std::string workload;
-  std::string kind;
+  std::string scheduler = "hfsc";
+  std::string kind;  // eligible-set kind; "-" for non-H-FSC rows
   std::uint64_t packets = 0;
   std::uint64_t wall_ns = 0;
   double pkts_per_sec = 0.0;
@@ -122,7 +131,8 @@ struct Result {
 // class it came from, so the per-leaf backlog stays constant.  Returns the
 // number of packets actually dequeued (== iters unless the config is
 // broken, which the caller checks).
-std::uint64_t run_loop(Hfsc& s, TimeNs& now, const TimeNs step,
+template <class S>
+std::uint64_t run_loop(S& s, TimeNs& now, const TimeNs step,
                        std::uint64_t iters, std::uint64_t& seq,
                        std::vector<std::uint32_t>* lat) {
   std::uint64_t served = 0;
@@ -204,6 +214,108 @@ Result run_one(const Workload& w, EligibleSetKind kind, std::uint64_t packets,
   return res;
 }
 
+// The same hierarchies as build_wide/build_deep, as a HierarchySpec the
+// comparison families compile from.
+HierarchySpec spec_wide() {
+  constexpr int kLeaves = 1000;
+  const RateBps r = kLink / kLeaves;
+  HierarchySpec spec;
+  for (int i = 0; i < kLeaves; ++i) {
+    HierarchySpec::ClassSpec c;
+    c.name = "w" + std::to_string(i);
+    c.rt = c.ls = ServiceCurve{2 * r, msec(5), r};
+    spec.add(std::move(c));
+  }
+  return spec;
+}
+
+HierarchySpec spec_deep() {
+  constexpr int kDepth = 8;
+  HierarchySpec spec;
+  std::vector<std::string> level{""};
+  for (int d = 1; d <= kDepth; ++d) {
+    const std::size_t width = std::size_t{1} << d;
+    const RateBps share = kLink / static_cast<RateBps>(width);
+    std::vector<std::string> next;
+    next.reserve(width);
+    for (const std::string& p : level) {
+      for (int k = 0; k < 2; ++k) {
+        HierarchySpec::ClassSpec c;
+        c.name = p.empty() ? "d" + std::to_string(k)
+                           : p + std::to_string(k);
+        c.parent = p;
+        if (d == kDepth) {
+          c.rt = c.ls = ServiceCurve{2 * share, msec(5), share};
+        } else {
+          c.ls = ServiceCurve::linear(share);
+        }
+        next.push_back(c.name);
+        spec.add(std::move(c));
+      }
+    }
+    level = std::move(next);
+  }
+  return spec;
+}
+
+Result run_one_family(const char* workload, const HierarchySpec& spec,
+                      SchedulerKind kind, std::uint64_t packets,
+                      std::uint64_t lat_samples) {
+  HierarchySpec::Compiled compiled = spec.compile(kind, kLink);
+  Scheduler& s = *compiled.sched;
+  std::vector<ClassId> leaves;
+  for (const auto& [cls_name, id] : compiled.ids) {
+    if (spec.is_leaf(cls_name)) leaves.push_back(id);
+  }
+  TimeNs now = 0;
+  std::uint64_t seq = 0;
+  for (int r = 0; r < kBacklogPerLeaf; ++r) {
+    for (const ClassId c : leaves) {
+      s.enqueue(now, Packet{c, kPktLen, now, seq++});
+    }
+  }
+  const TimeNs step = tx_time(kPktLen, kLink);
+  const std::uint64_t warm = std::min<std::uint64_t>(packets / 10, 100'000);
+  run_loop(s, now, step, warm, seq, nullptr);
+
+  Result res;
+  res.workload = workload;
+  res.scheduler = std::string(to_string(kind));
+  res.kind = "-";
+  res.packets = packets;
+
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t served = run_loop(s, now, step, packets, seq, nullptr);
+  res.wall_ns = now_ns() - t0;
+  if (served == 0) {
+    std::fprintf(stderr, "FATAL: %s/%s served nothing — broken config\n",
+                 res.workload.c_str(), res.scheduler.c_str());
+    std::exit(1);
+  }
+  res.pkts_per_sec =
+      res.wall_ns == 0 ? 0.0 : 1e9 * static_cast<double>(served) /
+                                   static_cast<double>(res.wall_ns);
+
+  std::vector<std::uint32_t> lat;
+  lat.reserve(lat_samples);
+  run_loop(s, now, step, lat_samples, seq, &lat);
+  res.lat_samples = lat.size();
+  if (!lat.empty()) {
+    std::uint64_t sum = 0;
+    for (const std::uint32_t v : lat) sum += v;
+    res.ns_mean = static_cast<double>(sum) / static_cast<double>(lat.size());
+    auto pct = [&](double q) {
+      const std::size_t idx = static_cast<std::size_t>(
+          q * static_cast<double>(lat.size() - 1));
+      std::nth_element(lat.begin(), lat.begin() + idx, lat.end());
+      return static_cast<std::uint64_t>(lat[idx]);
+    };
+    res.ns_p50 = pct(0.50);
+    res.ns_p99 = pct(0.99);
+  }
+  return res;
+}
+
 void write_json(const std::vector<Result>& results, std::uint64_t packets,
                 bool smoke, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -213,7 +325,7 @@ void write_json(const std::vector<Result>& results, std::uint64_t packets,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"bench_throughput\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"link_rate_bps\": %llu,\n",
                static_cast<unsigned long long>(kLink));
   std::fprintf(f, "  \"packet_len\": %llu,\n",
@@ -226,11 +338,12 @@ void write_json(const std::vector<Result>& results, std::uint64_t packets,
     const Result& r = results[i];
     std::fprintf(
         f,
-        "    {\"workload\": \"%s\", \"eligible_set\": \"%s\", "
+        "    {\"workload\": \"%s\", \"scheduler\": \"%s\", "
+        "\"eligible_set\": \"%s\", "
         "\"packets\": %llu, \"wall_ns\": %llu, \"pkts_per_sec\": %.0f, "
         "\"lat_samples\": %llu, \"ns_per_dequeue_mean\": %.1f, "
         "\"ns_per_dequeue_p50\": %llu, \"ns_per_dequeue_p99\": %llu}%s\n",
-        r.workload.c_str(), r.kind.c_str(),
+        r.workload.c_str(), r.scheduler.c_str(), r.kind.c_str(),
         static_cast<unsigned long long>(r.packets),
         static_cast<unsigned long long>(r.wall_ns), r.pkts_per_sec,
         static_cast<unsigned long long>(r.lat_samples), r.ns_mean,
@@ -294,18 +407,39 @@ int main(int argc, char** argv) {
                                    EligibleSetKind::kCalendar};
 
   std::vector<Result> results;
+  auto show = [](const Result& r) {
+    std::printf(
+        "%-8s %-5s %-9s  %10.0f pkts/s  mean %6.1f ns  p50 %4llu ns  "
+        "p99 %4llu ns\n",
+        r.workload.c_str(), r.scheduler.c_str(), r.kind.c_str(),
+        r.pkts_per_sec, r.ns_mean, static_cast<unsigned long long>(r.ns_p50),
+        static_cast<unsigned long long>(r.ns_p99));
+  };
   for (const Workload& w : workloads) {
     if (!only_workload.empty() && only_workload != w.name) continue;
     for (const EligibleSetKind k : kinds) {
       if (!only_kind.empty() && only_kind != kind_name(k)) continue;
       const Result r = run_one(w, k, packets, lat_samples);
-      std::printf(
-          "%-8s %-9s  %10.0f pkts/s  mean %6.1f ns  p50 %4llu ns  "
-          "p99 %4llu ns\n",
-          r.workload.c_str(), r.kind.c_str(), r.pkts_per_sec, r.ns_mean,
-          static_cast<unsigned long long>(r.ns_p50),
-          static_cast<unsigned long long>(r.ns_p99));
+      show(r);
       results.push_back(r);
+    }
+  }
+  // Comparison-family rows: the same hierarchies through H-PFQ and CBQ.
+  // The H-FSC-only --kind filter skips them (they have no eligible set).
+  if (only_kind.empty()) {
+    const std::pair<const char*, HierarchySpec> specs[] = {
+        {"wide1000", spec_wide()},
+        {"deep8", spec_deep()},
+    };
+    for (const auto& [wname, spec] : specs) {
+      if (!only_workload.empty() && only_workload != wname) continue;
+      for (const SchedulerKind kind :
+           {SchedulerKind::kHpfq, SchedulerKind::kCbq}) {
+        const Result r =
+            run_one_family(wname, spec, kind, packets, lat_samples);
+        show(r);
+        results.push_back(r);
+      }
     }
   }
   if (results.empty()) {

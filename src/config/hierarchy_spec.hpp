@@ -1,0 +1,188 @@
+// Scheduler-agnostic hierarchy description and per-family compilers.
+//
+// The paper's evaluation is comparative — H-FSC against H-PFQ, CBQ and
+// the flat baselines — but every family in this repository historically
+// exposed a different construction API (three service curves for Hfsc, a
+// single rate for HPfq, rate+borrow for Cbq, quanta for Drr, …).
+// HierarchySpec is the one description they all compile from: named
+// classes with a parent, rt/ls/ul service curves, an optional explicit
+// rate, a priority and a queue limit.  One spec, compiled per family,
+// yields schedulers that are *the same experiment* to the extent the
+// family can express it.
+//
+// Mapping rules (full matrix in docs/SCHEDULERS.md).  Compilation is
+// deliberately lossy where a family is less expressive, and every loss is
+// either recorded as a human-readable note (default) or rejected with a
+// typed Error (CompileOptions::strict):
+//
+//   * H-FSC  — exact: rt/ls/ul curves, queue limits.
+//   * H-PFQ  — one guaranteed rate per class: the ls curve's long-term
+//     rate (rt's if no ls).  Non-linear curves degrade to that rate;
+//     upper limits and queue limits are dropped (work-conserving,
+//     unlimited queues).
+//   * CBQ    — like H-PFQ, plus: a class with an upper-limit curve
+//     compiles with borrowing disabled and its allocation clamped to
+//     min(share, ul rate) — CBQ's only cap is the estimator at the
+//     allocated rate.
+//   * DRR / SCED / VirtualClock / FIFO — flat: interior classes are
+//     dropped and leaves attach directly to the server.  SCED keeps the
+//     full (possibly non-linear) rt-else-ls curve; DRR gets a quantum
+//     proportional to the class rate; VirtualClock the rate itself; FIFO
+//     collapses everything into the shared queue (ids are still assigned
+//     so per-class statistics survive).
+//
+// A class whose effective rate is zero where a rate is required (e.g. a
+// pure-burst rt curve with m2 = 0 under H-PFQ) is always a typed error —
+// there is no meaningful degradation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <optional>
+#include <vector>
+
+#include "core/hfsc.hpp"
+#include "curve/service_curve.hpp"
+#include "sched/cbq.hpp"
+#include "sched/drr.hpp"
+#include "sched/fifo.hpp"
+#include "sched/hpfq.hpp"
+#include "sched/sced.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/virtual_clock.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+// The families HierarchySpec can target (scenario `scheduler <kind>`
+// directive, hfsc_sim --scheduler=/--compare=).
+enum class SchedulerKind {
+  kHfsc,
+  kHpfq,
+  kCbq,
+  kDrr,
+  kSced,
+  kVirtualClock,
+  kFifo,
+};
+
+// Canonical lower-case token ("hfsc", "hpfq", "cbq", "drr", "sced",
+// "vclock", "fifo") — the spelling the scenario language uses.
+std::string_view to_string(SchedulerKind kind) noexcept;
+
+// Inverse of to_string (also accepts "virtualclock"); nullopt on an
+// unknown token.
+std::optional<SchedulerKind> parse_scheduler_kind(std::string_view token);
+
+// Every kind, in the canonical comparison order.
+const std::vector<SchedulerKind>& all_scheduler_kinds();
+
+struct HierarchyCompileOptions {
+  // Reject every lossy mapping with a typed Error instead of recording
+  // a note: Error{kUnsupportedCurve} for curve degradations,
+  // Error{kInvalidArgument} for dropped features (ul, qlimit,
+  // priority, flattened interior classes).
+  bool strict = false;
+  // H-FSC-only knobs, applied before any class is added so the
+  // compiled scheduler is call-for-call identical to one configured by
+  // hand; other families record a note when they are set.
+  std::size_t audit_every = 0;  // enable_self_check(N)
+  bool admission = false;       // enable_admission_control()
+};
+
+struct HierarchySpec {
+  using CompileOptions = HierarchyCompileOptions;
+  struct ClassSpec {
+    std::string name;
+    std::string parent;  // "" or "root" = top level
+    ServiceCurve rt{};   // leaf guarantee (families that can express it)
+    ServiceCurve ls{};   // link-sharing share
+    ServiceCurve ul{};   // upper limit (families that can express it)
+    // Explicit share for the rate-based families (H-PFQ/CBQ/DRR/
+    // VirtualClock); 0 derives the share from ls (falling back to rt).
+    RateBps rate = 0;
+    // Reserved for priority-aware families; every current compiler
+    // records a note when it is non-zero.
+    int priority = 0;
+    std::size_t qlimit = 0;  // max queued packets; 0 = unlimited
+
+    static bool is_top_level(const std::string& parent) {
+      return parent.empty() || parent == "root";
+    }
+    // The single guaranteed rate a rate-based family sees (mapping rule
+    // above): explicit `rate`, else ls long-term rate, else rt's.
+    RateBps share_rate() const noexcept {
+      if (rate != 0) return rate;
+      if (!ls.is_zero()) return ls.rate();
+      return rt.rate();
+    }
+  };
+
+  std::vector<ClassSpec> classes;
+
+  // Appends a class after validating it against what is already declared:
+  // Error{kInvalidArgument} on a duplicate or reserved ("root") name,
+  // Error{kInvalidClass} on a parent not declared before its child,
+  // Error{kMissingCurve} when neither rt nor ls nor an explicit rate is
+  // given, Error{kUnsupportedCurve} on a curve shape outside the
+  // two-piece algebra.
+  void add(ClassSpec c);
+
+  // Whole-spec validation (add() incrementally enforces the same rules;
+  // this re-checks a directly aggregate-initialized `classes` vector).
+  void validate() const;
+
+  // True when no other class declares `name` as its parent.
+  bool is_leaf(const std::string& name) const;
+
+  using IdMap = std::map<std::string, ClassId>;
+
+  struct Compiled {
+    std::unique_ptr<Scheduler> sched;
+    // Non-owning view of sched when it is an Hfsc (checkpointing, audit);
+    // null for every other family.
+    Hfsc* hfsc = nullptr;
+    // Class name -> id under the compiled scheduler.  Flat families map
+    // leaves only; interior names are absent.
+    IdMap ids;
+    // One line per lossy mapping, in declaration order.
+    std::vector<std::string> notes;
+  };
+
+  // Compiles the spec for one family.  Throws hfsc::Error on spec-level
+  // misuse or strict-mode losses, and std::runtime_error wrapping the
+  // offending class name ("class 'x': …") when the underlying scheduler
+  // rejects a mutation (e.g. admission control).
+  Compiled compile(SchedulerKind kind, RateBps link_rate,
+                   const CompileOptions& opts = {}) const;
+
+  // Typed per-family compilers (compile() dispatches to these; exposed so
+  // tests and tools can keep the concrete type — e.g. state_digest on the
+  // compiled Hfsc).  `ids`/`notes` may be null.
+  std::unique_ptr<Hfsc> build_hfsc(RateBps link_rate, IdMap* ids = nullptr,
+                                   std::vector<std::string>* notes = nullptr,
+                                   const CompileOptions& opts = {}) const;
+  std::unique_ptr<HPfq> build_hpfq(RateBps link_rate, IdMap* ids = nullptr,
+                                   std::vector<std::string>* notes = nullptr,
+                                   const CompileOptions& opts = {}) const;
+  std::unique_ptr<Cbq> build_cbq(RateBps link_rate, IdMap* ids = nullptr,
+                                 std::vector<std::string>* notes = nullptr,
+                                 const CompileOptions& opts = {}) const;
+  std::unique_ptr<Drr> build_drr(RateBps link_rate, IdMap* ids = nullptr,
+                                 std::vector<std::string>* notes = nullptr,
+                                 const CompileOptions& opts = {}) const;
+  std::unique_ptr<Sced> build_sced(RateBps link_rate, IdMap* ids = nullptr,
+                                   std::vector<std::string>* notes = nullptr,
+                                   const CompileOptions& opts = {}) const;
+  std::unique_ptr<VirtualClock> build_vclock(
+      RateBps link_rate, IdMap* ids = nullptr,
+      std::vector<std::string>* notes = nullptr,
+      const CompileOptions& opts = {}) const;
+  std::unique_ptr<Fifo> build_fifo(RateBps link_rate, IdMap* ids = nullptr,
+                                   std::vector<std::string>* notes = nullptr,
+                                   const CompileOptions& opts = {}) const;
+};
+
+}  // namespace hfsc

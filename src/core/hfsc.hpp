@@ -262,7 +262,16 @@ class Hfsc final : public Scheduler {
   }
   Bytes backlog_bytes() const noexcept override { return queues_.bytes(); }
   TimeNs next_wakeup(TimeNs now) const noexcept override;
-  std::string name() const override { return "H-FSC"; }
+  SchedCapabilities capabilities() const noexcept override {
+    return SchedCapabilities{/*hierarchy=*/true, /*nonlinear_curves=*/true,
+                             /*decoupled_delay=*/true, /*shaping=*/true,
+                             /*upper_limit=*/true, /*per_class_drops=*/true};
+  }
+  DataPathCounters counters() const noexcept override { return counters_; }
+  std::uint64_t class_drops(ClassId cls) const noexcept override {
+    return cls < nodes_.size() ? nodes_[cls].pkts_dropped : 0;
+  }
+  std::string_view name() const noexcept override { return "H-FSC"; }
 
   // --- Introspection (tests, experiments) ---------------------------------
   RateBps link_rate() const noexcept { return link_rate_; }

@@ -49,7 +49,14 @@ class Cbq final : public Scheduler {
   }
   Bytes backlog_bytes() const noexcept override { return queues_.bytes(); }
   TimeNs next_wakeup(TimeNs now) const noexcept override;
-  std::string name() const override { return "CBQ"; }
+  SchedCapabilities capabilities() const noexcept override {
+    SchedCapabilities c;
+    c.hierarchy = true;
+    c.shaping = true;  // an overlimit class that may not borrow waits
+    return c;
+  }
+  DataPathCounters counters() const noexcept override { return counters_; }
+  std::string_view name() const noexcept override { return "CBQ"; }
 
   // Estimator introspection (tests).
   double avgidle_ns(ClassId cls) const { return nodes_[cls].avgidle; }

@@ -63,7 +63,8 @@ class TokenBucket {
 
 class Policed final : public Scheduler {
  public:
-  explicit Policed(Scheduler& inner) : inner_(inner) {}
+  explicit Policed(Scheduler& inner)
+      : inner_(inner), name_(std::string(inner.name()) + "+police") {}
 
   // Installs a (burst, rate) bucket for a class.  Classes without a
   // bucket pass through untouched.
@@ -82,7 +83,16 @@ class Policed final : public Scheduler {
   TimeNs next_wakeup(TimeNs now) const noexcept override {
     return inner_.next_wakeup(now);
   }
-  std::string name() const override { return inner_.name() + "+police"; }
+  SchedCapabilities capabilities() const noexcept override {
+    return inner_.capabilities();
+  }
+  DataPathCounters counters() const noexcept override {
+    return inner_.counters();
+  }
+  std::uint64_t class_drops(ClassId cls) const noexcept override {
+    return inner_.class_drops(cls);
+  }
+  std::string_view name() const noexcept override { return name_; }
 
   std::uint64_t dropped(ClassId cls) const {
     return cls < state_.size() ? state_[cls].dropped : 0;
@@ -100,6 +110,7 @@ class Policed final : public Scheduler {
   };
 
   Scheduler& inner_;
+  std::string name_;  // backs the name() view
   std::vector<State> state_;
 };
 
@@ -112,7 +123,8 @@ struct RedParams {
 
 class Red final : public Scheduler {
  public:
-  Red(Scheduler& inner, std::uint64_t seed) : inner_(inner), rng_(seed) {}
+  Red(Scheduler& inner, std::uint64_t seed)
+      : inner_(inner), name_(std::string(inner.name()) + "+red"), rng_(seed) {}
 
   void configure(ClassId cls, const RedParams& params);
 
@@ -127,7 +139,16 @@ class Red final : public Scheduler {
   TimeNs next_wakeup(TimeNs now) const noexcept override {
     return inner_.next_wakeup(now);
   }
-  std::string name() const override { return inner_.name() + "+red"; }
+  SchedCapabilities capabilities() const noexcept override {
+    return inner_.capabilities();
+  }
+  DataPathCounters counters() const noexcept override {
+    return inner_.counters();
+  }
+  std::uint64_t class_drops(ClassId cls) const noexcept override {
+    return inner_.class_drops(cls);
+  }
+  std::string_view name() const noexcept override { return name_; }
 
   std::uint64_t dropped(ClassId cls) const {
     return cls < state_.size() ? state_[cls].dropped : 0;
@@ -146,6 +167,7 @@ class Red final : public Scheduler {
   };
 
   Scheduler& inner_;
+  std::string name_;  // backs the name() view
   Rng rng_;
   std::vector<State> state_;
 };

@@ -28,7 +28,7 @@ class Drr final : public Scheduler {
     return queues_.packets();
   }
   Bytes backlog_bytes() const noexcept override { return queues_.bytes(); }
-  std::string name() const override { return "DRR"; }
+  std::string_view name() const noexcept override { return "DRR"; }
 
  private:
   struct Session {

@@ -24,7 +24,7 @@ class Fifo final : public Scheduler {
 
   std::size_t backlog_packets() const noexcept override { return q_.size(); }
   Bytes backlog_bytes() const noexcept override { return bytes_; }
-  std::string name() const override { return "FIFO"; }
+  std::string_view name() const noexcept override { return "FIFO"; }
 
  private:
   std::deque<Packet> q_;

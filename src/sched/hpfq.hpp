@@ -50,7 +50,13 @@ class HPfq final : public Scheduler {
     return queues_.packets();
   }
   Bytes backlog_bytes() const noexcept override { return queues_.bytes(); }
-  std::string name() const override { return "H-PFQ"; }
+  SchedCapabilities capabilities() const noexcept override {
+    SchedCapabilities c;
+    c.hierarchy = true;
+    return c;
+  }
+  DataPathCounters counters() const noexcept override { return counters_; }
+  std::string_view name() const noexcept override { return "H-PFQ"; }
 
   std::size_t depth_of(ClassId cls) const;
   const DataPathCounters& data_path_counters() const noexcept {

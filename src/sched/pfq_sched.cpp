@@ -46,7 +46,7 @@ std::optional<Packet> PfqSched::dequeue(TimeNs /*now*/) {
   return p;
 }
 
-std::string PfqSched::name() const {
+std::string_view PfqSched::name() const noexcept {
   switch (policy_) {
     case PfqPolicy::SSF:
       return "PFQ-SSF";

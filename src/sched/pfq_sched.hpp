@@ -33,7 +33,8 @@ class PfqSched final : public Scheduler {
     return queues_.packets();
   }
   Bytes backlog_bytes() const noexcept override { return queues_.bytes(); }
-  std::string name() const override;
+  DataPathCounters counters() const noexcept override { return counters_; }
+  std::string_view name() const noexcept override;
 
   TimeNs vtime() const noexcept { return server_.vtime(); }
   const DataPathCounters& data_path_counters() const noexcept {

@@ -41,7 +41,13 @@ class Sced final : public Scheduler {
     return queues_.packets();
   }
   Bytes backlog_bytes() const noexcept override { return queues_.bytes(); }
-  std::string name() const override { return "SCED"; }
+  SchedCapabilities capabilities() const noexcept override {
+    SchedCapabilities c;
+    c.nonlinear_curves = true;
+    c.decoupled_delay = true;
+    return c;
+  }
+  std::string_view name() const noexcept override { return "SCED"; }
 
   // Introspection for tests and the Fig. 2 experiment.
   Bytes work_of(ClassId cls) const { return sessions_.at(cls).work; }

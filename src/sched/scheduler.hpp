@@ -10,16 +10,37 @@
 // curve, or an upper-limit curve) can refuse to release work early.  In
 // that case next_wakeup() reports when the decision could change so the
 // link can re-arm its transmitter.
+//
+// The interface also carries a small capability/stats surface
+// (capabilities(), counters(), class_drops()) so generic layers — the
+// scenario engine, the comparison tool, the throughput bench — can drive
+// any family through one code path and *skip* features a family cannot
+// express instead of downcasting or crashing (see
+// config/hierarchy_spec.hpp for the compilers that target it).
 #pragma once
 
 #include <cstddef>
 #include <optional>
-#include <string>
+#include <string_view>
 
 #include "sched/packet.hpp"
+#include "util/errors.hpp"
 #include "util/types.hpp"
 
 namespace hfsc {
+
+// What a scheduler family can express.  Generic layers branch on these
+// flags; a false flag means the corresponding configuration is dropped or
+// approximated by the family's HierarchySpec compiler (documented in
+// docs/SCHEDULERS.md), never that it crashes.
+struct SchedCapabilities {
+  bool hierarchy = false;        // interior classes are meaningful
+  bool nonlinear_curves = false; // two-piece (concave/convex) curves kept
+  bool decoupled_delay = false;  // delay guarantee independent of rate
+  bool shaping = false;          // may refuse to send while backlogged
+  bool upper_limit = false;      // can cap a class's service
+  bool per_class_drops = false;  // class_drops() is meaningful
+};
 
 class Scheduler {
  public:
@@ -54,7 +75,23 @@ class Scheduler {
     return kTimeInfinity;
   }
 
-  virtual std::string name() const = 0;
+  // Feature flags of the concrete family (see SchedCapabilities).
+  virtual SchedCapabilities capabilities() const noexcept { return {}; }
+
+  // Aggregate data-path counters.  Families without a hardened data path
+  // report zeros.
+  virtual DataPathCounters counters() const noexcept { return {}; }
+
+  // Packets dropped for one class (queue limits plus malformed events);
+  // 0 for families that do not track drops per class.
+  virtual std::uint64_t class_drops(ClassId /*cls*/) const noexcept {
+    return 0;
+  }
+
+  // Short human-readable family name ("H-FSC", "CBQ", …).  Returns a view
+  // of storage owned by the scheduler (or a string literal) so the hot
+  // paths that log or label results never pay an allocation per call.
+  virtual std::string_view name() const noexcept = 0;
 
   bool empty() const noexcept { return backlog_packets() == 0; }
 };

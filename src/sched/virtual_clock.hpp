@@ -33,7 +33,7 @@ class VirtualClock final : public Scheduler {
     return queues_.packets();
   }
   Bytes backlog_bytes() const noexcept override { return queues_.bytes(); }
-  std::string name() const override { return "VirtualClock"; }
+  std::string_view name() const noexcept override { return "VirtualClock"; }
 
   // Session virtual clock (tests observe the punishment build-up).
   TimeNs vc_of(ClassId cls) const { return sessions_.at(cls).vc; }

@@ -80,7 +80,10 @@ struct FaultCounts {
 class FaultInjector final : public Scheduler {
  public:
   FaultInjector(Scheduler& inner, FaultPlan plan, std::uint64_t seed)
-      : inner_(inner), plan_(plan), rng_(seed) {}
+      : inner_(inner),
+        name_("FaultInjector(" + std::string(inner.name()) + ")"),
+        plan_(plan),
+        rng_(seed) {}
 
   // Enables class-churn and queue-limit faults.  The injector adds and
   // deletes its own ephemeral (never-backlogged) leaves under
@@ -102,9 +105,16 @@ class FaultInjector final : public Scheduler {
   TimeNs next_wakeup(TimeNs now) const noexcept override {
     return inner_.next_wakeup(now);
   }
-  std::string name() const override {
-    return "FaultInjector(" + inner_.name() + ")";
+  SchedCapabilities capabilities() const noexcept override {
+    return inner_.capabilities();
   }
+  DataPathCounters counters() const noexcept override {
+    return inner_.counters();
+  }
+  std::uint64_t class_drops(ClassId cls) const noexcept override {
+    return inner_.class_drops(cls);
+  }
+  std::string_view name() const noexcept override { return name_; }
 
   const FaultCounts& counts() const noexcept { return counts_; }
   // Accumulated forward clock skew the inner scheduler currently sees.
@@ -120,6 +130,7 @@ class FaultInjector final : public Scheduler {
   void checkpoint_roundtrip();
 
   Scheduler& inner_;
+  std::string name_;      // backs the name() view
   Hfsc* hfsc_ = nullptr;  // non-null once churn is enabled
   ClassId churn_parent_ = kRootClass;
   std::vector<ClassId> mutable_leaves_;

@@ -167,6 +167,12 @@ Scenario Scenario::parse(std::istream& in, const std::string& name) {
       std::string t;
       if (!(ls >> t)) fail_at(name, line, "window needs a time");
       sc.window = parse_time(t);
+    } else if (directive == "scheduler") {
+      std::string kind;
+      if (!(ls >> kind)) fail_at(name, line, "scheduler needs a kind");
+      const auto parsed = parse_scheduler_kind(kind);
+      if (!parsed) fail_at(name, line, "unknown scheduler kind: " + kind);
+      sc.scheduler = *parsed;
     } else if (directive == "class") {
       ScenarioClass c;
       if (!(ls >> c.name >> c.parent)) {
@@ -266,32 +272,52 @@ Scenario Scenario::parse_file(const std::string& path) {
   return parse(f, path);
 }
 
+HierarchySpec Scenario::to_hierarchy_spec() const {
+  HierarchySpec spec;
+  for (const ScenarioClass& c : classes) {
+    HierarchySpec::ClassSpec cs;
+    cs.name = c.name;
+    cs.parent = c.parent;
+    cs.rt = c.cfg.rt;
+    cs.ls = c.cfg.ls;
+    cs.ul = c.cfg.ul;
+    cs.qlimit = c.qlimit;
+    spec.add(std::move(cs));
+  }
+  return spec;
+}
+
 ScenarioResult run_scenario(const Scenario& sc) {
   return run_scenario(sc, ScenarioRunOptions{});
 }
 
 ScenarioResult run_scenario(const Scenario& sc,
                             const ScenarioRunOptions& opts) {
-  Hfsc sched(sc.link_rate);
-  if (opts.audit_every != 0) sched.enable_self_check(opts.audit_every);
-  if (opts.admission) sched.enable_admission_control();
-  std::map<std::string, ClassId> ids;
-  for (const ScenarioClass& c : sc.classes) {
-    const ClassId parent = c.parent == "root" ? kRootClass : ids.at(c.parent);
-    ClassId id;
-    try {
-      id = sched.add_class(parent, c.cfg);
-    } catch (const Error& e) {
-      // One line, names the class: "class 'audio': admission rejected: …".
-      throw std::runtime_error("class '" + c.name + "': " + e.what());
-    }
-    if (c.qlimit != 0) sched.set_queue_limit(id, c.qlimit);
-    ids[c.name] = id;
+  const SchedulerKind kind = opts.scheduler.value_or(sc.scheduler);
+  if (!opts.checkpoint_path.empty() && kind != SchedulerKind::kHfsc) {
+    throw std::runtime_error(
+        "checkpointing requires the hfsc scheduler (running " +
+        std::string(to_string(kind)) + ")");
   }
+  const HierarchySpec spec = sc.to_hierarchy_spec();
+  HierarchySpec::CompileOptions copts;
+  copts.audit_every = opts.audit_every;
+  copts.admission = opts.admission;
+  HierarchySpec::Compiled compiled = spec.compile(kind, sc.link_rate, copts);
+  Scheduler& sched = *compiled.sched;
+  const HierarchySpec::IdMap& ids = compiled.ids;
 
   Simulator sim(sc.link_rate, sched, sc.window);
   for (const ScenarioSource& s : sc.sources) {
-    const ClassId cls = ids.at(s.cls);
+    const auto it = ids.find(s.cls);
+    if (it == ids.end()) {
+      // Flat families drop interior classes; a source may only feed a leaf
+      // anyway, so a missing id means the scenario misattached a source.
+      throw std::runtime_error("source class '" + s.cls +
+                               "' was dropped by the " +
+                               std::string(to_string(kind)) + " mapping");
+    }
+    const ClassId cls = it->second;
     switch (s.kind) {
       case ScenarioSource::Kind::kCbr:
         sim.add<CbrSource>(cls, s.rate, s.pkt_len, s.start, s.stop);
@@ -321,19 +347,23 @@ ScenarioResult run_scenario(const Scenario& sc,
       throw std::runtime_error("cannot write checkpoint: " +
                                opts.checkpoint_path);
     }
-    checkpoint(sched, ck);
+    checkpoint(*compiled.hfsc, ck);
   }
 
   ScenarioResult out;
+  out.scheduler = std::string(sched.name());
+  out.notes = std::move(compiled.notes);
   const auto& t = sim.tracker();
   for (const ScenarioClass& c : sc.classes) {
-    const ClassId id = ids.at(c.name);
-    if (!sched.is_leaf(id) && !t.has(id)) continue;  // interior class
+    const auto it = ids.find(c.name);
+    if (it == ids.end()) continue;  // dropped by a flat mapping
+    const ClassId id = it->second;
+    if (!spec.is_leaf(c.name) && !t.has(id)) continue;  // interior class
     ScenarioResult::PerClass pc;
     pc.name = c.name;
     pc.packets = t.packets(id);
     pc.bytes = t.bytes(id);
-    pc.dropped = sched.packets_dropped(id);
+    pc.dropped = sched.class_drops(id);
     pc.mean_delay_ms = t.mean_delay_ms(id);
     pc.p99_delay_ms = t.delay_quantile_ms(id, 0.99);
     pc.max_delay_ms = t.max_delay_ms(id);
@@ -343,6 +373,64 @@ ScenarioResult run_scenario(const Scenario& sc,
   out.link_utilization = static_cast<double>(sim.link().busy_time()) /
                          static_cast<double>(sc.duration);
   return out;
+}
+
+CompareResult run_compare(const Scenario& sc,
+                          const std::vector<SchedulerKind>& kinds,
+                          const ScenarioRunOptions& opts) {
+  CompareResult out;
+  for (SchedulerKind kind : kinds) {
+    ScenarioRunOptions per_run = opts;
+    per_run.scheduler = kind;
+    per_run.checkpoint_path.clear();  // H-FSC-only; ambiguous across runs
+    out.runs.push_back(run_scenario(sc, per_run));
+  }
+  return out;
+}
+
+std::string CompareResult::to_table() const {
+  // One row per class that appeared in any run; a family that dropped the
+  // class shows "-".  Classes keep first-appearance order.
+  std::vector<std::string> names;
+  for (const ScenarioResult& r : runs) {
+    for (const auto& pc : r.per_class) {
+      if (std::find(names.begin(), names.end(), pc.name) == names.end()) {
+        names.push_back(pc.name);
+      }
+    }
+  }
+  std::vector<std::string> headers = {"class"};
+  for (const ScenarioResult& r : runs) {
+    headers.push_back(r.scheduler + " mean_ms");
+    headers.push_back(r.scheduler + " p99_ms");
+    headers.push_back(r.scheduler + " rate_mbps");
+    headers.push_back(r.scheduler + " drops");
+  }
+  TablePrinter table(headers);
+  for (const std::string& name : names) {
+    std::vector<std::string> row = {name};
+    for (const ScenarioResult& r : runs) {
+      const auto it =
+          std::find_if(r.per_class.begin(), r.per_class.end(),
+                       [&](const auto& pc) { return pc.name == name; });
+      if (it == r.per_class.end()) {
+        row.insert(row.end(), {"-", "-", "-", "-"});
+      } else {
+        row.push_back(TablePrinter::fmt(it->mean_delay_ms));
+        row.push_back(TablePrinter::fmt(it->p99_delay_ms));
+        row.push_back(TablePrinter::fmt(it->rate_mbps, 2));
+        row.push_back(std::to_string(it->dropped));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << table.to_string();
+  for (const ScenarioResult& r : runs) {
+    os << r.scheduler << " link utilization: "
+       << TablePrinter::fmt(r.link_utilization * 100.0, 1) << "%\n";
+  }
+  return os.str();
 }
 
 std::string ScenarioResult::to_table() const {

@@ -15,6 +15,8 @@
 //     link <rate>
 //     duration <time>
 //     window <time>                        (throughput window, default 100ms)
+//     scheduler <kind>                     (hfsc | hpfq | cbq | drr | sced |
+//                                           vclock | fifo; default hfsc)
 //     class <name> <parent|root> [rt <spec>] [ls <spec>] [ul <spec>]
 //                                [qlimit <packets>]
 //       <spec> := linear <rate>
@@ -34,9 +36,11 @@
 
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "config/hierarchy_spec.hpp"
 #include "core/hfsc.hpp"
 #include "util/types.hpp"
 
@@ -76,6 +80,9 @@ struct Scenario {
   RateBps link_rate = 0;
   TimeNs duration = 0;
   TimeNs window = msec(100);
+  // Which family runs the hierarchy (`scheduler` directive); the same
+  // file compiles for any family via HierarchySpec's mapping rules.
+  SchedulerKind scheduler = SchedulerKind::kHfsc;
   std::vector<ScenarioClass> classes;
   std::vector<ScenarioSource> sources;
 
@@ -85,6 +92,10 @@ struct Scenario {
   // editor-style ("file.scn:12: ..."); parse_file passes the path.
   static Scenario parse(std::istream& in, const std::string& name = "");
   static Scenario parse_file(const std::string& path);
+
+  // The scheduler-agnostic form of the classes (config/hierarchy_spec.hpp)
+  // that every family compiles from.
+  HierarchySpec to_hierarchy_spec() const;
 };
 
 struct ScenarioResult {
@@ -100,6 +111,10 @@ struct ScenarioResult {
   };
   std::vector<PerClass> per_class;
   double link_utilization = 0;  // busy fraction over the run
+  std::string scheduler;        // display name of the family that ran
+  // Lossy-mapping notes the compiler recorded for this family (empty for
+  // H-FSC, which expresses the full spec).
+  std::vector<std::string> notes;
 
   // Formatted like the experiment binaries' tables.
   std::string to_table() const;
@@ -115,13 +130,33 @@ struct ScenarioRunOptions {
   // with a one-line error naming the offending class instead of running.
   bool admission = false;
   // When non-empty, write a checkpoint (core/checkpoint.hpp) of the
-  // scheduler's final state to this path after the run.
+  // scheduler's final state to this path after the run.  Checkpointing is
+  // an H-FSC feature: combining this with any other family throws.
   std::string checkpoint_path;
+  // Overrides the scenario's `scheduler` directive (hfsc_sim --scheduler).
+  std::optional<SchedulerKind> scheduler;
 };
 
-// Builds the H-FSC hierarchy, runs the workload, gathers statistics.
+// Compiles the scenario's hierarchy for the selected family (the
+// `scheduler` directive unless opts.scheduler overrides it), runs the
+// workload, gathers statistics.  audit_every/admission apply to H-FSC and
+// are recorded as notes elsewhere.
 ScenarioResult run_scenario(const Scenario& sc);
 ScenarioResult run_scenario(const Scenario& sc,
                             const ScenarioRunOptions& opts);
+
+// One scenario through several families, side by side (hfsc_sim
+// --compare).  The per-run options are applied to every family, except
+// checkpoint_path/scheduler which are cleared per run.
+struct CompareResult {
+  std::vector<ScenarioResult> runs;  // one per requested kind, in order
+
+  // Side-by-side delay/throughput table: one row per class, one column
+  // group (mean/p99 delay, rate, drops) per scheduler.
+  std::string to_table() const;
+};
+CompareResult run_compare(const Scenario& sc,
+                          const std::vector<SchedulerKind>& kinds,
+                          const ScenarioRunOptions& opts = {});
 
 }  // namespace hfsc

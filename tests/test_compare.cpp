@@ -1,0 +1,155 @@
+// Tests for the scheduler-generic scenario engine: the `scheduler`
+// directive, run_scenario under non-H-FSC families, and run_compare
+// (the engine behind `hfsc_sim --compare`).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/scenario.hpp"
+
+namespace hfsc {
+namespace {
+
+constexpr const char* kSmallScenario = R"(
+link 10Mbps
+duration 1s
+class org   root ls linear 10Mbps
+class voice org  rt udr 160 5ms 64kbps  ls udr 160 5ms 64kbps
+class data  org  ls linear 9Mbps
+source cbr    voice 64kbps 160 0s 1s
+source greedy data  1000 8 0s 1s
+)";
+
+Scenario small_scenario(const std::string& extra = "") {
+  std::istringstream in(std::string(kSmallScenario) + extra);
+  return Scenario::parse(in);
+}
+
+const ScenarioResult::PerClass& row(const ScenarioResult& r,
+                                    const std::string& name) {
+  for (const auto& pc : r.per_class) {
+    if (pc.name == name) return pc;
+  }
+  throw std::runtime_error("no row for class " + name);
+}
+
+TEST(ScenarioScheduler, DirectiveSelectsTheFamily) {
+  const Scenario sc = small_scenario("scheduler hpfq\n");
+  EXPECT_EQ(sc.scheduler, SchedulerKind::kHpfq);
+  const ScenarioResult r = run_scenario(sc);
+  EXPECT_EQ(r.scheduler, "H-PFQ");
+  EXPECT_GT(row(r, "voice").packets, 0u);
+  // The concave voice curve cannot survive the rate-only mapping: the
+  // loss is on the record.
+  EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(ScenarioScheduler, DefaultIsHfscWithNoNotes) {
+  const Scenario sc = small_scenario();
+  EXPECT_EQ(sc.scheduler, SchedulerKind::kHfsc);
+  const ScenarioResult r = run_scenario(sc);
+  EXPECT_EQ(r.scheduler, "H-FSC");
+  EXPECT_TRUE(r.notes.empty());
+}
+
+TEST(ScenarioScheduler, RunOptionOverridesTheDirective) {
+  const Scenario sc = small_scenario("scheduler hpfq\n");
+  ScenarioRunOptions opts;
+  opts.scheduler = SchedulerKind::kCbq;
+  const ScenarioResult r = run_scenario(sc, opts);
+  EXPECT_EQ(r.scheduler, "CBQ");
+}
+
+// The same file must run unmodified through every family the spec
+// compiles for, and deliver the CBR class's traffic in full measure
+// under every work-conserving discipline.
+TEST(ScenarioScheduler, OneFileRunsThroughEveryFamily) {
+  const Scenario sc = small_scenario();
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    ScenarioRunOptions opts;
+    opts.scheduler = kind;
+    const ScenarioResult r = run_scenario(sc, opts);
+    // 64 kb/s of 160 B packets for 1 s = 50 packets; the last arrival
+    // may still sit in a round-robin queue when the horizon cuts off.
+    EXPECT_GE(row(r, "voice").packets, 49u) << to_string(kind);
+    EXPECT_LE(row(r, "voice").packets, 50u) << to_string(kind);
+    EXPECT_GT(row(r, "data").packets, 0u) << to_string(kind);
+    EXPECT_GT(r.link_utilization, 0.5) << to_string(kind);
+  }
+}
+
+TEST(ScenarioScheduler, CheckpointWithNonHfscFamilyThrows) {
+  const Scenario sc = small_scenario("scheduler cbq\n");
+  ScenarioRunOptions opts;
+  opts.checkpoint_path = "/tmp/should_never_be_written.ckpt";
+  try {
+    run_scenario(sc, opts);
+    FAIL() << "checkpointing a CBQ run was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpointing requires"),
+              std::string::npos);
+  }
+}
+
+TEST(RunCompare, RunsEveryRequestedFamilyInOrder) {
+  const Scenario sc = small_scenario();
+  const CompareResult cmp = run_compare(
+      sc, {SchedulerKind::kHfsc, SchedulerKind::kHpfq, SchedulerKind::kCbq});
+  ASSERT_EQ(cmp.runs.size(), 3u);
+  EXPECT_EQ(cmp.runs[0].scheduler, "H-FSC");
+  EXPECT_EQ(cmp.runs[1].scheduler, "H-PFQ");
+  EXPECT_EQ(cmp.runs[2].scheduler, "CBQ");
+  for (const ScenarioResult& r : cmp.runs) {
+    EXPECT_GT(row(r, "voice").packets, 0u) << r.scheduler;
+  }
+}
+
+// A compare run must not disturb the primary family's results: the
+// H-FSC column of run_compare is the plain run_scenario outcome.
+TEST(RunCompare, HfscColumnMatchesPlainRun) {
+  const Scenario sc = small_scenario();
+  const ScenarioResult plain = run_scenario(sc);
+  const CompareResult cmp =
+      run_compare(sc, {SchedulerKind::kHpfq, SchedulerKind::kHfsc});
+  const ScenarioResult& in_compare = cmp.runs[1];
+  ASSERT_EQ(plain.per_class.size(), in_compare.per_class.size());
+  for (std::size_t i = 0; i < plain.per_class.size(); ++i) {
+    const auto& a = plain.per_class[i];
+    const auto& b = in_compare.per_class[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_DOUBLE_EQ(a.mean_delay_ms, b.mean_delay_ms);
+    EXPECT_DOUBLE_EQ(a.max_delay_ms, b.max_delay_ms);
+  }
+  EXPECT_DOUBLE_EQ(plain.link_utilization, in_compare.link_utilization);
+}
+
+TEST(RunCompare, TableHasOneColumnGroupPerScheduler) {
+  const Scenario sc = small_scenario();
+  const CompareResult cmp =
+      run_compare(sc, {SchedulerKind::kHfsc, SchedulerKind::kFifo});
+  const std::string table = cmp.to_table();
+  EXPECT_NE(table.find("H-FSC mean_ms"), std::string::npos);
+  EXPECT_NE(table.find("FIFO mean_ms"), std::string::npos);
+  EXPECT_NE(table.find("voice"), std::string::npos);
+  EXPECT_NE(table.find("link utilization"), std::string::npos);
+}
+
+// Flat families drop the interior `org` class; its row disappears from
+// the result instead of reporting zeros.
+TEST(RunCompare, DroppedInteriorClassesLeaveNoRow) {
+  const Scenario sc = small_scenario();
+  ScenarioRunOptions opts;
+  opts.scheduler = SchedulerKind::kDrr;
+  const ScenarioResult r = run_scenario(sc, opts);
+  for (const auto& pc : r.per_class) {
+    EXPECT_NE(pc.name, "org");
+  }
+  EXPECT_EQ(r.per_class.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hfsc

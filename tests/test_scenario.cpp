@@ -147,6 +147,72 @@ class a org2 ls linear 1Mbps
   }
 }
 
+// A child declared before its parent is the order the spec compiler can
+// never satisfy; the error must carry the file AND the line so a batch
+// run points straight at the offending declaration.
+TEST(ScenarioParse, ChildBeforeParentCarriesFileAndLine) {
+  const std::string path = ::testing::TempDir() + "hfsc_orphan_scenario.hfsc";
+  {
+    std::ofstream out(path);
+    out << "link 10Mbps\nduration 1s\n"
+           "class leaf org ls linear 1Mbps\n"   // line 3: org not yet known
+           "class org root ls linear 5Mbps\n";
+  }
+  try {
+    (void)Scenario::parse_file(path);
+    FAIL() << "expected child-before-parent parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":3:"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown parent class org"), std::string::npos)
+        << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioParse, DuplicateClassCarriesFileAndLine) {
+  const std::string path = ::testing::TempDir() + "hfsc_dup_scenario.hfsc";
+  {
+    std::ofstream out(path);
+    out << "link 10Mbps\nduration 1s\n"
+           "class a root ls linear 1Mbps\n"
+           "class a root ls linear 2Mbps\n";  // line 4
+  }
+  try {
+    (void)Scenario::parse_file(path);
+    FAIL() << "expected duplicate-class parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":4:"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate class a"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioParse, SchedulerDirective) {
+  std::istringstream in(R"(
+link 10Mbps
+duration 1s
+scheduler cbq
+class a root ls linear 10Mbps
+)");
+  const Scenario sc = Scenario::parse(in);
+  EXPECT_EQ(sc.scheduler, SchedulerKind::kCbq);
+}
+
+TEST(ScenarioParse, UnknownSchedulerKindCarriesTheLine) {
+  std::istringstream in("link 10Mbps\nduration 1s\nscheduler wfq\n");
+  try {
+    (void)Scenario::parse(in);
+    FAIL() << "expected unknown-scheduler parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown scheduler kind: wfq"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("3"), std::string::npos) << what;
+  }
+}
+
 TEST(ScenarioParse, FileErrorsCarryTheFileName) {
   const std::string path = ::testing::TempDir() + "hfsc_bad_scenario.hfsc";
   {
@@ -241,7 +307,8 @@ source greedy data  1500 8 0s 2s
 
 TEST(ScenarioRun, ShippedScenarioFilesAreValid) {
   for (const char* path :
-       {"scenarios/campus.hfsc", "scenarios/voip.hfsc"}) {
+       {"scenarios/campus.hfsc", "scenarios/voip.hfsc",
+        "scenarios/decoupling.hfsc"}) {
     SCOPED_TRACE(path);
     Scenario sc;
     ASSERT_NO_THROW(sc = Scenario::parse_file(

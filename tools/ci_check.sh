@@ -18,8 +18,11 @@
 # label "bench", its own 300 s timeout): a fast, low-packet-count pass of
 # bench/bench_throughput that gates the perf harness itself — wiring rot
 # or a served-packet miscount fails CI even when no one is watching the
-# numbers.  It runs explicitly after the suite so a CTEST_ARGS filter
-# cannot silently skip it.
+# numbers.  It also runs the scenario-engine smoke (ctest label
+# "scenario"): one scenario file through hfsc, hpfq and cbq side by side
+# (hfsc_sim --compare), gating the scheduler-agnostic compile path.  Both
+# run explicitly after the suite so a CTEST_ARGS filter cannot silently
+# skip them.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -46,6 +49,9 @@ case "${what}" in
     echo "=== Release: bench smoke ==="
     ctest --test-dir "${repo}/build-ci-release" --output-on-failure \
       -L bench
+    echo "=== Release: scenario compare smoke ==="
+    ctest --test-dir "${repo}/build-ci-release" --output-on-failure \
+      -L scenario
     ;;&
   sanitize|all)
     run_config "ASan+UBSan" "${repo}/build-ci-sanitize" \

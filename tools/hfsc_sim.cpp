@@ -1,6 +1,8 @@
-// hfsc_sim — run an H-FSC scenario file and print per-class statistics.
+// hfsc_sim — run a scenario file and print per-class statistics.
 //
-//   $ hfsc_sim [--audit[=N]] [--admission] [--checkpoint=FILE] scenario.hfsc
+//   $ hfsc_sim [--audit[=N]] [--admission] [--checkpoint=FILE]
+//              [--scheduler=KIND] scenario.hfsc
+//   $ hfsc_sim --compare=KIND[,KIND...] scenario.hfsc
 //   $ hfsc_sim --restore=FILE
 //
 // --audit enables the runtime invariant auditor (core/auditor.hpp) every
@@ -11,6 +13,13 @@
 // prints a summary instead of running a scenario.  Parse and scheduler
 // errors exit with code 1 and a one-line message.
 //
+// --scheduler runs the same hierarchy under another family (hfsc, hpfq,
+// cbq, drr, sced, vclock, fifo), overriding the file's `scheduler`
+// directive; lossy-mapping notes go to stderr (docs/SCHEDULERS.md).
+// --compare runs the scenario through several families and prints one
+// side-by-side delay/throughput table.  Both are incompatible with
+// --checkpoint, which is an H-FSC-only feature.
+//
 // See src/sim/scenario.hpp for the file format and core/checkpoint.hpp
 // for the checkpoint format.
 #include <cstdio>
@@ -18,7 +27,9 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/auditor.hpp"
 #include "core/checkpoint.hpp"
@@ -31,9 +42,33 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--audit[=N]] [--admission] [--checkpoint=FILE] "
-               "<scenario-file>\n       %s --restore=FILE\n",
-               argv0, argv0);
+               "[--scheduler=KIND] <scenario-file>\n"
+               "       %s --compare=KIND[,KIND...] <scenario-file>\n"
+               "       %s --restore=FILE\n"
+               "KIND: hfsc | hpfq | cbq | drr | sced | vclock | fifo\n",
+               argv0, argv0, argv0);
   return 2;
+}
+
+// Parses a comma-separated kind list; prints its own error.
+bool parse_kinds(const char* list, std::vector<hfsc::SchedulerKind>* out) {
+  std::string tok;
+  for (const char* p = list;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      const auto kind = hfsc::parse_scheduler_kind(tok);
+      if (!kind) {
+        std::fprintf(stderr, "error: unknown scheduler kind: %s\n",
+                     tok.c_str());
+        return false;
+      }
+      out->push_back(*kind);
+      tok.clear();
+      if (*p == '\0') break;
+    } else {
+      tok.push_back(*p);
+    }
+  }
+  return !out->empty();
 }
 
 int restore_summary(const std::string& file) {
@@ -68,6 +103,8 @@ int main(int argc, char** argv) {
   bool admission = false;
   std::string checkpoint_path;
   std::string restore_path;
+  std::optional<hfsc::SchedulerKind> scheduler;
+  std::vector<hfsc::SchedulerKind> compare;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -89,6 +126,14 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--restore=", 10) == 0) {
       restore_path = arg + 10;
       if (restore_path.empty()) return usage(argv[0]);
+    } else if (std::strncmp(arg, "--scheduler=", 12) == 0) {
+      scheduler = hfsc::parse_scheduler_kind(arg + 12);
+      if (!scheduler) {
+        std::fprintf(stderr, "error: unknown scheduler kind: %s\n", arg + 12);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--compare=", 10) == 0) {
+      if (!parse_kinds(arg + 10, &compare)) return 2;
     } else if (arg[0] == '-') {
       return usage(argv[0]);
     } else if (path == nullptr) {
@@ -107,13 +152,36 @@ int main(int argc, char** argv) {
       return restore_summary(restore_path);
     }
     if (path == nullptr) return usage(argv[0]);
+    if (!checkpoint_path.empty() &&
+        (!compare.empty() ||
+         (scheduler && *scheduler != hfsc::SchedulerKind::kHfsc))) {
+      std::fprintf(stderr,
+                   "error: --checkpoint requires the hfsc scheduler\n");
+      return 2;
+    }
+    if (!compare.empty() && scheduler) return usage(argv[0]);
 
     const hfsc::Scenario sc = hfsc::Scenario::parse_file(path);
     hfsc::ScenarioRunOptions opts;
     opts.audit_every = audit_every;
     opts.admission = admission;
     opts.checkpoint_path = checkpoint_path;
+    opts.scheduler = scheduler;
+    if (!compare.empty()) {
+      const hfsc::CompareResult result = hfsc::run_compare(sc, compare, opts);
+      for (const hfsc::ScenarioResult& run : result.runs) {
+        for (const std::string& note : run.notes) {
+          std::fprintf(stderr, "note [%s]: %s\n", run.scheduler.c_str(),
+                       note.c_str());
+        }
+      }
+      std::printf("%s", result.to_table().c_str());
+      return 0;
+    }
     const hfsc::ScenarioResult result = hfsc::run_scenario(sc, opts);
+    for (const std::string& note : result.notes) {
+      std::fprintf(stderr, "note: %s\n", note.c_str());
+    }
     std::printf("%s", result.to_table().c_str());
     return 0;
   } catch (const std::exception& e) {
