@@ -222,7 +222,8 @@ HierarchySpec spec_wide() {
   HierarchySpec spec;
   for (int i = 0; i < kLeaves; ++i) {
     HierarchySpec::ClassSpec c;
-    c.name = "w" + std::to_string(i);
+    c.name = "w";
+    c.name += std::to_string(i);
     c.rt = c.ls = ServiceCurve{2 * r, msec(5), r};
     spec.add(std::move(c));
   }
@@ -241,8 +242,8 @@ HierarchySpec spec_deep() {
     for (const std::string& p : level) {
       for (int k = 0; k < 2; ++k) {
         HierarchySpec::ClassSpec c;
-        c.name = p.empty() ? "d" + std::to_string(k)
-                           : p + std::to_string(k);
+        c.name = p.empty() ? "d" : p;
+        c.name += std::to_string(k);
         c.parent = p;
         if (d == kDepth) {
           c.rt = c.ls = ServiceCurve{2 * share, msec(5), share};
@@ -281,7 +282,9 @@ Result run_one_family(const char* workload, const HierarchySpec& spec,
   Result res;
   res.workload = workload;
   res.scheduler = std::string(to_string(kind));
-  res.kind = "-";
+  // Single-char assign dodges GCC 12's -Wrestrict false positive (PR
+  // 105651) on string-from-short-literal at -O3 under -Werror.
+  res.kind = '-';
   res.packets = packets;
 
   const std::uint64_t t0 = now_ns();
@@ -377,12 +380,12 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (const char* v = val("--packets=")) {
       packets = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = val("--out=")) {
-      out = v;
-    } else if (const char* v = val("--workload=")) {
-      only_workload = v;
-    } else if (const char* v = val("--kind=")) {
-      only_kind = v;
+    } else if (const char* o = val("--out=")) {
+      out = o;
+    } else if (const char* w = val("--workload=")) {
+      only_workload = w;
+    } else if (const char* k = val("--kind=")) {
+      only_kind = k;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--packets=N] [--smoke] [--out=FILE]\n"

@@ -1,0 +1,639 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "curve/piecewise.hpp"
+#include "sim/scenario.hpp"
+#include "util/errors.hpp"
+
+namespace hfsc {
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string SourceLoc::to_string() const {
+  if (line == 0) return "<spec>";
+  return file + ":" + std::to_string(line);
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = loc.to_string();
+  out += ": ";
+  out += std::string(hfsc::to_string(severity));
+  out += ": [";
+  out += id;
+  out += "] ";
+  out += message;
+  return out;
+}
+
+namespace {
+
+using ClassSpec = HierarchySpec::ClassSpec;
+
+// Everything the checks need, precomputed once: indices, adjacency,
+// provenance, source-derived packet sizes.
+struct Ctx {
+  const HierarchySpec& spec;
+  RateBps link_rate;
+  const Scenario* scenario;  // null for bare-spec analysis
+  AnalysisOptions opts;
+
+  std::map<std::string, std::size_t> index;          // name -> classes[i]
+  std::map<std::string, std::vector<std::size_t>> children;  // "" = root
+  std::vector<bool> leaf;
+  Bytes global_max_pkt = 0;                // Theorem 2 transmission term
+  std::map<std::string, Bytes> class_max_pkt;        // per-leaf, from sources
+  std::set<std::string> fed;               // classes at least one source feeds
+
+  AnalysisReport* report;
+
+  void diag(Severity sev, std::string id, const std::string& cls,
+            std::string message) {
+    Diagnostic d;
+    d.severity = sev;
+    d.id = std::move(id);
+    d.cls = cls;
+    d.message = std::move(message);
+    d.loc = loc_of(cls);
+    report->diagnostics.push_back(std::move(d));
+  }
+
+  SourceLoc loc_of(const std::string& cls) const {
+    SourceLoc loc;
+    if (scenario == nullptr || cls.empty()) return loc;
+    for (const ScenarioClass& c : scenario->classes) {
+      if (c.name == cls) {
+        loc.file = scenario->file;
+        loc.line = c.line;
+        break;
+      }
+    }
+    return loc;
+  }
+
+  Bytes max_pkt_of(const std::string& cls) const {
+    const auto it = class_max_pkt.find(cls);
+    if (it != class_max_pkt.end()) return it->second;
+    return global_max_pkt;
+  }
+
+  // Leaves of the subtree rooted at `name` (the class itself if a leaf),
+  // in declaration order.
+  std::vector<std::size_t> subtree_leaves(const std::string& name) const {
+    std::vector<std::size_t> out;
+    std::vector<std::string> stack{name};
+    while (!stack.empty()) {
+      const std::string cur = std::move(stack.back());
+      stack.pop_back();
+      const std::size_t i = index.at(cur);
+      if (leaf[i]) {
+        out.push_back(i);
+        continue;
+      }
+      const auto it = children.find(cur);
+      if (it == children.end()) continue;
+      for (const std::size_t c : it->second) {
+        stack.push_back(spec.classes[c].name);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+std::string fmt_mbps(RateBps r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f Mb/s",
+                static_cast<double>(r) * 8.0 / 1e6);
+  return buf;
+}
+
+std::string fmt_ms(TimeNs t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", static_cast<double>(t) / 1e6);
+  return buf;
+}
+
+// ---------------------------------------------------------------- checks
+
+// (a) Link-level rt admissibility — the *same* algebra the runtime uses:
+// admit every leaf rt curve through an AdmissionControl in declaration
+// order.  The verdict is order-independent (curves are nonnegative and
+// nondecreasing, so if the total sum fits under the link curve every
+// prefix does), which the differential fuzzer re-proves against shuffled
+// insertion orders.
+void check_link_admissibility(Ctx& ctx) {
+  AdmissionControl ac(ctx.link_rate);
+  PiecewiseLinear total;  // full aggregate, even past a rejection
+  for (std::size_t i = 0; i < ctx.spec.classes.size(); ++i) {
+    const ClassSpec& c = ctx.spec.classes[i];
+    if (!ctx.leaf[i] || c.rt.is_zero()) continue;
+    total = total.sum(PiecewiseLinear::from_service_curve(c.rt));
+    if (!ac.admit(c.rt)) {
+      ctx.report->rt_feasible = false;
+      ctx.diag(Severity::kError, "rt-link-infeasible", c.name,
+               "real-time curve " + to_string(c.rt) +
+                   " pushes the aggregate rt obligation above the link "
+                   "curve (" +
+                   fmt_mbps(ctx.link_rate) +
+                   "); the paper's admission condition (Section II, eq. "
+                   "(5)) is violated and AdmissionControl would reject "
+                   "this hierarchy");
+    }
+  }
+  ctx.report->rt_utilization =
+      static_cast<double>(total.tail_rate()) /
+      static_cast<double>(ctx.link_rate);
+}
+
+// (a, recursive) Upper-limit feasibility at every node that declares an
+// ul curve: the subtree's aggregate rt guarantee must fit under the cap,
+// otherwise the guarantee is unfulfillable no matter what the link does.
+void check_ul_admissibility(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.spec.classes.size(); ++i) {
+    const ClassSpec& c = ctx.spec.classes[i];
+    if (c.ul.is_zero()) continue;
+    PiecewiseLinear sum;
+    bool any = false;
+    for (const std::size_t l : ctx.subtree_leaves(c.name)) {
+      const ClassSpec& leaf = ctx.spec.classes[l];
+      if (leaf.rt.is_zero()) continue;
+      sum = sum.sum(PiecewiseLinear::from_service_curve(leaf.rt));
+      any = true;
+    }
+    if (!any) continue;
+    const PiecewiseLinear cap = PiecewiseLinear::from_service_curve(c.ul);
+    if (!cap.dominates(sum)) {
+      ctx.diag(Severity::kError, "rt-ul-infeasible", c.name,
+               (ctx.leaf[i]
+                    ? std::string("the class's own rt curve ")
+                    : std::string("the aggregate rt guarantee of the "
+                                  "subtree's leaves ")) +
+                   "exceeds the upper-limit curve " + to_string(c.ul) +
+                   " somewhere: the cap makes the real-time guarantee "
+                   "unfulfillable");
+    }
+  }
+}
+
+// (c) Curve-shape lints.
+void check_curve_shapes(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.spec.classes.size(); ++i) {
+    const ClassSpec& c = ctx.spec.classes[i];
+
+    if (!ctx.leaf[i] && !c.rt.is_zero()) {
+      ctx.diag(Severity::kWarning, "rt-on-interior", c.name,
+               "interior class declares an rt curve; only leaf classes "
+               "receive real-time guarantees (the runtime keeps it inert "
+               "until every child is deleted)");
+    }
+
+    if (!c.ls.is_zero()) {
+      if (c.ls.rate() == 0) {
+        ctx.diag(Severity::kWarning, "ls-zero-slope", c.name,
+                 "link-sharing curve " + to_string(c.ls) +
+                     " goes flat after " + fmt_ms(c.ls.d) +
+                     ": once the first segment is spent the class stops "
+                     "competing for bandwidth and its backlog can grow "
+                     "without bound");
+      } else if (c.ls.m1 == 0 && c.ls.d > 0) {
+        ctx.diag(Severity::kWarning, "ls-zero-slope", c.name,
+                 "link-sharing curve " + to_string(c.ls) +
+                     " has a zero-slope first segment: the class receives "
+                     "no share for the first " + fmt_ms(c.ls.d) +
+                     " of every backlog period");
+      }
+    }
+
+    if (!c.ul.is_zero() && !c.ls.is_zero()) {
+      const PiecewiseLinear cap = PiecewiseLinear::from_service_curve(c.ul);
+      const PiecewiseLinear share = PiecewiseLinear::from_service_curve(c.ls);
+      if (!cap.dominates(share)) {
+        ctx.diag(Severity::kWarning, "ul-below-ls", c.name,
+                 "upper-limit curve " + to_string(c.ul) +
+                     " does not dominate the link-sharing curve " +
+                     to_string(c.ls) +
+                     ": part of the declared share can never be "
+                     "delivered (lower ls to the cap, or raise ul)");
+      }
+    }
+  }
+}
+
+// (c) Link-sharing consistency: children's long-term shares must fit in
+// the parent's (the link's, at top level).  Transient (first-segment)
+// excess is fine — that is what borrowing is for — so only tail rates
+// are compared.
+void check_ls_shares(Ctx& ctx) {
+  for (const auto& [parent, kids] : ctx.children) {
+    RateBps sum = 0;
+    for (const std::size_t k : kids) sum += ctx.spec.classes[k].ls.rate();
+    if (sum == 0) continue;
+    RateBps capacity;
+    std::string where;
+    if (parent.empty()) {
+      capacity = ctx.link_rate;
+      where = "the link rate";
+    } else {
+      const ClassSpec& p = ctx.spec.classes[ctx.index.at(parent)];
+      if (p.ls.is_zero()) continue;  // share undefined; nothing to bind to
+      capacity = p.ls.rate();
+      where = "parent '" + parent + "'s long-term share";
+    }
+    if (sum > capacity) {
+      const std::string cls = parent.empty() ? "" : parent;
+      ctx.diag(Severity::kWarning, "ls-oversubscribed", cls,
+               "children's link-sharing shares sum to " + fmt_mbps(sum) +
+                   ", exceeding " + where + " (" + fmt_mbps(capacity) +
+                   "): the shares are nominal rates and cannot all be "
+                   "honoured at once");
+    }
+  }
+
+  // Sustained rt load above an interior node's share punishes siblings
+  // (the fairness tension of Section III): the subtree's guarantees are
+  // still met, but only by permanently borrowing the siblings' share.
+  for (std::size_t i = 0; i < ctx.spec.classes.size(); ++i) {
+    const ClassSpec& c = ctx.spec.classes[i];
+    if (ctx.leaf[i] || c.ls.is_zero()) continue;
+    RateBps rt_sum = 0;
+    for (const std::size_t l : ctx.subtree_leaves(c.name)) {
+      rt_sum += ctx.spec.classes[l].rt.rate();
+    }
+    if (rt_sum > c.ls.rate()) {
+      ctx.diag(Severity::kWarning, "rt-over-ls", c.name,
+               "the subtree's leaves reserve " + fmt_mbps(rt_sum) +
+                   " of sustained real-time service, more than the "
+                   "class's own long-term share (" + fmt_mbps(c.ls.rate()) +
+                   "): the guarantees hold, but only by permanently "
+                   "borrowing from siblings");
+    }
+  }
+}
+
+// (c) Queue limits vs declared bursts, and source-aware lints.
+void check_queues_and_sources(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.spec.classes.size(); ++i) {
+    const ClassSpec& c = ctx.spec.classes[i];
+    if (!ctx.leaf[i]) {
+      if (c.env_burst != 0 || c.env_rate != 0) {
+        ctx.diag(Severity::kWarning, "envelope-on-interior", c.name,
+                 "arrival envelope declared on an interior class; "
+                 "envelopes describe leaf traffic and this one is "
+                 "ignored");
+      }
+      continue;
+    }
+    if (c.qlimit != 0 && c.env_burst != 0) {
+      const Bytes pkt = ctx.max_pkt_of(c.name);
+      const Bytes capacity = static_cast<Bytes>(c.qlimit) * pkt;
+      if (capacity < c.env_burst) {
+        ctx.diag(Severity::kWarning, "qlimit-lt-burst", c.name,
+                 "queue limit of " + std::to_string(c.qlimit) +
+                     " packets (" + std::to_string(pkt) +
+                     " B each) cannot hold the declared burst of " +
+                     std::to_string(c.env_burst) +
+                     " B: conformant traffic is guaranteed to be "
+                     "tail-dropped");
+      }
+    }
+    if (ctx.scenario != nullptr && !ctx.fed.count(c.name)) {
+      ctx.diag(Severity::kNote, "class-unfed", c.name,
+               "no source feeds this leaf; it reserves resources but "
+               "carries no traffic in this scenario");
+    }
+  }
+}
+
+// (b) Per-leaf worst-case delay bounds (Theorem 2): the exact horizontal
+// deviation between the declared arrival envelope and the leaf's
+// *effective* guarantee min(rt, ul_self, ul_ancestors...), plus one
+// max-packet transmission time for non-preemption.
+void check_delay_bounds(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.spec.classes.size(); ++i) {
+    const ClassSpec& c = ctx.spec.classes[i];
+    if (!ctx.leaf[i]) continue;
+    const bool has_env = c.env_burst != 0 || c.env_rate != 0;
+    if (c.rt.is_zero()) {
+      if (has_env) {
+        ctx.diag(Severity::kNote, "envelope-without-rt", c.name,
+                 "arrival envelope declared but the class has no rt "
+                 "curve: there is no guaranteed service curve to bound "
+                 "its delay against");
+      }
+      continue;
+    }
+    if (!has_env) {
+      ctx.diag(Severity::kNote, "no-envelope", c.name,
+               "rt class has no declared arrival envelope; add "
+               "`envelope " + c.name +
+                   " <burst> <rate>` to obtain a worst-case delay bound");
+      continue;
+    }
+
+    // Effective guarantee: the rt curve capped by every upper limit on
+    // the root path (exact pointwise min).
+    PiecewiseLinear effective = PiecewiseLinear::from_service_curve(c.rt);
+    std::string cur = c.name;
+    while (true) {
+      const ClassSpec& node = ctx.spec.classes[ctx.index.at(cur)];
+      if (!node.ul.is_zero()) {
+        effective =
+            effective.min(PiecewiseLinear::from_service_curve(node.ul));
+      }
+      if (ClassSpec::is_top_level(node.parent)) break;
+      cur = node.parent;
+    }
+
+    LeafDelayBound b;
+    b.cls = c.name;
+    b.env_burst = c.env_burst;
+    b.env_rate = c.env_rate;
+    b.loc = ctx.loc_of(c.name);
+    if (ctx.scenario != nullptr) {
+      for (const ScenarioClass& scn : ctx.scenario->classes) {
+        if (scn.name == c.name && scn.env_line != 0) {
+          b.loc.line = scn.env_line;
+          break;
+        }
+      }
+    }
+    const PiecewiseLinear env =
+        PiecewiseLinear::token_bucket(c.env_burst, c.env_rate);
+    const auto gap = env.max_horizontal_gap(effective);
+    if (!gap) {
+      ctx.diag(Severity::kWarning, "envelope-overruns-service", c.name,
+               "the arrival envelope (burst " +
+                   std::to_string(c.env_burst) + " B, rate " +
+                   fmt_mbps(c.env_rate) +
+                   ") overruns the effective guarantee: the worst-case "
+                   "delay is unbounded (raise the rt curve, lower the "
+                   "envelope, or relax an upper limit on the root path)");
+      b.bound = std::nullopt;
+    } else {
+      b.bound = sat_add(*gap, tx_time(ctx.global_max_pkt, ctx.link_rate));
+    }
+    ctx.report->delay_bounds.push_back(std::move(b));
+  }
+}
+
+// (d) Scheduler-family portability pre-flight: which families accept the
+// spec losslessly (strict mode), which degrade it (and how), which
+// cannot express it at all.
+void check_portability(Ctx& ctx) {
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    PortabilityEntry e;
+    e.kind = kind;
+    HierarchySpec::CompileOptions strict;
+    strict.strict = true;
+    try {
+      (void)ctx.spec.compile(kind, ctx.link_rate, strict);
+      e.lossless = true;
+    } catch (const std::exception&) {
+      e.lossless = false;
+    }
+    if (!e.lossless) {
+      try {
+        HierarchySpec::Compiled lossy =
+            ctx.spec.compile(kind, ctx.link_rate, {});
+        e.notes = std::move(lossy.notes);
+      } catch (const std::exception& ex) {
+        e.compiles = false;
+        e.notes = {ex.what()};
+      }
+    }
+    ctx.report->portability.push_back(std::move(e));
+  }
+}
+
+AnalysisReport analyze_impl(const HierarchySpec& spec, RateBps link_rate,
+                            const Scenario* scenario,
+                            const AnalysisOptions& opts) {
+  ensure(link_rate > 0, Errc::kInvalidArgument,
+         "analysis link rate must be > 0");
+  spec.validate();
+
+  AnalysisReport report;
+  report.file = scenario != nullptr ? scenario->file : "";
+  report.num_classes = spec.classes.size();
+  report.link_rate = link_rate;
+  Ctx ctx{spec, link_rate, scenario, opts, {}, {}, {}, 0, {}, {}, &report};
+
+  for (std::size_t i = 0; i < spec.classes.size(); ++i) {
+    ctx.index[spec.classes[i].name] = i;
+    const std::string& parent = spec.classes[i].parent;
+    ctx.children[ClassSpec::is_top_level(parent) ? "" : parent].push_back(i);
+  }
+  ctx.leaf.resize(spec.classes.size());
+  for (std::size_t i = 0; i < spec.classes.size(); ++i) {
+    ctx.leaf[i] = spec.is_leaf(spec.classes[i].name);
+  }
+
+  ctx.global_max_pkt = opts.default_max_pkt;
+  if (scenario != nullptr) {
+    for (const ScenarioSource& s : scenario->sources) {
+      const Bytes pkt =
+          s.kind == ScenarioSource::Kind::kVideo ? s.mtu : s.pkt_len;
+      ctx.global_max_pkt = std::max(ctx.global_max_pkt, pkt);
+      Bytes& per = ctx.class_max_pkt[s.cls];
+      per = std::max(per, pkt);
+      ctx.fed.insert(s.cls);
+    }
+  }
+
+  check_link_admissibility(ctx);
+  check_ul_admissibility(ctx);
+  check_curve_shapes(ctx);
+  check_ls_shares(ctx);
+  check_queues_and_sources(ctx);
+  check_delay_bounds(ctx);
+  if (opts.portability) check_portability(ctx);
+
+  return report;
+}
+
+}  // namespace
+
+AnalysisReport analyze(const HierarchySpec& spec, RateBps link_rate,
+                       const AnalysisOptions& opts) {
+  return analyze_impl(spec, link_rate, nullptr, opts);
+}
+
+AnalysisReport analyze(const Scenario& sc, const AnalysisOptions& opts) {
+  const HierarchySpec spec = sc.to_hierarchy_spec();
+  return analyze_impl(spec, sc.link_rate, &sc, opts);
+}
+
+// ---------------------------------------------------------------- output
+
+std::size_t AnalysisReport::errors() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+std::size_t AnalysisReport::warnings() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kWarning;
+                    }));
+}
+
+std::size_t AnalysisReport::notes() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kNote;
+                    }));
+}
+
+std::string AnalysisReport::to_text() const {
+  std::ostringstream os;
+  os << (file.empty() ? "<spec>" : file) << ": " << num_classes
+     << " classes, link " << fmt_mbps(link_rate) << "\n";
+  for (const Diagnostic& d : diagnostics) os << d.to_string() << "\n";
+  os << "rt admissibility: "
+     << (rt_feasible ? "feasible" : "INFEASIBLE");
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  " (long-term reservation %.1f%% of the link)\n",
+                  rt_utilization * 100.0);
+    os << buf;
+  }
+  if (!delay_bounds.empty()) {
+    os << "worst-case delay bounds (Theorem 2):\n";
+    for (const LeafDelayBound& b : delay_bounds) {
+      os << "  " << b.cls << ": ";
+      if (b.bound) {
+        os << fmt_ms(*b.bound);
+      } else {
+        os << "unbounded";
+      }
+      os << "  (envelope burst " << b.env_burst << " B, rate "
+         << fmt_mbps(b.env_rate) << ")\n";
+    }
+  }
+  if (!portability.empty()) {
+    os << "portability:";
+    for (const PortabilityEntry& e : portability) {
+      os << " " << to_string(e.kind) << "="
+         << (e.lossless
+                 ? "lossless"
+                 : (e.compiles
+                        ? "lossy(" + std::to_string(e.notes.size()) + ")"
+                        : "impossible"));
+    }
+    os << "\n";
+  }
+  os << "summary: " << errors() << " error(s), " << warnings()
+     << " warning(s), " << notes() << " note(s)\n";
+  return os.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AnalysisReport::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"file\": \"" << json_escape(file) << "\",";
+  os << "\"classes\": " << num_classes << ",";
+  os << "\"link_rate_Bps\": " << link_rate << ",";
+  os << "\"rt_feasible\": " << (rt_feasible ? "true" : "false") << ",";
+  {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "\"rt_utilization\": %.6g,",
+                  rt_utilization);
+    os << buf;
+  }
+  os << "\"errors\": " << errors() << ",";
+  os << "\"warnings\": " << warnings() << ",";
+  os << "\"notes\": " << notes() << ",";
+  os << "\"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i != 0) os << ",";
+    os << "{\"severity\": \"" << to_string(d.severity) << "\","
+       << "\"id\": \"" << json_escape(d.id) << "\","
+       << "\"class\": \"" << json_escape(d.cls) << "\","
+       << "\"file\": \"" << json_escape(d.loc.file) << "\","
+       << "\"line\": " << d.loc.line << ","
+       << "\"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  os << "],";
+  os << "\"delay_bounds\": [";
+  for (std::size_t i = 0; i < delay_bounds.size(); ++i) {
+    const LeafDelayBound& b = delay_bounds[i];
+    if (i != 0) os << ",";
+    os << "{\"class\": \"" << json_escape(b.cls) << "\","
+       << "\"burst_bytes\": " << b.env_burst << ","
+       << "\"rate_Bps\": " << b.env_rate << ",";
+    if (b.bound) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf),
+                    "\"bound_ns\": %llu,\"bound_ms\": %.6g}",
+                    static_cast<unsigned long long>(*b.bound),
+                    static_cast<double>(*b.bound) / 1e6);
+      os << buf;
+    } else {
+      os << "\"bound_ns\": null,\"bound_ms\": null}";
+    }
+  }
+  os << "],";
+  os << "\"portability\": [";
+  for (std::size_t i = 0; i < portability.size(); ++i) {
+    const PortabilityEntry& e = portability[i];
+    if (i != 0) os << ",";
+    os << "{\"family\": \"" << to_string(e.kind) << "\","
+       << "\"compiles\": " << (e.compiles ? "true" : "false") << ","
+       << "\"lossless\": " << (e.lossless ? "true" : "false") << ","
+       << "\"notes\": [";
+    for (std::size_t j = 0; j < e.notes.size(); ++j) {
+      if (j != 0) os << ",";
+      os << "\"" << json_escape(e.notes[j]) << "\"";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hfsc

@@ -1,0 +1,135 @@
+// Static hierarchy/spec analyzer (tools/hfsc_lint, hfsc_sim --analyze).
+//
+// The paper's guarantees are properties of the *configuration*: the
+// real-time curves are honourable iff their sum stays below the link
+// curve (Section II, eq. (5)), a session's worst-case delay is the
+// horizontal deviation between its arrival envelope and its guaranteed
+// service curve (Theorem 2), and the link-sharing goals bind the shares
+// of siblings to their parent.  This analyzer proves or refutes those
+// properties from a HierarchySpec (or a parsed .hfsc scenario) alone,
+// before any packet is simulated, using exact breakpoint-symbolic
+// piecewise-linear algebra (curve/piecewise.hpp) — sums, minima,
+// dominance and horizontal deviations are never sampled.
+//
+// Verdicts are differentially validated against the runtime
+// (tests/test_analysis_fuzz.cpp): "rt-feasible" agrees with
+// AdmissionControl admitting every leaf in any insertion order, and a
+// measured scenario delay never exceeds the reported bound.
+//
+// Diagnostic catalog, math and the JSON schema: docs/ANALYSIS.md.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/hierarchy_spec.hpp"
+#include "util/types.hpp"
+
+namespace hfsc {
+
+struct Scenario;  // sim/scenario.hpp
+
+enum class Severity { kError, kWarning, kNote };
+
+// "error" / "warning" / "note".
+std::string_view to_string(Severity s) noexcept;
+
+// Where a diagnostic anchors in the input.  line == 0 means the spec was
+// built programmatically (no file to point at).
+struct SourceLoc {
+  std::string file;
+  std::size_t line = 0;
+
+  // "file:line" when known, else "<spec>".
+  std::string to_string() const;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kNote;
+  std::string id;       // stable kebab-case id, e.g. "rt-link-infeasible"
+  std::string cls;      // offending class name; "" for link-level findings
+  std::string message;  // human-readable, self-contained
+  SourceLoc loc;
+
+  // Editor-style one-liner: "file:12: warning: [id] message".
+  std::string to_string() const;
+};
+
+// Worst-case queueing delay of a leaf with a declared token-bucket
+// arrival envelope (scenario `envelope` directive or ClassSpec env_*
+// fields): the maximum horizontal deviation between the envelope and the
+// leaf's effective guarantee min(rt, ul_self, ul_ancestors...), plus one
+// max-packet transmission time (Theorem 2's non-preemption term).
+struct LeafDelayBound {
+  std::string cls;
+  Bytes env_burst = 0;
+  RateBps env_rate = 0;
+  // nullopt: the envelope overruns the effective guarantee (the backlog
+  // and with it the delay grow without bound).
+  std::optional<TimeNs> bound;
+  SourceLoc loc;
+};
+
+// Which of the scheduler families the spec compiles to losslessly
+// (hierarchy_spec's strict-mode loss taxonomy, statically evaluated).
+struct PortabilityEntry {
+  SchedulerKind kind{};
+  bool compiles = true;   // false: even the lossy mapping has no target
+  bool lossless = false;  // strict-mode compile accepts the spec as-is
+  std::vector<std::string> notes;  // mapping losses (or the fatal error)
+};
+
+struct AnalysisOptions {
+  // Fallback max packet length when no source/envelope pins one down
+  // (Theorem 2's transmission term and the qlimit lint).
+  Bytes default_max_pkt = 1500;
+  // Skip the per-family portability pre-flight (it compiles the spec
+  // seven times; cheap, but pointless for pure feasibility queries).
+  bool portability = true;
+};
+
+struct AnalysisReport {
+  // Input identity (for headers and the JSON "file" field): the scenario
+  // file when analyzing a parsed scenario, "" for a programmatic spec.
+  std::string file;
+  std::size_t num_classes = 0;
+  RateBps link_rate = 0;
+
+  std::vector<Diagnostic> diagnostics;
+
+  // Link-level rt admissibility: true iff AdmissionControl would admit
+  // every leaf rt curve (proved by running the same curve algebra over
+  // the declaration order; the verdict is order-independent because
+  // curves are nonnegative and nondecreasing, so every prefix of a
+  // feasible sum is feasible).
+  bool rt_feasible = true;
+  // Long-term fraction of the link the leaf rt curves reserve.
+  double rt_utilization = 0.0;
+
+  std::vector<LeafDelayBound> delay_bounds;
+  std::vector<PortabilityEntry> portability;
+
+  std::size_t errors() const noexcept;
+  std::size_t warnings() const noexcept;
+  std::size_t notes() const noexcept;
+  // Clean = nothing severe enough to gate on (notes are fine).
+  bool clean() const noexcept { return errors() == 0 && warnings() == 0; }
+
+  // Human-readable report: diagnostics, verdict, bounds, portability.
+  std::string to_text() const;
+  // Machine-readable report (schema in docs/ANALYSIS.md).
+  std::string to_json() const;
+};
+
+// Analyzes a bare spec (no sources: source-aware checks are skipped).
+AnalysisReport analyze(const HierarchySpec& spec, RateBps link_rate,
+                       const AnalysisOptions& opts = {});
+
+// Analyzes a parsed scenario: spec-level checks plus provenance
+// (file:line), per-class max packet sizes from the sources, and the
+// source-aware lints (unfed classes).
+AnalysisReport analyze(const Scenario& sc, const AnalysisOptions& opts = {});
+
+}  // namespace hfsc

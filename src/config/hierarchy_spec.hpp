@@ -107,6 +107,13 @@ struct HierarchySpec {
     // records a note when it is non-zero.
     int priority = 0;
     std::size_t qlimit = 0;  // max queued packets; 0 = unlimited
+    // Token-bucket arrival envelope A(t) = env_burst + env_rate * t the
+    // class's traffic is promised to conform to (scenario `envelope`
+    // directive).  Not consumed by any compiler — the static analyzer
+    // (analysis/analyzer.hpp) derives Theorem 2 delay bounds from it.
+    // Both zero = no envelope declared.
+    Bytes env_burst = 0;
+    RateBps env_rate = 0;
 
     static bool is_top_level(const std::string& parent) {
       return parent.empty() || parent == "root";

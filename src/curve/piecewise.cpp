@@ -110,6 +110,102 @@ PiecewiseLinear PiecewiseLinear::sum(const PiecewiseLinear& other) const {
   return PiecewiseLinear(std::move(out));
 }
 
+namespace {
+
+// Exact value of a curve at time t in "nanobytes" (1e-9 bytes): the
+// breakpoint value scaled by 1e9 plus slope * dt with no floor, so
+// within-segment comparisons between two curves are exact.  Saturates at
+// the 128-bit maximum (curves extend to "infinity" on purpose).
+unsigned __int128 nanobytes_at(const std::vector<PiecewiseLinear::Piece>& ps,
+                               TimeNs t) {
+  const PiecewiseLinear::Piece* p = &ps.front();
+  for (const PiecewiseLinear::Piece& q : ps) {
+    if (q.x > t) break;
+    p = &q;
+  }
+  constexpr unsigned __int128 kMax = ~static_cast<unsigned __int128>(0);
+  const unsigned __int128 base =
+      static_cast<unsigned __int128>(p->y) * kNsPerSec;
+  const std::uint64_t dt = t - p->x;
+  if (p->slope != 0 &&
+      static_cast<unsigned __int128>(dt) > (kMax - base) / p->slope) {
+    return kMax;
+  }
+  return base + static_cast<unsigned __int128>(p->slope) * dt;
+}
+
+RateBps slope_after(const std::vector<PiecewiseLinear::Piece>& ps, TimeNs t) {
+  const PiecewiseLinear::Piece* p = &ps.front();
+  for (const PiecewiseLinear::Piece& q : ps) {
+    if (q.x > t) break;
+    p = &q;
+  }
+  return p->slope;
+}
+
+}  // namespace
+
+PiecewiseLinear PiecewiseLinear::min(const PiecewiseLinear& other) const {
+  // Candidate breakpoints of the minimum: every breakpoint of either
+  // curve, plus the first integer nanosecond after each exact crossing.
+  std::vector<TimeNs> xs;
+  for (const Piece& p : pieces_) xs.push_back(p.x);
+  for (const Piece& p : other.pieces_) xs.push_back(p.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  // Within [x0, x1) both curves are linear; solve for the first integer t
+  // where the ordering of the exact (un-floored) values flips.
+  std::vector<TimeNs> crossings;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const TimeNs x0 = xs[i];
+    const bool last = i + 1 == xs.size();
+    const unsigned __int128 a0 = nanobytes_at(pieces_, x0);
+    const unsigned __int128 b0 = nanobytes_at(other.pieces_, x0);
+    const RateBps sa = slope_after(pieces_, x0);
+    const RateBps sb = slope_after(other.pieces_, x0);
+    if (sa == sb) continue;  // parallel: no crossing inside the segment
+    // diff(k) = (a0 - b0) + (sa - sb) * k for t = x0 + k.  The curve that
+    // is lower (ties: smaller slope) can only be overtaken when the other
+    // one's slope is smaller, i.e. when diff moves towards zero.
+    unsigned __int128 gap;   // |a0 - b0|
+    std::uint64_t closing;   // slope difference closing the gap
+    if (a0 > b0 ? sa > sb : (a0 < b0 ? sa < sb : true)) continue;
+    if (a0 == b0) continue;  // tie at x0: the lower-slope curve stays lower
+    if (a0 > b0) {
+      gap = a0 - b0;
+      closing = sb - sa;
+    } else {
+      gap = b0 - a0;
+      closing = sa - sb;
+    }
+    // First k with gap - closing * k <= 0, i.e. k = ceil(gap / closing).
+    const unsigned __int128 k =
+        (gap + closing - 1) / static_cast<unsigned __int128>(closing);
+    if (k > kTimeInfinity - x0) continue;  // crossing beyond the time domain
+    const TimeNs tc = x0 + static_cast<TimeNs>(k);
+    if (last || tc < xs[i + 1]) crossings.push_back(tc);
+  }
+  xs.insert(xs.end(), crossings.begin(), crossings.end());
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  std::vector<Piece> out;
+  out.reserve(xs.size());
+  for (const TimeNs x : xs) {
+    const unsigned __int128 a = nanobytes_at(pieces_, x);
+    const unsigned __int128 b = nanobytes_at(other.pieces_, x);
+    const RateBps sa = slope_after(pieces_, x);
+    const RateBps sb = slope_after(other.pieces_, x);
+    // The lower curve carries the piece; on a value tie the smaller slope
+    // stays lower on [x, next candidate).
+    const bool use_a = a < b || (a == b && sa <= sb);
+    out.push_back(Piece{x, std::min(eval(x), other.eval(x)),
+                        use_a ? sa : sb});
+  }
+  return PiecewiseLinear(std::move(out));
+}
+
 bool PiecewiseLinear::dominates(const PiecewiseLinear& other) const {
   // Piecewise linear: it suffices to compare at every breakpoint of both
   // curves and the tail slopes.  (A crossing inside a segment implies one

@@ -57,6 +57,19 @@ class PiecewiseLinear {
   // Pointwise sum (for admission: the aggregate obligation).
   PiecewiseLinear sum(const PiecewiseLinear& other) const;
 
+  // Pointwise minimum.  Breakpoints are computed symbolically: within each
+  // segment where both curves are linear the crossing instant is solved
+  // exactly in 128-bit "nanobyte" units (1e-9 bytes, so a slope in bytes/s
+  // is exactly nanobytes per nanosecond) and the switch lands on the first
+  // integer nanosecond where the ordering flips — never sampled.  The
+  // value stored at a synthesized crossing breakpoint is floored to whole
+  // bytes, so eval() of the result may read up to one byte BELOW the
+  // exact pointwise minimum, never above it — a conservative slack for
+  // the analyzer's delay bounds (a lower service curve only widens a
+  // bound).  Used by the static analyzer for the effective guarantee of
+  // an upper-limited class, min(rt, ul_self, ul_ancestors...).
+  PiecewiseLinear min(const PiecewiseLinear& other) const;
+
   // True iff this(t) >= other(t) for all t >= 0 (including the tails).
   bool dominates(const PiecewiseLinear& other) const;
 

@@ -144,6 +144,7 @@ ServiceCurve parse_spec(std::istringstream& ls, const std::string& fname,
 
 Scenario Scenario::parse(std::istream& in, const std::string& name) {
   Scenario sc;
+  sc.file = name;
   std::map<std::string, bool> class_names;
   std::string raw;
   std::size_t line = 0;
@@ -201,8 +202,29 @@ Scenario Scenario::parse(std::istream& in, const std::string& name) {
       if (c.cfg.rt.is_zero() && c.cfg.ls.is_zero()) {
         fail_at(name, line, "class " + c.name + " needs at least one of rt/ls");
       }
+      c.line = line;
       class_names[c.name] = true;
       sc.classes.push_back(std::move(c));
+    } else if (directive == "envelope") {
+      std::string cls, burst, rate;
+      if (!(ls >> cls >> burst >> rate)) {
+        fail_at(name, line, "envelope needs <class> <burst> <rate>");
+      }
+      std::string extra;
+      if (ls >> extra) fail_at(name, line, "trailing token: " + extra);
+      if (!class_names.count(cls)) fail_at(name, line, "unknown class " + cls);
+      const auto it = std::find_if(
+          sc.classes.begin(), sc.classes.end(),
+          [&](const ScenarioClass& c) { return c.name == cls; });
+      if (it->env_line != 0) {
+        fail_at(name, line, "duplicate envelope for class " + cls);
+      }
+      it->env_burst = parse_bytes(burst);
+      it->env_rate = parse_rate(rate);
+      if (it->env_burst == 0 && it->env_rate == 0) {
+        fail_at(name, line, "envelope must have a non-zero burst or rate");
+      }
+      it->env_line = line;
     } else if (directive == "source") {
       std::string kind;
       ScenarioSource s;
@@ -282,6 +304,8 @@ HierarchySpec Scenario::to_hierarchy_spec() const {
     cs.ls = c.cfg.ls;
     cs.ul = c.cfg.ul;
     cs.qlimit = c.qlimit;
+    cs.env_burst = c.env_burst;
+    cs.env_rate = c.env_rate;
     spec.add(std::move(cs));
   }
   return spec;

@@ -29,6 +29,10 @@
 //     source greedy  <class> <pkt bytes> <window pkts> <start> <stop>
 //     source video   <class> <fps> <mean_frame> <max_frame> <mtu>
 //                    <start> <stop> <seed>
+//     envelope <class> <burst bytes> <rate>
+//       (token-bucket arrival envelope A(t) = burst + rate*t the class's
+//        traffic is promised to conform to; the static analyzer derives
+//        the worst-case delay bound of Theorem 2 from it)
 //
 // Units: rates `bps|kbps|Mbps|Gbps` (decimal allowed), times
 // `ns|us|ms|s`, byte counts plain integers.
@@ -56,6 +60,15 @@ struct ScenarioClass {
   std::string parent;  // "root" for top level
   ClassConfig cfg;
   std::size_t qlimit = 0;
+  // Token-bucket arrival envelope (`envelope` directive); rate == 0 and
+  // burst == 0 means none was declared.
+  Bytes env_burst = 0;
+  RateBps env_rate = 0;
+  // 1-based source lines of the declaring directives (0 when the
+  // scenario was built programmatically) — diagnostic provenance for the
+  // static analyzer.
+  std::size_t line = 0;
+  std::size_t env_line = 0;
 };
 
 struct ScenarioSource {
@@ -80,6 +93,9 @@ struct Scenario {
   RateBps link_rate = 0;
   TimeNs duration = 0;
   TimeNs window = msec(100);
+  // The name handed to parse() (the path for parse_file) — diagnostic
+  // provenance; empty for programmatic scenarios.
+  std::string file;
   // Which family runs the hierarchy (`scheduler` directive); the same
   // file compiles for any family via HierarchySpec's mapping rules.
   SchedulerKind scheduler = SchedulerKind::kHfsc;

@@ -1,0 +1,221 @@
+// Differential validation of the static analyzer (analysis/analyzer.hpp)
+// against the runtime, per the contract in the analyzer's header:
+//
+//  1. "analyzer says rt-feasible" <=> AdmissionControl admits every leaf
+//     rt curve, in ANY insertion order (the verdict must be
+//     order-independent);
+//  2. the exact breakpoint-symbolic horizontal deviation is a true
+//     supremum: no sampled deviation ever exceeds it, and the exact
+//     min() used for effective guarantees agrees pointwise with sampling;
+//  3. a simulated scenario whose sources conform to their declared
+//     envelopes never measures a delay above the analyzer's Theorem 2
+//     bound.
+//
+// Each property runs over ≥10 deterministic seeds; a single disagreement
+// anywhere fails the suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "curve/piecewise.hpp"
+#include "curve/service_curve.hpp"
+#include "sim/scenario.hpp"
+
+namespace hfsc {
+namespace {
+
+constexpr unsigned kSeeds = 12;
+
+// A random leaf rt curve with long-term rate `tail`: linear, concave
+// two-piece, or the Fig. 7 (u, d, r) shape.
+ServiceCurve random_rt(std::mt19937_64& rng, RateBps tail) {
+  switch (rng() % 3) {
+    case 0:
+      return ServiceCurve::linear(tail);
+    case 1: {
+      const RateBps m1 = tail * (2 + rng() % 4);
+      const TimeNs d = msec(1 + rng() % 20);
+      return ServiceCurve{m1, d, tail};
+    }
+    default: {
+      const Bytes u = 200 + rng() % 8000;
+      const TimeNs d = msec(1 + rng() % 30);
+      return from_udr(u, d, tail);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ (1)
+// Random hierarchies straddling the feasibility boundary: the analyzer's
+// verdict must equal the runtime's AdmissionControl verdict under every
+// shuffled insertion order.
+TEST(AnalysisFuzz, FeasibilityAgreesWithAdmissionControlInAnyOrder) {
+  for (unsigned seed = 0; seed < kSeeds; ++seed) {
+    std::mt19937_64 rng(seed);
+    const RateBps link = mbps(10 + rng() % 90);
+    const std::size_t n_leaves = 2 + rng() % 8;
+    // Aim the aggregate long-term reservation at 40%..140% of the link so
+    // roughly half the cases are infeasible (and concave first segments
+    // can tip nominally-fitting tails over the link curve transiently).
+    const double target = 0.4 + 0.1 * static_cast<double>(rng() % 11);
+    const RateBps budget =
+        static_cast<RateBps>(static_cast<double>(link) * target);
+
+    HierarchySpec spec;
+    const bool grouped = rng() % 2 == 0;
+    if (grouped) {
+      HierarchySpec::ClassSpec agg;
+      agg.name = "agg";
+      agg.ls = ServiceCurve::linear(link / 2);
+      spec.add(agg);
+    }
+    std::vector<ServiceCurve> leaf_rt;
+    for (std::size_t i = 0; i < n_leaves; ++i) {
+      const RateBps tail =
+          std::max<RateBps>(1000, budget / n_leaves + rng() % 10000);
+      HierarchySpec::ClassSpec c;
+      c.name = "leaf";
+      c.name += std::to_string(i);
+      if (grouped && i % 2 == 0) c.parent = "agg";
+      c.rt = random_rt(rng, tail);
+      c.ls = ServiceCurve::linear(tail);
+      spec.add(c);
+      leaf_rt.push_back(c.rt);
+    }
+
+    AnalysisOptions opts;
+    opts.portability = false;
+    const AnalysisReport report = analyze(spec, link, opts);
+
+    for (unsigned order = 0; order < 5; ++order) {
+      std::vector<ServiceCurve> shuffled = leaf_rt;
+      std::mt19937_64 order_rng(seed * 97 + order);
+      std::shuffle(shuffled.begin(), shuffled.end(), order_rng);
+      AdmissionControl ac(link);
+      bool all = true;
+      for (const ServiceCurve& sc : shuffled) {
+        if (!ac.admit(sc)) all = false;
+      }
+      EXPECT_EQ(all, report.rt_feasible)
+          << "seed " << seed << " order " << order
+          << ": analyzer and AdmissionControl disagree";
+    }
+  }
+}
+
+// ------------------------------------------------------------------ (2)
+// The exact horizontal deviation is a supremum over the sampled one, and
+// min() agrees with pointwise sampling everywhere we look.
+TEST(AnalysisFuzz, ExactGapAndMinDominateSampling) {
+  for (unsigned seed = 0; seed < kSeeds; ++seed) {
+    std::mt19937_64 rng(1000 + seed);
+    const RateBps env_rate = kbps(32 + rng() % 4000);
+    const Bytes burst = 100 + rng() % 20000;
+    const PiecewiseLinear env = PiecewiseLinear::token_bucket(burst, env_rate);
+
+    // Guarantee with some headroom over the envelope tail so the gap is
+    // finite most of the time; occasionally capped by a random ul.
+    const RateBps rt_tail = env_rate + kbps(8 + rng() % 512);
+    const PiecewiseLinear guarantee =
+        PiecewiseLinear::from_service_curve(random_rt(rng, rt_tail));
+    // Concave cap whose tail still covers the envelope, so the deviation
+    // stays finite whenever the tails allow it.
+    const PiecewiseLinear cap = PiecewiseLinear::from_service_curve(
+        ServiceCurve{rt_tail * (1 + rng() % 3), msec(1 + rng() % 10),
+                     env_rate + kbps(4)});
+    const PiecewiseLinear effective = guarantee.min(cap);
+
+    // min() matches pointwise sampling everywhere we look: never above
+    // either operand, at most one byte below (the documented floor slack
+    // at synthesized crossing breakpoints — conservative for bounds).
+    for (TimeNs t = 0; t <= msec(200); t += msec(1) + seed) {
+      const Bytes want = std::min(guarantee.eval(t), cap.eval(t));
+      EXPECT_LE(effective.eval(t), want) << "seed " << seed << " t=" << t;
+      EXPECT_GE(effective.eval(t) + 1, want) << "seed " << seed << " t=" << t;
+    }
+
+    const std::optional<TimeNs> exact = env.max_horizontal_gap(effective);
+    if (env.tail_rate() > effective.tail_rate()) {
+      EXPECT_FALSE(exact.has_value()) << "seed " << seed;
+      continue;
+    }
+    ASSERT_TRUE(exact.has_value()) << "seed " << seed;
+    // Sampled deviation d(t) = S^{-1}(A(t)) - t with the library's own
+    // inverse (same rounding): never above the exact supremum.
+    for (TimeNs t = 0; t <= msec(500); t += msec(1) / 4 + seed) {
+      const TimeNs needed = effective.inverse(env.eval(t));
+      ASSERT_NE(needed, kTimeInfinity) << "seed " << seed << " t=" << t;
+      const TimeNs dev = needed > t ? needed - t : 0;
+      EXPECT_LE(dev, *exact) << "seed " << seed << " t=" << t;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ (3)
+// End-to-end: scenarios whose CBR sources conform to their declared
+// envelopes, run under H-FSC with greedy cross traffic, never measure a
+// delay above the analyzer's bound.
+TEST(AnalysisFuzz, MeasuredDelayNeverExceedsAnalyzerBound) {
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    std::mt19937_64 rng(2000 + seed);
+    const unsigned link_mbps = 10 + rng() % 40;
+    const std::size_t n_rt = 1 + rng() % 3;
+
+    std::ostringstream sc_text;
+    sc_text << "link " << link_mbps << "Mbps\nduration 500ms\n";
+    for (std::size_t i = 0; i < n_rt; ++i) {
+      // CBR at `rate` with `pkt`-byte packets conforms to the token
+      // bucket (pkt, rate); rt = udr(pkt, d, rate) guarantees one packet
+      // within d and the sustained rate after.
+      const unsigned rate_kbps = 64 * (1 + rng() % 8);
+      const Bytes pkt = 160 + 100 * (rng() % 8);
+      const unsigned d_ms = 2 + rng() % 20;
+      sc_text << "class rt" << i << " root rt udr " << pkt << " " << d_ms
+              << "ms " << rate_kbps << "kbps ls linear " << rate_kbps
+              << "kbps\n";
+      sc_text << "envelope rt" << i << " " << pkt << " " << rate_kbps
+              << "kbps\n";
+      sc_text << "source cbr rt" << i << " " << rate_kbps << "kbps " << pkt
+              << " 0s 500ms\n";
+    }
+    // Greedy cross traffic keeps the link saturated, so the rt classes
+    // actually depend on their guarantees.
+    sc_text << "class bulk root ls linear " << (link_mbps / 2) << "Mbps\n";
+    sc_text << "source greedy bulk 1500 8 0s 500ms\n";
+
+    std::istringstream in(sc_text.str());
+    const Scenario sc = Scenario::parse(in, "fuzz.hfsc");
+    AnalysisOptions opts;
+    opts.portability = false;
+    const AnalysisReport report = analyze(sc, opts);
+    ASSERT_TRUE(report.rt_feasible) << sc_text.str();
+    ASSERT_EQ(report.delay_bounds.size(), n_rt);
+
+    const ScenarioResult result = run_scenario(sc);
+    for (const LeafDelayBound& b : report.delay_bounds) {
+      ASSERT_TRUE(b.bound.has_value()) << b.cls;
+      const double bound_ms = static_cast<double>(*b.bound) / 1e6;
+      bool found = false;
+      for (const ScenarioResult::PerClass& pc : result.per_class) {
+        if (pc.name != b.cls) continue;
+        found = true;
+        EXPECT_GT(pc.packets, 0u) << b.cls;
+        EXPECT_EQ(pc.dropped, 0u) << b.cls;
+        EXPECT_LE(pc.max_delay_ms, bound_ms + 1e-6)
+            << "seed " << seed << " class " << b.cls
+            << ": measured delay exceeds the Theorem 2 bound\n"
+            << sc_text.str();
+      }
+      EXPECT_TRUE(found) << b.cls;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -2,6 +2,8 @@
 // Section II feasibility condition) and the analytical delay bound.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/hfsc.hpp"
 #include "curve/piecewise.hpp"
 #include "sim/simulator.hpp"
@@ -52,6 +54,67 @@ TEST(Piecewise, SumMatchesPointwise) {
     ASSERT_EQ(s.eval(t), a.eval(t) + b.eval(t)) << t;
   }
   EXPECT_EQ(s.tail_rate(), mbps(8));
+}
+
+TEST(Piecewise, MinMatchesPointwise) {
+  // Concave vs line: the min switches curves at an interior crossing that
+  // is not a breakpoint of either input.
+  const auto a =
+      PiecewiseLinear::from_service_curve({mbps(10), msec(8), mbps(2)});
+  const auto b = PiecewiseLinear::from_service_curve(
+      ServiceCurve::linear(mbps(4)));
+  const auto m = a.min(b);
+  // Never above the pointwise min; at most one byte below (the documented
+  // floor slack at synthesized crossing breakpoints).
+  for (TimeNs t = 0; t < msec(40); t += usec(50)) {
+    const Bytes want = std::min(a.eval(t), b.eval(t));
+    ASSERT_LE(m.eval(t), want) << t;
+    ASSERT_GE(m.eval(t) + 1, want) << t;
+  }
+  EXPECT_EQ(m.tail_rate(), mbps(2));
+  // min is symmetric and dominated by both inputs.
+  const auto m2 = b.min(a);
+  for (TimeNs t = 0; t < msec(40); t += usec(97)) {
+    ASSERT_EQ(m2.eval(t), m.eval(t)) << t;
+  }
+  EXPECT_TRUE(a.dominates(m));
+  EXPECT_TRUE(b.dominates(m));
+}
+
+TEST(Piecewise, MinOfDominatedPairIsTheLowerCurve) {
+  const auto low =
+      PiecewiseLinear::from_service_curve(ServiceCurve::linear(mbps(1)));
+  const auto high =
+      PiecewiseLinear::from_service_curve({mbps(8), msec(5), mbps(3)});
+  EXPECT_EQ(high.min(low), low);
+  EXPECT_EQ(low.min(high), low);
+}
+
+TEST(Piecewise, MinWithTokenBucketCrossing) {
+  // Token bucket (jump at 0, shallow slope) vs convex service curve: min
+  // follows the service curve early, the bucket late.
+  const auto bucket = PiecewiseLinear::token_bucket(4000, kbps(512));
+  const auto svc =
+      PiecewiseLinear::from_service_curve({0, msec(2), mbps(10)});
+  const auto m = bucket.min(svc);
+  for (TimeNs t = 0; t < msec(100); t += usec(211)) {
+    const Bytes want = std::min(bucket.eval(t), svc.eval(t));
+    ASSERT_LE(m.eval(t), want) << t;
+    ASSERT_GE(m.eval(t) + 1, want) << t;
+  }
+  EXPECT_EQ(m.eval(0), 0u);
+  EXPECT_EQ(m.tail_rate(), kbps(512));
+}
+
+TEST(Piecewise, MinTieBreaksTowardsLowerSlope) {
+  // Identical value at t = 0, different slopes: the flatter curve is the
+  // minimum from the very first nanosecond.
+  const auto s1 =
+      PiecewiseLinear::from_service_curve(ServiceCurve::linear(mbps(2)));
+  const auto s2 =
+      PiecewiseLinear::from_service_curve(ServiceCurve::linear(mbps(5)));
+  const auto m = s1.min(s2);
+  EXPECT_EQ(m, s1);
 }
 
 TEST(Piecewise, DominatesDetectsInteriorCrossing) {

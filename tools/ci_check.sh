@@ -2,13 +2,15 @@
 # CI gate: build and test libhfsc in a plain Release configuration and an
 # address+undefined sanitizer configuration.  Any test failure, sanitizer
 # report (-fno-sanitize-recover=all aborts on the first finding), or build
-# error fails the script.  ctest runs with a 120 s per-test timeout and
-# stops at the first failing test, so a broken config fails fast instead
-# of grinding through the rest of the suite.
+# error fails the script.  Both configurations build with -DHFSC_WERROR=ON
+# (-Wall -Wextra -Wshadow promoted to errors).  ctest runs with a 120 s
+# per-test timeout and stops at the first failing test, so a broken config
+# fails fast instead of grinding through the rest of the suite.
 #
-#   $ tools/ci_check.sh            # both configs
+#   $ tools/ci_check.sh            # all stages
 #   $ tools/ci_check.sh release    # just the Release config
 #   $ tools/ci_check.sh sanitize   # just the sanitizer config
+#   $ tools/ci_check.sh tidy      # just the clang-tidy stage
 #
 # The randomized long-running suites carry the ctest label "fuzz"
 # (tests/CMakeLists.txt); exclude them for a quick local gate with
@@ -22,7 +24,15 @@
 # "scenario"): one scenario file through hfsc, hpfq and cbq side by side
 # (hfsc_sim --compare), gating the scheduler-agnostic compile path.  Both
 # run explicitly after the suite so a CTEST_ARGS filter cannot silently
-# skip them.
+# skip them.  The Release config also runs the scenario-lint gate (ctest
+# label "lint"): tools/hfsc_lint over every committed scenarios/*.hfsc,
+# so the example hierarchies stay diagnostic-clean.
+#
+# The `tidy` stage runs clang-tidy (.clang-tidy at the repo root, with
+# WarningsAsErrors) over src/ tools/ bench/ against a compile_commands
+# database.  clang-tidy is not part of the baked toolchain everywhere, so
+# the stage degrades to an explicit SKIP when the binary is absent
+# instead of failing CI on the missing tool.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -42,26 +52,50 @@ run_config() {
     --timeout 120 --stop-on-failure ${CTEST_ARGS:-}
 }
 
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== clang-tidy: SKIP (clang-tidy not installed) ==="
+    return 0
+  fi
+  local build_dir="${repo}/build-ci-tidy"
+  echo "=== clang-tidy: configure (compile_commands) ==="
+  cmake -B "${build_dir}" -S "${repo}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  echo "=== clang-tidy: src/ tools/ bench/ ==="
+  # .clang-tidy sets WarningsAsErrors: '*', so any finding fails the
+  # stage; xargs -P parallelizes across translation units.
+  find "${repo}/src" "${repo}/tools" "${repo}/bench" -name '*.cpp' -print0 |
+    xargs -0 -n 4 -P "${jobs}" clang-tidy -p "${build_dir}" --quiet
+  echo "=== clang-tidy: clean ==="
+}
+
 case "${what}" in
   release|all)
     run_config "Release" "${repo}/build-ci-release" \
-      -DCMAKE_BUILD_TYPE=Release
+      -DCMAKE_BUILD_TYPE=Release -DHFSC_WERROR=ON
     echo "=== Release: bench smoke ==="
     ctest --test-dir "${repo}/build-ci-release" --output-on-failure \
       -L bench
     echo "=== Release: scenario compare smoke ==="
     ctest --test-dir "${repo}/build-ci-release" --output-on-failure \
       -L scenario
+    echo "=== Release: scenario lint gate ==="
+    ctest --test-dir "${repo}/build-ci-release" --output-on-failure \
+      -L lint
     ;;&
   sanitize|all)
     run_config "ASan+UBSan" "${repo}/build-ci-sanitize" \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DHFSC_SANITIZE=address;undefined"
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHFSC_WERROR=ON \
+      "-DHFSC_SANITIZE=address;undefined"
     ;;&
-  release|sanitize|all)
+  tidy|all)
+    run_tidy
+    ;;&
+  release|sanitize|tidy|all)
     echo "=== ci_check: OK (${what}) ==="
     ;;
   *)
-    echo "usage: $0 [release|sanitize|all]" >&2
+    echo "usage: $0 [release|sanitize|tidy|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,93 @@
+// hfsc_lint — static analyzer for .hfsc scenario files.
+//
+//   $ hfsc_lint [--json] [--no-portability] [--max-pkt=N] <file.hfsc>...
+//
+// Parses each scenario and runs the static hierarchy analyzer
+// (analysis/analyzer.hpp) over it: exact piecewise-linear rt
+// admissibility, Theorem 2 delay bounds from `envelope` directives,
+// curve-shape lints and the scheduler-family portability pre-flight —
+// all before a single packet is simulated.  Diagnostics carry the
+// parser's file:line provenance, editor-style.
+//
+// --json emits one machine-readable report per file (a bare object for
+// one input, a JSON array for several; schema in docs/ANALYSIS.md)
+// instead of the text report.  --no-portability skips the per-family
+// compile pre-flight.  --max-pkt overrides the fallback max packet
+// length (default 1500 B) used for the transmission term when no source
+// pins one down.
+//
+// Exit status: 0 when every file is diagnostic-clean (notes are fine),
+// 1 when any file has errors or warnings (or fails to parse), 2 on
+// usage errors.  tools/ci_check.sh gates scenarios/*.hfsc on exit 0.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--no-portability] [--max-pkt=N] "
+               "<scenario.hfsc>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  hfsc::AnalysisOptions opts;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--no-portability") == 0) {
+      opts.portability = false;
+    } else if (std::strncmp(arg, "--max-pkt=", 10) == 0) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(arg + 10, &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "error: --max-pkt needs a positive integer\n");
+        return 2;
+      }
+      opts.default_max_pkt = static_cast<hfsc::Bytes>(n);
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+
+  bool all_clean = true;
+  const bool many = files.size() > 1;
+  if (json && many) std::printf("[");
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    try {
+      const hfsc::Scenario sc = hfsc::Scenario::parse_file(files[i]);
+      const hfsc::AnalysisReport report = hfsc::analyze(sc, opts);
+      if (json) {
+        std::printf("%s%s", i == 0 ? "" : ",", report.to_json().c_str());
+      } else {
+        std::printf("%s", report.to_text().c_str());
+      }
+      if (!report.clean()) all_clean = false;
+    } catch (const std::exception& e) {
+      // Parse failures are findings too: report and keep linting the
+      // remaining inputs so a batch run surfaces every broken file.
+      std::fprintf(stderr, "error: %s\n", e.what());
+      all_clean = false;
+    }
+  }
+  if (json && many) std::printf("]");
+  if (json) std::printf("\n");
+  return all_clean ? 0 : 1;
+}

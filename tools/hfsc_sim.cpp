@@ -3,6 +3,7 @@
 //   $ hfsc_sim [--audit[=N]] [--admission] [--checkpoint=FILE]
 //              [--scheduler=KIND] scenario.hfsc
 //   $ hfsc_sim --compare=KIND[,KIND...] scenario.hfsc
+//   $ hfsc_sim --analyze scenario.hfsc
 //   $ hfsc_sim --restore=FILE
 //
 // --audit enables the runtime invariant auditor (core/auditor.hpp) every
@@ -12,6 +13,12 @@
 // state to FILE after the run; --restore loads such a file, audits it and
 // prints a summary instead of running a scenario.  Parse and scheduler
 // errors exit with code 1 and a one-line message.
+//
+// --analyze runs the static hierarchy analyzer (analysis/analyzer.hpp)
+// over the scenario instead of simulating it: rt admissibility, Theorem 2
+// delay bounds from `envelope` directives, curve-shape lints and the
+// family portability pre-flight (tools/hfsc_lint is the multi-file
+// front-end with --json).  Exits 0 when clean, 1 on errors/warnings.
 //
 // --scheduler runs the same hierarchy under another family (hfsc, hpfq,
 // cbq, drr, sced, vclock, fifo), overriding the file's `scheduler`
@@ -31,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "core/auditor.hpp"
 #include "core/checkpoint.hpp"
 #include "core/hfsc.hpp"
@@ -44,9 +52,10 @@ int usage(const char* argv0) {
                "usage: %s [--audit[=N]] [--admission] [--checkpoint=FILE] "
                "[--scheduler=KIND] <scenario-file>\n"
                "       %s --compare=KIND[,KIND...] <scenario-file>\n"
+               "       %s --analyze <scenario-file>\n"
                "       %s --restore=FILE\n"
                "KIND: hfsc | hpfq | cbq | drr | sced | vclock | fifo\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -101,6 +110,7 @@ int restore_summary(const std::string& file) {
 int main(int argc, char** argv) {
   std::size_t audit_every = 0;
   bool admission = false;
+  bool analyze = false;
   std::string checkpoint_path;
   std::string restore_path;
   std::optional<hfsc::SchedulerKind> scheduler;
@@ -120,6 +130,8 @@ int main(int argc, char** argv) {
       audit_every = static_cast<std::size_t>(n);
     } else if (std::strcmp(arg, "--admission") == 0) {
       admission = true;
+    } else if (std::strcmp(arg, "--analyze") == 0) {
+      analyze = true;
     } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
       checkpoint_path = arg + 13;
       if (checkpoint_path.empty()) return usage(argv[0]);
@@ -152,6 +164,16 @@ int main(int argc, char** argv) {
       return restore_summary(restore_path);
     }
     if (path == nullptr) return usage(argv[0]);
+    if (analyze) {
+      if (admission || audit_every != 0 || !checkpoint_path.empty() ||
+          scheduler || !compare.empty()) {
+        return usage(argv[0]);
+      }
+      const hfsc::Scenario sc = hfsc::Scenario::parse_file(path);
+      const hfsc::AnalysisReport report = hfsc::analyze(sc);
+      std::printf("%s", report.to_text().c_str());
+      return report.clean() ? 0 : 1;
+    }
     if (!checkpoint_path.empty() &&
         (!compare.empty() ||
          (scheduler && *scheduler != hfsc::SchedulerKind::kHfsc))) {
