@@ -44,6 +44,7 @@
 
 #include "config/hierarchy_spec.hpp"
 #include "core/hfsc.hpp"
+#include "runtime/host.hpp"
 
 namespace hfsc {
 namespace {
@@ -197,6 +198,81 @@ Result run_one(const Workload& w, EligibleSetKind kind, std::uint64_t packets,
   std::vector<std::uint32_t> lat;
   lat.reserve(lat_samples);
   run_loop(s, now, step, lat_samples, seq, &lat);
+  res.lat_samples = lat.size();
+  if (!lat.empty()) {
+    std::uint64_t sum = 0;
+    for (const std::uint32_t v : lat) sum += v;
+    res.ns_mean = static_cast<double>(sum) / static_cast<double>(lat.size());
+    auto pct = [&](double q) {
+      const std::size_t idx = static_cast<std::size_t>(
+          q * static_cast<double>(lat.size() - 1));
+      std::nth_element(lat.begin(), lat.begin() + idx, lat.end());
+      return static_cast<std::uint64_t>(lat[idx]);
+    };
+    res.ns_p50 = pct(0.50);
+    res.ns_p99 = pct(0.99);
+  }
+  return res;
+}
+
+// The same steady-state pass driven through RuntimeHost (runtime/host.hpp)
+// with the overload governor enabled but idle at level 0: the row prices
+// the resilience layer's hot-path tax (one threshold compare per enqueue
+// plus the bounded-cadence sampling) against the bare scheduler.  The
+// acceptance budget is < 3% off the matching hfsc/dual_heap row.
+Result run_one_runtime(const Workload& w, std::uint64_t packets,
+                       std::uint64_t lat_samples) {
+  RuntimeOptions opts;
+  opts.link_rate = kLink;
+  opts.es_kind = EligibleSetKind::kDualHeap;
+  // The benchmark intentionally holds a constant multi-megabyte backlog;
+  // raise the ladder thresholds so the governor observes it and stays at
+  // level 0 (the level-0 cost is what this row prices).
+  opts.governor.enter_backlog[0] = 64 * 1024 * 1024;
+  opts.governor.enter_backlog[1] = 128 * 1024 * 1024;
+  opts.governor.enter_backlog[2] = 256 * 1024 * 1024;
+  opts.governor.exit_backlog[0] = 32 * 1024 * 1024;
+  opts.governor.exit_backlog[1] = 64 * 1024 * 1024;
+  opts.governor.exit_backlog[2] = 128 * 1024 * 1024;
+  opts.governor.class_threshold = 16 * 1024 * 1024;
+  RuntimeHost host(opts);
+  const std::vector<ClassId> leaves = w.build(host.sched());
+  TimeNs now = 0;
+  std::uint64_t seq = 0;
+  for (int r = 0; r < kBacklogPerLeaf; ++r) {
+    for (const ClassId c : leaves) {
+      host.enqueue(now, Packet{c, kPktLen, now, seq++});
+    }
+  }
+  const TimeNs step = tx_time(kPktLen, kLink);
+  const std::uint64_t warm = std::min<std::uint64_t>(packets / 10, 100'000);
+  run_loop(host, now, step, warm, seq, nullptr);
+
+  Result res;
+  res.workload = w.name;
+  res.scheduler = "runtime";
+  res.kind = kind_name(EligibleSetKind::kDualHeap);
+  res.packets = packets;
+
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t served = run_loop(host, now, step, packets, seq, nullptr);
+  res.wall_ns = now_ns() - t0;
+  if (served != packets || host.gov_level() != 0) {
+    std::fprintf(stderr,
+                 "FATAL: %s/runtime served %llu of %llu at level %d — "
+                 "broken config\n",
+                 res.workload.c_str(),
+                 static_cast<unsigned long long>(served),
+                 static_cast<unsigned long long>(packets), host.gov_level());
+    std::exit(1);
+  }
+  res.pkts_per_sec =
+      res.wall_ns == 0 ? 0.0 : 1e9 * static_cast<double>(packets) /
+                                   static_cast<double>(res.wall_ns);
+
+  std::vector<std::uint32_t> lat;
+  lat.reserve(lat_samples);
+  run_loop(host, now, step, lat_samples, seq, &lat);
   res.lat_samples = lat.size();
   if (!lat.empty()) {
     std::uint64_t sum = 0;
@@ -424,6 +500,27 @@ int main(int argc, char** argv) {
       if (!only_kind.empty() && only_kind != kind_name(k)) continue;
       const Result r = run_one(w, k, packets, lat_samples);
       show(r);
+      results.push_back(r);
+    }
+  }
+  // Resilience-runtime rows: the same workloads through RuntimeHost with
+  // the governor idle at level 0, plus the overhead vs the bare
+  // hfsc/dual_heap row (budget: < 3%).
+  if (only_kind.empty() || only_kind == "dual_heap") {
+    for (const Workload& w : workloads) {
+      if (!only_workload.empty() && only_workload != w.name) continue;
+      const Result r = run_one_runtime(w, packets, lat_samples);
+      show(r);
+      for (const Result& base : results) {
+        if (base.workload == r.workload && base.scheduler == "hfsc" &&
+            base.kind == "dual_heap" && base.pkts_per_sec > 0) {
+          std::printf("%-8s governor-at-level-0 overhead vs hfsc/dual_heap: "
+                      "%+.2f%%\n",
+                      r.workload.c_str(),
+                      100.0 * (base.pkts_per_sec - r.pkts_per_sec) /
+                          base.pkts_per_sec);
+        }
+      }
       results.push_back(r);
     }
   }

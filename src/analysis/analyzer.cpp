@@ -258,6 +258,20 @@ void check_ls_shares(Ctx& ctx) {
                    ", exceeding " + where + " (" + fmt_mbps(capacity) +
                    "): the shares are nominal rates and cannot all be "
                    "honoured at once");
+      // Under an oversubscribed parent a leaf cannot count on its
+      // nominal share, so a leaf with no queue limit has no bound on
+      // its backlog at exactly the moment load exceeds service — the
+      // overload case the robustness runtime exists for.
+      for (const std::size_t k : kids) {
+        const ClassSpec& kid = ctx.spec.classes[k];
+        if (ctx.leaf[k] && kid.qlimit == 0) {
+          ctx.diag(Severity::kWarning, "qlimit-unbounded", kid.name,
+                   "leaf has no queue limit under an oversubscribed "
+                   "parent: its backlog is unbounded precisely when the "
+                   "siblings' load exceeds the shared capacity; set a "
+                   "qlimit sized to the expected burst");
+        }
+      }
     }
   }
 

@@ -67,10 +67,16 @@ AuditReport audit(const Hfsc& s) {
       }
     }
 
-    // Queue accounting: packets live only at leaves.
+    // Queue accounting: packets live only at leaves, and the O(1)
+    // per-class byte counter (the governor's enqueue-path signal) must
+    // agree with an independent recount of the ring.
     const std::size_t qlen = queues.queue_len(c);
+    const Bytes recounted = queues.recount_bytes(c);
     queued_packets += qlen;
-    queued_bytes += queues.bytes_in(c);
+    queued_bytes += recounted;
+    if (queues.bytes_in(c) != recounted) {
+      fail(c, "incremental per-class byte counter out of sync with queue");
+    }
     if (qlen > 0 && (c == kRootClass || !n.children.empty())) {
       fail(c, "non-leaf class has queued packets");
     }

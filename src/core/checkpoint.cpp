@@ -65,6 +65,10 @@ ServiceCurve get_sc(std::istream& in, const char* field) {
 }  // namespace
 
 void checkpoint(const Hfsc& s, std::ostream& out) {
+  checkpoint(s, out, std::string_view{});
+}
+
+void checkpoint(const Hfsc& s, std::ostream& out, std::string_view ext) {
   out << "hfsc-checkpoint " << kCheckpointVersion << '\n';
   out << "link " << s.link_rate_ << ' ' << static_cast<int>(s.es_kind_) << ' '
       << static_cast<int>(s.vt_policy_) << '\n';
@@ -78,6 +82,7 @@ void checkpoint(const Hfsc& s, std::ostream& out) {
   out << "admission " << (s.admission_ ? 1 : 0) << ' '
       << (s.admission_ ? s.admission_->link_rate() : 0) << '\n';
   out << "watchdog " << s.starvation_horizon_ << '\n';
+  out << "ext " << ext.size() << '\n' << ext << '\n';
 
   out << "classes " << s.nodes_.size() << '\n';
   for (ClassId c = 0; c < s.nodes_.size(); ++c) {
@@ -114,13 +119,18 @@ void checkpoint(const Hfsc& s, std::ostream& out) {
 }
 
 Hfsc restore_checkpoint(std::istream& in) {
+  return restore_checkpoint(in, nullptr);
+}
+
+Hfsc restore_checkpoint(std::istream& in, std::string* ext) {
   expect(in, "hfsc-checkpoint");
   const int version = num<int>(in, "version");
-  if (version != kCheckpointVersion) {
+  if (version != 1 && version != kCheckpointVersion) {
     bad("unsupported checkpoint version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kCheckpointVersion) +
+        " (this build reads versions 1.." + std::to_string(kCheckpointVersion) +
         ")");
   }
+  if (ext) ext->clear();
 
   expect(in, "link");
   const RateBps link = num<RateBps>(in, "link rate");
@@ -161,6 +171,23 @@ Hfsc restore_checkpoint(std::istream& in) {
   if (adm_on != 0 && adm_on != 1) bad("admission flag must be 0/1");
   expect(in, "watchdog");
   s.starvation_horizon_ = num<TimeNs>(in, "starvation horizon");
+
+  // Version 2: the opaque extension payload, length-prefixed so it may
+  // contain arbitrary bytes (including newlines and checkpoint keywords).
+  if (version >= 2) {
+    expect(in, "ext");
+    const std::size_t ext_len = num<std::size_t>(in, "ext length");
+    constexpr std::size_t kMaxExt = 1u << 26;
+    if (ext_len > kMaxExt) bad("implausible ext payload length");
+    if (in.get() != '\n') bad("malformed ext record header");
+    std::string payload(ext_len, '\0');
+    if (ext_len > 0 && !in.read(payload.data(), static_cast<std::streamsize>(
+                                                    ext_len))) {
+      bad("truncated ext payload");
+    }
+    if (in.get() != '\n') bad("ext payload not newline-terminated");
+    if (ext) *ext = std::move(payload);
+  }
 
   expect(in, "classes");
   const std::size_t n_classes = num<std::size_t>(in, "class count");

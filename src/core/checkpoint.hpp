@@ -19,28 +19,44 @@
 // counter, but the digest must not change.
 //
 // Version policy: the first line is "hfsc-checkpoint <version>".  A reader
-// accepts exactly the versions it knows (currently only version 1);
+// accepts exactly the versions it knows (currently versions 1 and 2);
 // anything else — wrong magic, unknown version, truncation, malformed or
 // internally inconsistent records — throws Error{kBadCheckpoint}.  Any
 // change to the serialized field set bumps kCheckpointVersion.
+//
+// Version 2 adds one record after "watchdog": `ext <nbytes>` followed by
+// exactly nbytes of opaque payload and a newline.  The core scheduler
+// writes an empty payload; the runtime resilience layer
+// (runtime/host.hpp) stores the overload governor's durable state and
+// the journal sequence watermark there, so a runtime snapshot is a core
+// checkpoint that core tools can still read, audit and digest.  Version 1
+// streams (no ext record) restore with an empty payload.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
+#include <string_view>
 
 namespace hfsc {
 
 class Hfsc;
 
-inline constexpr int kCheckpointVersion = 1;
+inline constexpr int kCheckpointVersion = 2;
 
 // Writes the scheduler's state to `out`.  Never modifies the scheduler.
+// `ext` is the opaque extension payload described above (empty for a
+// plain core checkpoint).
 void checkpoint(const Hfsc& sched, std::ostream& out);
+void checkpoint(const Hfsc& sched, std::ostream& out, std::string_view ext);
 
 // Rebuilds a scheduler from a stream produced by checkpoint().  Throws
 // Error{kBadCheckpoint} on any malformed input, including state that
-// fails the invariant auditor after reconstruction.
+// fails the invariant auditor after reconstruction.  When `ext` is
+// non-null it receives the extension payload (empty for version 1
+// streams or core checkpoints).
 Hfsc restore_checkpoint(std::istream& in);
+Hfsc restore_checkpoint(std::istream& in, std::string* ext);
 
 // FNV-1a hash of the checkpoint serialization: equal digests mean equal
 // scheduling state (up to the deliberate exclusions above).  Used by the

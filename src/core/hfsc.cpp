@@ -371,25 +371,23 @@ void Hfsc::enqueue(TimeNs now, Packet pkt) {
   now = clamp_now(now);
   // Data-path hardening: absorb malformed events without throwing (the
   // forwarding plane must survive hostile input; see util/errors.hpp).
+  // Malformed packets are counted ONLY in the rejection taxonomy, never
+  // as per-class drops: `pkts_dropped` means "accepted, then dropped"
+  // (queue limit, push-out, watchdog, delete purge), so that
+  //   offered == sent + dropped + rejected + backlog
+  // holds with no overlap between the buckets.
   if (pkt.cls == 0 || pkt.cls >= nodes_.size() || nodes_[pkt.cls].deleted ||
       !nodes_[pkt.cls].children.empty()) {
     ++counters_.bad_class;
-    if (pkt.cls < nodes_.size() && pkt.cls != 0) {
-      ++nodes_[pkt.cls].pkts_dropped;
-      nodes_[pkt.cls].bytes_dropped += pkt.len;
-    }
     return;
   }
   Node& n = nodes_[pkt.cls];
   if (pkt.len == 0) {
     ++counters_.zero_len;
-    ++n.pkts_dropped;
     return;
   }
   if (pkt.len > max_packet_len_) {
     ++counters_.oversized;
-    ++n.pkts_dropped;
-    n.bytes_dropped += pkt.len;
     return;
   }
   if (n.queue_limit != 0 && queues_.queue_len(pkt.cls) >= n.queue_limit) {
@@ -404,6 +402,22 @@ void Hfsc::enqueue(TimeNs now, Packet pkt) {
   n.starved_flagged = false;
   if (n.has_rt()) update_ed(pkt.cls, now);
   if (n.has_ls()) activate_ls_path(pkt.cls, now);
+}
+
+bool Hfsc::drop_tail(ClassId cls) {
+  if (cls == kRootClass || cls >= nodes_.size() || nodes_[cls].deleted ||
+      !nodes_[cls].children.empty() || !queues_.has(cls)) {
+    return false;
+  }
+  Node& n = nodes_[cls];
+  const Packet p = queues_.pop_back(cls);
+  ++n.pkts_dropped;
+  n.bytes_dropped += p.len;
+  if (!queues_.has(cls)) {
+    if (n.has_rt() && es_contains(cls)) es_erase(cls);
+    if (n.active) set_passive(cls);
+  }
+  return true;
 }
 
 std::optional<Packet> Hfsc::dequeue(TimeNs now) {

@@ -33,6 +33,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/eligible_set.hpp"
@@ -239,6 +240,20 @@ class Hfsc final : public Scheduler {
   void enqueue(TimeNs now, Packet pkt) override;
   std::optional<Packet> dequeue(TimeNs now) override;
 
+  // Push-out buffer management (runtime/governor.hpp): drops the *newest*
+  // queued packet of `cls`, counted against the class like any other
+  // drop.  Data-path semantics — never throws; returns false when `cls`
+  // is not a live backlogged leaf.  The head packet is untouched, so the
+  // cached eligible time and deadline stay valid; when the last packet
+  // goes the leaf leaves the eligible set and the link-sharing tree
+  // exactly as if it had drained.
+  bool drop_tail(ClassId cls);
+
+  // Bytes currently queued for one leaf (O(1); governor thresholds).
+  Bytes queued_bytes(ClassId cls) const noexcept {
+    return queues_.bytes_in(cls);
+  }
+
   void set_max_packet_len(Bytes len) {
     ensure(len > 0, Errc::kInvalidArgument, "max packet length must be > 0");
     max_packet_len_ = len;
@@ -295,6 +310,9 @@ class Hfsc final : public Scheduler {
     return nodes_[cls].pkts_dropped;
   }
   Bytes bytes_dropped(ClassId cls) const { return nodes_[cls].bytes_dropped; }
+  std::size_t queue_limit_of(ClassId cls) const {
+    return nodes_[cls].queue_limit;
+  }
   std::uint64_t rt_selections() const noexcept { return rt_selections_; }
   std::uint64_t ls_selections() const noexcept { return ls_selections_; }
   // Criterion that released the most recent packet.
@@ -484,8 +502,9 @@ class Hfsc final : public Scheduler {
   bool in_txn_apply_ = false;  // suppresses per-op gating during commit
 
   friend AuditReport audit(const Hfsc&);
-  friend void checkpoint(const Hfsc&, std::ostream&);  // core/checkpoint.hpp
-  friend Hfsc restore_checkpoint(std::istream&);
+  // core/checkpoint.hpp
+  friend void checkpoint(const Hfsc&, std::ostream&, std::string_view);
+  friend Hfsc restore_checkpoint(std::istream&, std::string*);
 };
 
 }  // namespace hfsc

@@ -1,0 +1,202 @@
+// RuntimeHost: the overload-resilient runtime around a single Hfsc
+// (docs/ROBUSTNESS.md Sections 9–11).
+//
+// The host composes the three resilience pieces into one object:
+//
+//   * every successful control-plane mutation — direct or a whole
+//     Txn batch — is appended to the write-ahead Journal
+//     (apply-then-journal, see runtime/journal.hpp), so the pair
+//     (checkpoint image, journal image) is always enough to rebuild the
+//     scheduler: recover() = restore the checkpoint, replay the
+//     surviving records past its watermark, verify by audit;
+//   * the OverloadGovernor (runtime/governor.hpp) is sampled on the
+//     data path at a bounded cadence; the actions it plans are executed
+//     here and journaled atomically as one `gov` record (mutations +
+//     post-action governor state), so governor interventions are
+//     crash-recoverable exactly like user mutations;
+//   * crash points (arm_crash / tear_next_append) let the chaos harness
+//     (sim/chaos.hpp) kill the host at every persistence boundary and
+//     prove recovery is digest-identical.
+//
+// Snapshots use checkpoint format v2: the core state plus an ext blob
+// holding the journal watermark and the governor's durable state, so a
+// runtime snapshot is still a plain core checkpoint to core tools.
+//
+// The data path keeps the core's never-throws contract; CrashSignal is
+// the one deliberate exception type and only fires when the harness has
+// armed it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "core/checkpoint.hpp"
+#include "core/hfsc.hpp"
+#include "runtime/governor.hpp"
+#include "runtime/journal.hpp"
+
+namespace hfsc {
+
+// Where a simulated crash can be injected.  Together these cover every
+// ordering of (apply, journal append, checkpoint write, compaction) a
+// real crash could interleave with.
+enum class CrashPoint {
+  kNone,
+  kAfterApply,          // mutation applied, record not yet journaled
+  kAfterJournalAppend,  // record journaled (the op is durable)
+  kBeforeCheckpoint,    // snapshot requested, nothing written yet
+  kAfterCheckpoint,     // snapshot written, journal not yet compacted
+  kAfterCompact,        // snapshot written and journal compacted
+};
+
+inline constexpr CrashPoint kAllCrashPoints[] = {
+    CrashPoint::kAfterApply,      CrashPoint::kAfterJournalAppend,
+    CrashPoint::kBeforeCheckpoint, CrashPoint::kAfterCheckpoint,
+    CrashPoint::kAfterCompact,
+};
+
+const char* to_string(CrashPoint p) noexcept;
+
+// Thrown when an armed crash point is reached.  Deliberately NOT an
+// hfsc::Error: a simulated power cut is not part of the error taxonomy,
+// and nothing below the harness should ever catch it by accident.
+struct CrashSignal {
+  CrashPoint point = CrashPoint::kNone;
+};
+
+struct RuntimeOptions {
+  RateBps link_rate = 0;
+  EligibleSetKind es_kind = EligibleSetKind::kDualHeap;
+  SystemVtPolicy vt_policy = SystemVtPolicy::kMidpoint;
+  bool governor_enabled = true;
+  GovernorConfig governor{};
+  // 0 = admission control off.  This is the governor's "base" rate; at
+  // level 3 it is tightened to base * governor.headroom.
+  RateBps admission_rate = 0;
+  TimeNs watchdog_horizon = 0;  // 0 = watchdog off
+  TimeNs sample_interval = msec(1);
+};
+
+class RuntimeHost {
+ public:
+  explicit RuntimeHost(const RuntimeOptions& opts);
+
+  // --- Journaled control plane ---------------------------------------------
+  // Same contracts as the Hfsc mutators; on success the operation is
+  // additionally appended to the journal.
+  ClassId add_class(ClassId parent, ClassConfig cfg);
+  void change_class(TimeNs now, ClassId cls, ClassConfig cfg);
+  void delete_class(ClassId cls);
+  void set_queue_limit(ClassId cls, std::size_t max_packets);
+
+  struct BatchOp {
+    enum class Kind { kAdd, kChange, kDelete, kQueueLimit };
+    Kind kind = Kind::kAdd;
+    ClassId parent = kRootClass;  // kAdd
+    ClassId cls = kRootClass;     // others (kAdd ignores it)
+    ClassConfig cfg{};            // kAdd / kChange
+    TimeNs now = 0;               // kChange
+    std::size_t limit = 0;        // kQueueLimit
+  };
+  // Applies the batch atomically through Hfsc::Txn and journals it as
+  // one record; throws without journaling if the commit fails.
+  void commit_batch(const std::vector<BatchOp>& ops);
+
+  // --- Data path -----------------------------------------------------------
+  // Wraps the scheduler's data path with the governor's enqueue hook
+  // (level >= 1 push-out on non-rt leaves) and its bounded-cadence
+  // sampling.  Inherits the core's never-throws contract.
+  void enqueue(TimeNs now, Packet pkt);
+  std::optional<Packet> dequeue(TimeNs now);
+
+  // --- Persistence ---------------------------------------------------------
+  // Writes a format-v2 snapshot into checkpoint_image() and compacts
+  // the journal up to the snapshot's watermark.
+  void save_checkpoint();
+  const std::string& checkpoint_image() const noexcept {
+    return checkpoint_image_;
+  }
+  const std::string& journal_image() const noexcept {
+    return journal_.image();
+  }
+  const Journal& journal() const noexcept { return journal_; }
+
+  // Rebuilds a host from the persisted pair.  An empty checkpoint image
+  // means "never checkpointed": recovery starts from a fresh scheduler
+  // built from `opts`.  Throws Error{kBadCheckpoint} / {kBadJournal} on
+  // corrupt inputs (torn journal tails are truncated, not fatal) and
+  // Error{kInvariantViolation} if the replayed state fails the audit.
+  static RuntimeHost recover(const RuntimeOptions& opts,
+                             const std::string& checkpoint_image,
+                             const std::string& journal_image);
+
+  // --- Observability and chaos hooks ---------------------------------------
+  std::uint64_t digest() const { return state_digest(sched_); }
+  // Core invariant audit plus the governor's own invariants (clamped /
+  // quarantined sets are live non-rt leaves; admission headroom state
+  // matches the governor's).
+  AuditReport audit_runtime() const;
+
+  // Arms a one-shot simulated crash at `p`; the next time the host
+  // reaches that point it throws CrashSignal.
+  void arm_crash(CrashPoint p) noexcept { armed_ = p; }
+  // Arms a torn write: the next journal append is chopped `drop_bytes`
+  // short (clamped to that record) and the host crashes immediately —
+  // the only way a real torn tail comes to exist.
+  void tear_next_append(std::size_t drop_bytes) noexcept {
+    tear_bytes_ = drop_bytes;
+  }
+
+  Hfsc& sched() noexcept { return sched_; }
+  const Hfsc& sched() const noexcept { return sched_; }
+  OverloadGovernor& governor() noexcept { return gov_; }
+  const OverloadGovernor& governor() const noexcept { return gov_; }
+  int gov_level() const noexcept { return gov_.level(); }
+  std::vector<GovEvent> drain_events() { return gov_.drain_events(); }
+  const RuntimeOptions& options() const noexcept { return opts_; }
+
+ private:
+  struct RecoverTag {};
+  RuntimeHost(const RuntimeOptions& opts, Hfsc&& restored, RecoverTag);
+
+  void maybe_crash(CrashPoint p) {
+    if (armed_ == p) {
+      armed_ = CrashPoint::kNone;
+      throw CrashSignal{p};
+    }
+  }
+  // Appends `payload`; honors an armed tear (torn append + crash).
+  void journal_append(const std::string& payload);
+  // Runs the governor if the sampling interval elapsed.
+  void maybe_sample(TimeNs now);
+  // Executes a governor plan through direct scheduler mutations and
+  // journals the whole intervention as one `gov` record.
+  void execute(const GovActions& actions, TimeNs now);
+  // Replays one journal payload onto the scheduler (recovery path).
+  void apply_record(const std::string& payload);
+  // True if `cls` is a live leaf carrying an rt curve.
+  bool rt_leaf(ClassId cls) const;
+  std::uint64_t total_drops() const;
+  // Pre-checked admission switch (never leaves admission disabled).
+  bool retune_admission(RateBps rate);
+  RateBps tightened_rate() const noexcept {
+    const double h = opts_.governor.headroom;
+    return static_cast<RateBps>(static_cast<double>(opts_.admission_rate) * h);
+  }
+
+  RuntimeOptions opts_;
+  Hfsc sched_;
+  OverloadGovernor gov_;
+  Journal journal_;
+  std::string checkpoint_image_;
+  std::uint64_t checkpoint_seq_ = 0;  // journal watermark in the snapshot
+  TimeNs next_sample_ = 0;
+  CrashPoint armed_ = CrashPoint::kNone;
+  std::size_t tear_bytes_ = 0;
+  bool replaying_ = false;
+};
+
+}  // namespace hfsc

@@ -50,6 +50,15 @@ class PacketRing {
     return p;
   }
 
+  // Removes the newest packet (push-out buffer management: the overload
+  // governor evicts from the tail so the head — whose length the cached
+  // deadline was computed from — is never disturbed).
+  Packet pop_back() noexcept {
+    assert(count_ > 0);
+    --count_;
+    return buf_[(head_ + count_) & mask()];
+  }
+
   class const_iterator {
    public:
     const_iterator(const PacketRing* r, std::size_t i) noexcept
@@ -96,12 +105,16 @@ class PacketRing {
 class ClassQueues {
  public:
   void ensure(ClassId cls) {
-    if (cls >= q_.size()) q_.resize(cls + 1);
+    if (cls >= q_.size()) {
+      q_.resize(cls + 1);
+      class_bytes_.resize(cls + 1, 0);
+    }
   }
 
   void push(Packet pkt) {
     ensure(pkt.cls);
     bytes_ += pkt.len;
+    class_bytes_[pkt.cls] += pkt.len;
     ++packets_;
     q_[pkt.cls].push_back(pkt);
   }
@@ -119,6 +132,18 @@ class ClassQueues {
     assert(has(cls));
     const Packet p = q_[cls].pop_front();
     bytes_ -= p.len;
+    class_bytes_[cls] -= p.len;
+    --packets_;
+    return p;
+  }
+
+  // Removes and returns the newest packet of a class (push-out; see
+  // PacketRing::pop_back).
+  Packet pop_back(ClassId cls) {
+    assert(has(cls));
+    const Packet p = q_[cls].pop_back();
+    bytes_ -= p.len;
+    class_bytes_[cls] -= p.len;
     --packets_;
     return p;
   }
@@ -127,8 +152,15 @@ class ClassQueues {
     return cls < q_.size() ? q_[cls].size() : 0;
   }
 
-  // Bytes queued for one class (O(queue length); auditing/introspection).
+  // Bytes queued for one class — O(1), maintained incrementally (the
+  // overload governor reads it on the enqueue path).
   Bytes bytes_in(ClassId cls) const noexcept {
+    return cls < class_bytes_.size() ? class_bytes_[cls] : 0;
+  }
+
+  // Independent O(queue length) recount of one class's bytes; the auditor
+  // cross-checks it against the incremental counter.
+  Bytes recount_bytes(ClassId cls) const noexcept {
     Bytes b = 0;
     if (cls < q_.size()) {
       for (const Packet& p : q_[cls]) b += p.len;
@@ -148,6 +180,7 @@ class ClassQueues {
 
  private:
   std::vector<PacketRing> q_;
+  std::vector<Bytes> class_bytes_;  // per-class byte totals, kept in step
   std::size_t packets_ = 0;
   Bytes bytes_ = 0;
 };

@@ -2,16 +2,34 @@
 
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/errors.hpp"
 
 namespace hfsc {
+
+namespace {
+
+// Every parse failure is a typed Error{kBadTrace} locating the damage:
+// the 1-based line number plus the 0-based byte offset of the line's
+// first byte, so a corrupted capture can be seeked-to and inspected.
+[[noreturn]] void bad_trace(std::size_t lineno, std::size_t offset,
+                            const std::string& what) {
+  throw Error(Errc::kBadTrace,
+              "trace line " + std::to_string(lineno) + " (byte offset " +
+                  std::to_string(offset) + "): " + what);
+}
+
+}  // namespace
 
 std::vector<TraceEntry> read_trace(std::istream& in) {
   std::vector<TraceEntry> out;
   std::string line;
   std::size_t lineno = 0;
+  std::size_t offset = 0;  // byte offset of the current line's start
   while (std::getline(in, line)) {
     ++lineno;
+    const std::size_t line_start = offset;
+    offset += line.size() + 1;  // + '\n' eaten by getline
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
@@ -22,21 +40,29 @@ std::vector<TraceEntry> read_trace(std::istream& in) {
       // Blank or comment-only line.
       std::string rest;
       if (!(std::istringstream(line) >> rest)) continue;
-      throw std::runtime_error("trace line " + std::to_string(lineno) +
-                               ": malformed");
+      bad_trace(lineno, line_start, "malformed time field");
     }
-    if (!(ls >> cls >> len) || len == 0) {
-      throw std::runtime_error("trace line " + std::to_string(lineno) +
-                               ": expected <time_ns> <class> <len>");
+    if (!(ls >> cls >> len)) {
+      bad_trace(lineno, line_start, "expected <time_ns> <class> <len>");
+    }
+    if (len == 0) bad_trace(lineno, line_start, "zero-length packet");
+    if (cls == 0) bad_trace(lineno, line_start, "packet for the root class");
+    std::string trailing;
+    if (ls >> trailing) {
+      bad_trace(lineno, line_start,
+                "trailing garbage after <len>: '" + trailing + "'");
     }
     out.push_back(TraceEntry{t, cls, len});
   }
+  if (in.bad()) bad_trace(lineno + 1, offset, "stream read failure");
   return out;
 }
 
 std::vector<TraceEntry> read_trace_file(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  if (!f) {
+    throw Error(Errc::kBadTrace, "cannot open trace file: " + path);
+  }
   return read_trace(f);
 }
 

@@ -42,6 +42,11 @@ enum class Errc {
                         // went stale because the tree mutated outside it
   kBadCheckpoint,       // checkpoint stream is malformed, truncated, or of
                         // an unsupported version
+  kBadJournal,          // operation journal is malformed beyond the
+                        // recoverable torn-tail case (bad magic/version,
+                        // undecodable record, replay divergence)
+  kBadTrace,            // trace file is malformed (typed, with the byte
+                        // offset of the first bad input)
 };
 
 constexpr const char* to_string(Errc c) noexcept {
@@ -57,6 +62,8 @@ constexpr const char* to_string(Errc c) noexcept {
     case Errc::kAdmissionRejected: return "admission rejected";
     case Errc::kTxnInvalid: return "invalid transaction";
     case Errc::kBadCheckpoint: return "bad checkpoint";
+    case Errc::kBadJournal: return "bad journal";
+    case Errc::kBadTrace: return "bad trace";
   }
   return "unknown error";
 }

@@ -191,6 +191,36 @@ TEST(Analysis, RtOnInteriorWarns) {
   EXPECT_EQ(d.loc.line, 3u);
 }
 
+TEST(Analysis, QlimitUnboundedUnderOversubscribedParentWarns) {
+  // Both leaves oversubscribe p; c1 has no qlimit -> unbounded backlog
+  // exactly when the contention bites.  c2's qlimit silences it.
+  const Scenario sc = parse_text(
+      "link 10Mbps\n"
+      "duration 1s\n"
+      "class p root ls linear 5Mbps\n"
+      "class c1 p ls linear 3Mbps\n"
+      "class c2 p ls linear 3Mbps qlimit 64\n");
+  const AnalysisReport r = analyze(sc);
+  const Diagnostic& d = find_diag(r, "qlimit-unbounded");
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.cls, "c1");
+  int unbounded = 0;
+  for (const Diagnostic& di : r.diagnostics) {
+    if (di.id == "qlimit-unbounded") ++unbounded;
+  }
+  EXPECT_EQ(unbounded, 1);  // c2 is capped, p is interior
+
+  // A well-subscribed parent keeps unlimited leaves lint-clean: the
+  // share is honourable, so the backlog is bounded by the sources.
+  const Scenario ok = parse_text(
+      "link 10Mbps\n"
+      "duration 1s\n"
+      "class p root ls linear 6Mbps\n"
+      "class c1 p ls linear 3Mbps\n"
+      "class c2 p ls linear 3Mbps\n");
+  EXPECT_FALSE(has_diag(analyze(ok), "qlimit-unbounded"));
+}
+
 TEST(Analysis, QlimitSmallerThanBurstWarns) {
   // 4 packets x 160 B = 640 B of queue for a 1000 B declared burst.
   const Scenario sc = parse_text(

@@ -194,6 +194,87 @@ TEST(Checkpoint, RejectsCorruptStructure) {
   }
 }
 
+TEST(Checkpoint, AdmissionControlSurvivesRestoreBehaviorally) {
+  // A restored scheduler must not merely report admission as enabled —
+  // its rebuilt bookkeeping must make the SAME admit/reject decisions a
+  // never-checkpointed twin makes from identical state.
+  Hfsc twin(mbps(10));
+  const ClassId org = twin.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(10))));
+  twin.enable_admission_control();
+  twin.add_class(org, ClassConfig::both(ServiceCurve::linear(mbps(6))));
+
+  std::stringstream ss;
+  checkpoint(twin, ss);
+  Hfsc restored = restore_checkpoint(ss);
+  EXPECT_TRUE(restored.admission_enabled());
+  EXPECT_DOUBLE_EQ(restored.admission_utilization(),
+                   twin.admission_utilization());
+
+  // Over capacity (6 + 5 > 10): both must reject with the typed code.
+  const ClassConfig over = ClassConfig::both(ServiceCurve::linear(mbps(5)));
+  for (Hfsc* s : {&twin, &restored}) {
+    try {
+      s->add_class(org, over);
+      FAIL() << "oversubscribing rt flow admitted";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Errc::kAdmissionRejected);
+    }
+  }
+  EXPECT_EQ(restored.admission_rejections(), 1u);
+
+  // Within capacity: both must admit, and the aggregates must agree.
+  const ClassConfig fits = ClassConfig::both(ServiceCurve::linear(mbps(3)));
+  const ClassId t_new = twin.add_class(org, fits);
+  const ClassId r_new = restored.add_class(org, fits);
+  EXPECT_EQ(t_new, r_new);
+  EXPECT_DOUBLE_EQ(restored.admission_utilization(),
+                   twin.admission_utilization());
+  EXPECT_EQ(state_digest(restored), state_digest(twin));
+}
+
+TEST(Checkpoint, StarvationWatchdogSurvivesRestoreBehaviorally) {
+  // Leave a backlogged leaf unserved, checkpoint mid-episode, and let
+  // the horizon expire on both sides: the restored watchdog must flag
+  // the same starved set at the same time as the twin.
+  Hfsc twin(mbps(10));
+  const ClassId a = twin.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(5))));
+  const ClassId b = twin.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(5))));
+  twin.enable_starvation_watchdog(msec(10));
+
+  // Backlog both leaves with zero service: the episode clocks start at
+  // the first enqueue (t=0 for a, t=2ms for b) and keep ticking.
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 4; ++i) {
+    twin.enqueue(0, Packet{a, 500, 0, seq++});
+    twin.enqueue(msec(2), Packet{b, 500, msec(2), seq++});
+  }
+
+  std::stringstream ss;
+  checkpoint(twin, ss);
+  Hfsc restored = restore_checkpoint(ss);
+  EXPECT_EQ(restored.starvation_horizon(), twin.starvation_horizon());
+
+  // Before a's horizon expires neither side flags anything; between the
+  // two horizons both flag exactly {a}; past both, both flag {a, b} —
+  // the episode clocks carried over exactly.
+  for (const TimeNs t : {msec(9), msec(11), msec(13)}) {
+    EXPECT_EQ(twin.starved_classes(t), restored.starved_classes(t)) << t;
+  }
+  ASSERT_EQ(restored.starved_classes(msec(11)).size(), 1u);
+  EXPECT_EQ(restored.starved_classes(msec(11))[0], a);
+  EXPECT_EQ(restored.starved_classes(msec(13)).size(), 2u);
+
+  // Service on both sides clears the same flag identically.
+  (void)twin.dequeue(msec(13));
+  (void)restored.dequeue(msec(13));
+  EXPECT_EQ(twin.starved_classes(msec(13) + usec(1)),
+            restored.starved_classes(msec(13) + usec(1)));
+  EXPECT_EQ(state_digest(restored), state_digest(twin));
+}
+
 TEST(Checkpoint, DigestIgnoresObservabilityCounters) {
   Hfsc s(mbps(10));
   const ClassId org = s.add_class(

@@ -23,7 +23,7 @@ ServiceCurve audio_curve() { return from_udr(160, msec(5), kbps(64)); }
 // See GoldenDigestRegression below; regenerate by printing
 // state_digest() after the fixed drive when a justified semantic change
 // lands.
-constexpr std::uint64_t kGoldenDigest = 0xbe4d904cf438a121;
+constexpr std::uint64_t kGoldenDigest = 0xd842d0542182f937;  // format v2
 
 // The Fig. 1-style hierarchy used throughout: two organizations, an
 // audio leaf with a concave curve, data leaves, an upper-limited leaf.

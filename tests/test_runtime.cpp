@@ -1,0 +1,277 @@
+// Unit tests for the resilience runtime (src/runtime/): the write-ahead
+// journal's parse/torn-tail/compaction behavior, the overload governor's
+// ladder and durable-state round trip, and RuntimeHost crash recovery at
+// every persistence boundary.  The chaos harness (tests/test_chaos.cpp)
+// composes these under randomized adversity; here each property is
+// pinned deterministically.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/governor.hpp"
+#include "runtime/host.hpp"
+#include "runtime/journal.hpp"
+#include "util/errors.hpp"
+
+namespace hfsc {
+namespace {
+
+// --- Journal ---------------------------------------------------------------
+
+TEST(Journal, AppendParseRoundTrip) {
+  Journal j;
+  j.append("add 1 2 3");
+  j.append("chg 2");
+  j.append(std::string("\0binary\xff", 8));  // payloads are opaque bytes
+  const Journal back = Journal::parse(j.image());
+  ASSERT_EQ(back.num_records(), 3u);
+  EXPECT_EQ(back.records_after(0)[0].payload, "add 1 2 3");
+  EXPECT_EQ(back.records_after(0)[2].payload, std::string("\0binary\xff", 8));
+  EXPECT_EQ(back.last_seq(), 3u);
+  EXPECT_EQ(back.truncated_bytes(), 0u);
+}
+
+TEST(Journal, TornTailIsTruncatedNotFatal) {
+  Journal j;
+  j.append("one");
+  j.append("two");
+  j.append("three");
+  for (std::size_t chop = 1; chop < 3 + Journal::kRecordOverhead; ++chop) {
+    std::string img = j.image();
+    img.resize(img.size() - chop);  // tear inside the last record
+    const Journal back = Journal::parse(img);
+    EXPECT_EQ(back.num_records(), 2u) << "chop=" << chop;
+    EXPECT_GT(back.truncated_bytes(), 0u);
+    EXPECT_EQ(back.records_after(0)[1].payload, "two");
+  }
+}
+
+TEST(Journal, InteriorBitFlipTruncatesFromTheDamage) {
+  Journal j;
+  j.append("aaaa");
+  j.append("bbbb");
+  j.append("cccc");
+  std::string img = j.image();
+  // Flip a payload bit of the SECOND record: its checksum fails, and the
+  // scan must keep record one, dropping two and everything after.
+  const std::size_t rec1 = Journal::kHeaderBytes + Journal::kRecordOverhead + 4;
+  img[rec1 + Journal::kRecordOverhead + 1] ^= 0x10;
+  const Journal back = Journal::parse(img);
+  ASSERT_EQ(back.num_records(), 1u);
+  EXPECT_EQ(back.records_after(0)[0].payload, "aaaa");
+  EXPECT_GT(back.truncated_bytes(), 0u);
+}
+
+TEST(Journal, BadMagicOrVersionIsTyped) {
+  Journal j;
+  j.append("x");
+  std::string img = j.image();
+  img[0] = 'X';
+  try {
+    Journal::parse(img);
+    FAIL() << "bad magic parsed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBadJournal);
+  }
+  std::string img2 = j.image();
+  img2[8] = 0x7f;  // absurd version
+  try {
+    Journal::parse(img2);
+    FAIL() << "bad version parsed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBadJournal);
+  }
+  try {
+    Journal::parse("short");
+    FAIL() << "truncated header parsed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBadJournal);
+  }
+}
+
+TEST(Journal, CompactionKeepsSequenceNumbers) {
+  Journal j;
+  for (int i = 0; i < 5; ++i) {
+    std::string payload = "r";
+    payload += std::to_string(i);
+    j.append(payload);
+  }
+  j.compact(3);  // checkpoint covered seqs 1..3
+  EXPECT_EQ(j.num_records(), 2u);
+  const auto rest = j.records_after(3);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].seq, 4u);
+  EXPECT_EQ(rest[1].payload, "r4");
+  // New appends continue the sequence, and the compacted image
+  // round-trips even though it no longer starts at seq 1.
+  j.append("r5");
+  EXPECT_EQ(j.last_seq(), 6u);
+  const Journal back = Journal::parse(j.image());
+  EXPECT_EQ(back.num_records(), 3u);
+  EXPECT_EQ(back.last_seq(), 6u);
+}
+
+// --- Governor durable state ------------------------------------------------
+
+TEST(Governor, SerializeRestoreRoundTrip) {
+  OverloadGovernor g{GovernorConfig{}};
+  const std::string blob = g.serialize();
+  OverloadGovernor back{GovernorConfig{}};
+  back.restore(blob);
+  EXPECT_EQ(back.level(), 0);
+  EXPECT_EQ(back.serialize(), blob);
+}
+
+TEST(Governor, RestoreRejectsGarbage) {
+  OverloadGovernor g{GovernorConfig{}};
+  for (const char* bad :
+       {"", "gov-state 2\n", "gov-state 1\nlevel 9 0\n",
+        "gov-state 1\nlevel 1 0\nclamped zzz\n"}) {
+    try {
+      g.restore(bad);
+      FAIL() << "restored from: " << bad;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Errc::kBadCheckpoint);
+    }
+  }
+}
+
+// --- RuntimeHost recovery --------------------------------------------------
+
+RuntimeOptions small_opts() {
+  RuntimeOptions o;
+  o.link_rate = mbps(10);
+  o.admission_rate = mbps(10);
+  o.watchdog_horizon = msec(50);
+  return o;
+}
+
+// A few journaled mutations plus traffic; returns the host for probing.
+RuntimeHost busy_host() {
+  RuntimeHost h(small_opts());
+  const ClassId org = h.add_class(
+      kRootClass, ClassConfig::link_share_only(ServiceCurve::linear(mbps(8))));
+  const ClassId rt = h.add_class(
+      kRootClass, ClassConfig::both(ServiceCurve::linear(mbps(2))));
+  std::vector<RuntimeHost::BatchOp> batch;
+  for (int i = 0; i < 3; ++i) {
+    RuntimeHost::BatchOp op;
+    op.kind = RuntimeHost::BatchOp::Kind::kAdd;
+    op.parent = org;
+    op.cfg = ClassConfig::link_share_only(ServiceCurve::linear(mbps(2)));
+    batch.push_back(op);
+  }
+  h.commit_batch(batch);
+  h.set_queue_limit(org + 1, 32);
+  TimeNs now = usec(1);
+  std::uint64_t seq = 1;
+  for (int i = 0; i < 50; ++i) {
+    h.enqueue(now, Packet{rt, 200, now, seq++});
+    h.enqueue(now, Packet{org + 1 + static_cast<ClassId>(i % 3), 1200, now,
+                          seq++});
+    if (i % 2 == 0) (void)h.dequeue(now);
+    now += usec(100);
+  }
+  return h;
+}
+
+TEST(RuntimeHost, RecoverFromJournalAloneMatchesLive) {
+  RuntimeHost live = busy_host();
+  // Never checkpointed: recovery replays the full journal from scratch.
+  RuntimeHost back = RuntimeHost::recover(small_opts(), "", live.journal_image());
+  // Control-plane state converges exactly; the (unjournaled) data path
+  // does not travel, so compare structure via the audit + class configs.
+  EXPECT_TRUE(back.audit_runtime().ok());
+  EXPECT_EQ(back.sched().num_classes(), live.sched().num_classes());
+  for (ClassId c = 1; c < live.sched().num_classes(); ++c) {
+    EXPECT_EQ(back.sched().is_deleted(c), live.sched().is_deleted(c));
+    if (live.sched().is_deleted(c)) continue;
+    EXPECT_EQ(back.sched().queue_limit_of(c), live.sched().queue_limit_of(c));
+  }
+}
+
+TEST(RuntimeHost, RecoverFromCheckpointPlusTailMatchesDigest) {
+  RuntimeHost live = busy_host();
+  live.save_checkpoint();
+  // Post-checkpoint control-plane tail — exactly what replay must redo.
+  live.set_queue_limit(1, 64);
+  live.change_class(msec(100), 2,
+                    ClassConfig::both(ServiceCurve::linear(mbps(1))));
+  RuntimeHost back = RuntimeHost::recover(small_opts(), live.checkpoint_image(),
+                                          live.journal_image());
+  EXPECT_EQ(back.digest(), live.digest());
+  EXPECT_TRUE(back.audit_runtime().ok());
+  EXPECT_EQ(back.governor().serialize(), live.governor().serialize());
+}
+
+TEST(RuntimeHost, EveryCrashPointRecoversClean) {
+  for (const CrashPoint p : kAllCrashPoints) {
+    RuntimeHost live = busy_host();
+    live.save_checkpoint();
+    live.arm_crash(p);
+    bool crashed = false;
+    try {
+      // An op that crosses every boundary: a mutation for the journal
+      // points, a snapshot for the checkpoint points.
+      if (p == CrashPoint::kBeforeCheckpoint ||
+          p == CrashPoint::kAfterCheckpoint || p == CrashPoint::kAfterCompact) {
+        live.set_queue_limit(1, 16);
+        live.save_checkpoint();
+      } else {
+        live.set_queue_limit(1, 16);
+      }
+    } catch (const CrashSignal& s) {
+      crashed = true;
+      EXPECT_EQ(s.point, p);
+    }
+    ASSERT_TRUE(crashed) << to_string(p);
+    RuntimeHost back = RuntimeHost::recover(
+        small_opts(), live.checkpoint_image(), live.journal_image());
+    EXPECT_TRUE(back.audit_runtime().ok()) << to_string(p);
+    // Recovery is deterministic: a second independent recovery agrees.
+    RuntimeHost back2 = RuntimeHost::recover(
+        small_opts(), live.checkpoint_image(), live.journal_image());
+    EXPECT_EQ(back.digest(), back2.digest()) << to_string(p);
+  }
+}
+
+TEST(RuntimeHost, TornAppendLosesOnlyTheTornRecord) {
+  RuntimeHost live = busy_host();
+  live.save_checkpoint();
+  live.set_queue_limit(1, 64);  // survives: appended whole
+  live.tear_next_append(4);
+  bool crashed = false;
+  try {
+    live.set_queue_limit(1, 7);  // torn: must NOT survive
+  } catch (const CrashSignal&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  RuntimeHost back = RuntimeHost::recover(small_opts(), live.checkpoint_image(),
+                                          live.journal_image());
+  EXPECT_EQ(back.sched().queue_limit_of(1), 64u);
+  EXPECT_TRUE(back.audit_runtime().ok());
+}
+
+TEST(RuntimeHost, CorruptImagesRaiseTypedErrors) {
+  RuntimeHost live = busy_host();
+  live.save_checkpoint();
+  std::string bad_cp = live.checkpoint_image();
+  bad_cp[0] = 'X';
+  try {
+    RuntimeHost::recover(small_opts(), bad_cp, live.journal_image());
+    FAIL() << "corrupt checkpoint recovered";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBadCheckpoint);
+  }
+  try {
+    RuntimeHost::recover(small_opts(), live.checkpoint_image(), "garbage!");
+    FAIL() << "corrupt journal recovered";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBadJournal);
+  }
+}
+
+}  // namespace
+}  // namespace hfsc

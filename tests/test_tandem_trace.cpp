@@ -8,6 +8,7 @@
 #include "sim/simulator.hpp"
 #include "sim/tandem.hpp"
 #include "sim/trace_io.hpp"
+#include "util/errors.hpp"
 
 namespace hfsc {
 namespace {
@@ -82,6 +83,68 @@ TEST(TraceIo, RejectsMalformedLines) {
   EXPECT_THROW(read_trace(ss2), std::runtime_error);
   std::stringstream ss3("100 1 0\n");  // zero length
   EXPECT_THROW(read_trace(ss3), std::runtime_error);
+  std::stringstream ss4("100 0 64\n");  // root class
+  EXPECT_THROW(read_trace(ss4), std::runtime_error);
+  std::stringstream ss5("100 1 64 junk\n");  // trailing garbage
+  EXPECT_THROW(read_trace(ss5), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedLineRaisesTypedErrorWithByteOffset) {
+  // Two good lines (offsets 0 and 9), then a corrupt third line whose
+  // first byte sits at offset 18: the error must be the typed kBadTrace
+  // and name both the line and that byte offset.
+  std::stringstream ss("100 1 64\n200 2 32\n300 1 x4\n");
+  try {
+    read_trace(ss);
+    FAIL() << "corrupt trace parsed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBadTrace);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("byte offset 18"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, MissingFileRaisesTypedError) {
+  try {
+    read_trace_file("/nonexistent/trace.txt");
+    FAIL() << "missing file opened";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBadTrace);
+  }
+}
+
+TEST(TraceIo, BitFlipFixturesNeverEscapeTheErrorTaxonomy) {
+  // Flip every bit of every byte of a healthy capture.  Each corrupted
+  // image must either still parse (a digit flipped to another digit) or
+  // raise exactly Error{kBadTrace} — never a crash, never any other
+  // exception type.
+  const std::string fixture =
+      "# captured workload\n"
+      "100 1 64\n"
+      "250 2 1500\n"
+      "\n"
+      "999 3 40\n";
+  int parsed = 0, rejected = 0;
+  for (std::size_t i = 0; i < fixture.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = fixture;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      std::stringstream ss(flipped);
+      try {
+        (void)read_trace(ss);
+        ++parsed;
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Errc::kBadTrace);
+        ++rejected;
+      }
+      // Anything else propagates and fails the test.
+    }
+  }
+  // The sweep must have exercised both outcomes.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
 }
 
 TEST(TraceIo, RecorderCapturesReplayReproduces) {

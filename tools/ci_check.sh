@@ -12,6 +12,13 @@
 #   $ tools/ci_check.sh sanitize   # just the sanitizer config
 #   $ tools/ci_check.sh tidy      # just the clang-tidy stage
 #
+# The sanitizer config re-runs the chaos/soak harness gate (ctest label
+# "chaos": kill-and-recover at every journal/checkpoint boundary, the
+# degradation-ladder overload proof, corrupt-image probes) explicitly
+# under ASan+UBSan, so every recovery path is memory- and UB-clean.  The
+# long soak (ctest label "soak") is opt-in:
+#   $ HFSC_SOAK=1 tools/ci_check.sh sanitize     # adds the 60 s soak
+#
 # The randomized long-running suites carry the ctest label "fuzz"
 # (tests/CMakeLists.txt); exclude them for a quick local gate with
 #   $ CTEST_ARGS="-LE fuzz" tools/ci_check.sh release
@@ -87,6 +94,14 @@ case "${what}" in
     run_config "ASan+UBSan" "${repo}/build-ci-sanitize" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHFSC_WERROR=ON \
       "-DHFSC_SANITIZE=address;undefined"
+    echo "=== ASan+UBSan: chaos/recovery gate ==="
+    ctest --test-dir "${repo}/build-ci-sanitize" --output-on-failure \
+      -L chaos
+    if [ "${HFSC_SOAK:-0}" = "1" ]; then
+      echo "=== ASan+UBSan: soak (HFSC_SOAK=1) ==="
+      ctest --test-dir "${repo}/build-ci-sanitize" --output-on-failure \
+        -L soak --timeout 300
+    fi
     ;;&
   tidy|all)
     run_tidy

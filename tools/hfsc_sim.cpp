@@ -42,6 +42,7 @@
 #include "core/auditor.hpp"
 #include "core/checkpoint.hpp"
 #include "core/hfsc.hpp"
+#include "sim/chaos.hpp"
 #include "sim/scenario.hpp"
 #include "util/errors.hpp"
 
@@ -53,9 +54,10 @@ int usage(const char* argv0) {
                "[--scheduler=KIND] <scenario-file>\n"
                "       %s --compare=KIND[,KIND...] <scenario-file>\n"
                "       %s --analyze <scenario-file>\n"
-               "       %s --restore=FILE\n"
+               "       %s --restore=FILE [--scheduler=KIND]\n"
+               "       %s --chaos[=EPISODES] [--seed=N] [--soak[=SECONDS]]\n"
                "KIND: hfsc | hpfq | cbq | drr | sced | vclock | fifo\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -80,7 +82,19 @@ bool parse_kinds(const char* list, std::vector<hfsc::SchedulerKind>* out) {
   return !out->empty();
 }
 
-int restore_summary(const std::string& file) {
+int restore_summary(const std::string& file,
+                    std::optional<hfsc::SchedulerKind> scheduler) {
+  // Checkpoints are scheduler-specific: the format serializes H-FSC
+  // runtime-curve state that no other family can rehydrate.  Asking for
+  // another family is a typed error, not a silent fallback; a
+  // format-version mismatch surfaces as Error{kBadCheckpoint} from
+  // restore_checkpoint with the offending version in the message.
+  if (scheduler && *scheduler != hfsc::SchedulerKind::kHfsc) {
+    throw hfsc::Error(hfsc::Errc::kInvalidArgument,
+                      "checkpoint files hold H-FSC state; they cannot be "
+                      "restored into scheduler kind '" +
+                          std::string(hfsc::to_string(*scheduler)) + "'");
+  }
   std::ifstream in(file);
   if (!in) {
     std::fprintf(stderr, "error: cannot open checkpoint: %s\n", file.c_str());
@@ -111,6 +125,8 @@ int main(int argc, char** argv) {
   std::size_t audit_every = 0;
   bool admission = false;
   bool analyze = false;
+  bool chaos = false;
+  hfsc::ChaosConfig chaos_cfg;
   std::string checkpoint_path;
   std::string restore_path;
   std::optional<hfsc::SchedulerKind> scheduler;
@@ -132,6 +148,36 @@ int main(int argc, char** argv) {
       admission = true;
     } else if (std::strcmp(arg, "--analyze") == 0) {
       analyze = true;
+    } else if (std::strcmp(arg, "--chaos") == 0) {
+      chaos = true;
+    } else if (std::strncmp(arg, "--chaos=", 8) == 0) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(arg + 8, &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "error: --chaos needs a positive integer\n");
+        return 2;
+      }
+      chaos = true;
+      chaos_cfg.episodes = static_cast<int>(n);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(arg + 7, &end, 0);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "error: --seed needs an integer\n");
+        return 2;
+      }
+      chaos_cfg.seed = static_cast<std::uint64_t>(n);
+    } else if (std::strcmp(arg, "--soak") == 0) {
+      chaos_cfg.soak = true;
+    } else if (std::strncmp(arg, "--soak=", 7) == 0) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(arg + 7, &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "error: --soak needs a positive integer\n");
+        return 2;
+      }
+      chaos_cfg.soak = true;
+      chaos_cfg.soak_seconds = static_cast<int>(n);
     } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
       checkpoint_path = arg + 13;
       if (checkpoint_path.empty()) return usage(argv[0]);
@@ -156,12 +202,22 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (!restore_path.empty()) {
-      if (path != nullptr || admission || audit_every != 0 ||
-          !checkpoint_path.empty()) {
+    if (chaos || chaos_cfg.soak) {
+      if (path != nullptr || admission || analyze || audit_every != 0 ||
+          !checkpoint_path.empty() || !restore_path.empty() || scheduler ||
+          !compare.empty()) {
         return usage(argv[0]);
       }
-      return restore_summary(restore_path);
+      const hfsc::ChaosReport report = hfsc::run_chaos(chaos_cfg);
+      std::printf("%s", report.to_string().c_str());
+      return report.ok() ? 0 : 1;
+    }
+    if (!restore_path.empty()) {
+      if (path != nullptr || admission || audit_every != 0 ||
+          !checkpoint_path.empty() || !compare.empty()) {
+        return usage(argv[0]);
+      }
+      return restore_summary(restore_path, scheduler);
     }
     if (path == nullptr) return usage(argv[0]);
     if (analyze) {
