@@ -40,11 +40,13 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "config/hierarchy_spec.hpp"
 #include "core/hfsc.hpp"
 #include "runtime/host.hpp"
+#include "runtime/supervisor.hpp"
 
 namespace hfsc {
 namespace {
@@ -119,6 +121,7 @@ struct Result {
   std::string workload;
   std::string scheduler = "hfsc";
   std::string kind;  // eligible-set kind; "-" for non-H-FSC rows
+  int shards = 1;    // > 1 only for the supervised sharded-runtime rows
   std::uint64_t packets = 0;
   std::uint64_t wall_ns = 0;
   double pkts_per_sec = 0.0;
@@ -290,6 +293,88 @@ Result run_one_runtime(const Workload& w, std::uint64_t packets,
   return res;
 }
 
+// The supervised sharded runtime (runtime/supervisor.hpp) on wide1000:
+// the 1000 top-level leaves hash-partition across N shards, each shard a
+// full RuntimeHost (+ heartbeat supervision) driven by its own worker
+// thread in steady-state refill mode (checkpointing off, frontier gate
+// off — pure hot-path).  The figure is total dequeues across shards over
+// wall time, measured from the workers' cumulative sent counters.  On a
+// single-core machine the grid records the isolation tax (threads +
+// supervision vs the in-process runtime row), not a speedup.
+Result run_one_sharded(const HierarchySpec& spec, int shards,
+                       std::uint64_t packets) {
+  ShardedOptions so;
+  so.shards = shards;
+  RuntimeOptions& o = so.shard.runtime;
+  o.link_rate = kLink;
+  o.es_kind = EligibleSetKind::kDualHeap;
+  // Same idle-governor thresholds as run_one_runtime: the constant
+  // multi-megabyte backlog must read as steady state, not overload.
+  o.governor.enter_backlog[0] = 64 * 1024 * 1024;
+  o.governor.enter_backlog[1] = 128 * 1024 * 1024;
+  o.governor.enter_backlog[2] = 256 * 1024 * 1024;
+  o.governor.exit_backlog[0] = 32 * 1024 * 1024;
+  o.governor.exit_backlog[1] = 64 * 1024 * 1024;
+  o.governor.exit_backlog[2] = 128 * 1024 * 1024;
+  o.governor.class_threshold = 16 * 1024 * 1024;
+  so.shard.ring_capacity = 64;
+  so.shard.checkpoint_every_pops = 0;  // never: hot path only
+  so.shard.serve_burst = 64;
+  so.shard.refill = true;
+  ShardedRuntime rt(so, spec);
+
+  // Pre-seed the per-leaf backlog directly into each shard's host (the
+  // workers have not started; construction-time access is legal).
+  std::uint64_t seq = 0;
+  for (const auto& c : spec.classes) {
+    const ClassId gid = rt.global_id(c.name);
+    Shard& sh = rt.shard(rt.shard_of(gid));
+    for (int r = 0; r < kBacklogPerLeaf; ++r) {
+      sh.host().enqueue(0, Packet{rt.local_id(gid), kPktLen, 0, seq++});
+    }
+  }
+  rt.start();
+
+  auto total_sent = [&rt, shards] {
+    std::uint64_t t = 0;
+    for (int s = 0; s < shards; ++s) t += rt.shard(s).sent_total();
+    return t;
+  };
+  const std::uint64_t warm = std::min<std::uint64_t>(packets / 10, 100'000);
+  while (total_sent() < warm) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const std::uint64_t s0 = total_sent();
+  const std::uint64_t t0 = now_ns();
+  while (total_sent() < s0 + packets) {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  const std::uint64_t wall = now_ns() - t0;
+  const std::uint64_t served = total_sent() - s0;
+  rt.stop();
+  for (int s = 0; s < shards; ++s) {
+    if (rt.shard(s).dead() || rt.shard(s).restarts() != 0) {
+      std::fprintf(stderr,
+                   "FATAL: sharded/%d shard %d died or restarted during a "
+                   "steady-state bench\n",
+                   shards, s);
+      std::exit(1);
+    }
+  }
+
+  Result res;
+  res.workload = "wide1000";
+  res.scheduler = "sharded";
+  res.kind = kind_name(EligibleSetKind::kDualHeap);
+  res.shards = shards;
+  res.packets = served;
+  res.wall_ns = wall;
+  res.pkts_per_sec = wall == 0 ? 0.0
+                               : 1e9 * static_cast<double>(served) /
+                                     static_cast<double>(wall);
+  return res;  // per-dequeue latency is in-thread; no samples from here
+}
+
 // The same hierarchies as build_wide/build_deep, as a HierarchySpec the
 // comparison families compile from.
 HierarchySpec spec_wide() {
@@ -404,7 +489,7 @@ void write_json(const std::vector<Result>& results, std::uint64_t packets,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"bench_throughput\",\n");
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f, "  \"link_rate_bps\": %llu,\n",
                static_cast<unsigned long long>(kLink));
   std::fprintf(f, "  \"packet_len\": %llu,\n",
@@ -418,11 +503,11 @@ void write_json(const std::vector<Result>& results, std::uint64_t packets,
     std::fprintf(
         f,
         "    {\"workload\": \"%s\", \"scheduler\": \"%s\", "
-        "\"eligible_set\": \"%s\", "
+        "\"eligible_set\": \"%s\", \"shards\": %d, "
         "\"packets\": %llu, \"wall_ns\": %llu, \"pkts_per_sec\": %.0f, "
         "\"lat_samples\": %llu, \"ns_per_dequeue_mean\": %.1f, "
         "\"ns_per_dequeue_p50\": %llu, \"ns_per_dequeue_p99\": %llu}%s\n",
-        r.workload.c_str(), r.scheduler.c_str(), r.kind.c_str(),
+        r.workload.c_str(), r.scheduler.c_str(), r.kind.c_str(), r.shards,
         static_cast<unsigned long long>(r.packets),
         static_cast<unsigned long long>(r.wall_ns), r.pkts_per_sec,
         static_cast<unsigned long long>(r.lat_samples), r.ns_mean,
@@ -521,6 +606,19 @@ int main(int argc, char** argv) {
                           base.pkts_per_sec);
         }
       }
+      results.push_back(r);
+    }
+  }
+  // Supervised sharded-runtime rows: wide1000 hash-partitioned across
+  // 1/2/4/8 shards, steady-state refill under live heartbeat
+  // supervision (runtime/supervisor.hpp).
+  if (only_kind.empty() &&
+      (only_workload.empty() || only_workload == "wide1000")) {
+    const HierarchySpec wide = spec_wide();
+    for (const int n : {1, 2, 4, 8}) {
+      const Result r = run_one_sharded(wide, n, packets);
+      std::printf("%-8s sharded x%d dual_heap  %10.0f pkts/s\n",
+                  r.workload.c_str(), r.shards, r.pkts_per_sec);
       results.push_back(r);
     }
   }

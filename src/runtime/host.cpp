@@ -303,16 +303,23 @@ void RuntimeHost::execute(const GovActions& actions, TimeNs now) {
 
 void RuntimeHost::journal_append(const std::string& payload) {
   journal_.append(payload);
+  // An armed tear models a crash DURING this append: the write is
+  // chopped and the sync below never happens, so the record is outside
+  // the durable prefix whatever the policy.
   if (tear_bytes_ > 0) {
     const std::size_t n = tear_bytes_;
     tear_bytes_ = 0;
     journal_.tear_tail(n);
     throw CrashSignal{CrashPoint::kAfterJournalAppend};
   }
+  if (opts_.sync_policy == SyncPolicy::kOnCommit) journal_.sync();
 }
 
 void RuntimeHost::save_checkpoint() {
   maybe_crash(CrashPoint::kBeforeCheckpoint);
+  // A snapshot must never reference journal state weaker than itself:
+  // flush the WAL before writing the checkpoint, whatever the policy.
+  journal_.sync();
   std::ostringstream os;
   const std::string ext = "jseq " + std::to_string(journal_.last_seq()) +
                           '\n' + gov_.serialize();

@@ -78,6 +78,11 @@ struct RuntimeOptions {
   RateBps admission_rate = 0;
   TimeNs watchdog_horizon = 0;  // 0 = watchdog off
   TimeNs sample_interval = msec(1);
+  // Journal durability (runtime/journal.hpp).  kOnCommit bounds a
+  // crash's journal loss to the one append in flight; kNone leaves the
+  // whole post-checkpoint tail at the mercy of the "OS" and exists to
+  // make that gap observable in tests.
+  SyncPolicy sync_policy = SyncPolicy::kOnCommit;
 };
 
 class RuntimeHost {
@@ -121,6 +126,11 @@ class RuntimeHost {
   }
   const std::string& journal_image() const noexcept {
     return journal_.image();
+  }
+  // The journal prefix a crash is guaranteed to preserve under the
+  // host's SyncPolicy — what honest crash recovery must be fed.
+  std::string durable_journal_image() const {
+    return std::string(journal_.durable_image());
   }
   const Journal& journal() const noexcept { return journal_; }
 

@@ -31,9 +31,18 @@ T get(const char* p) {
 
 }  // namespace
 
+const char* to_string(SyncPolicy p) noexcept {
+  switch (p) {
+    case SyncPolicy::kNone: return "none";
+    case SyncPolicy::kOnCommit: return "on-commit";
+  }
+  return "?";
+}
+
 Journal::Journal() {
   image_.append(kMagic, sizeof(kMagic));
   put<std::uint32_t>(image_, kVersion);
+  synced_bytes_ = image_.size();  // creating the file syncs its header
 }
 
 Journal Journal::parse(std::string_view image) {
@@ -76,6 +85,7 @@ Journal Journal::parse(std::string_view image) {
   }
   j.truncated_bytes_ = image.size() - off;
   j.image_.assign(image.data(), off);
+  j.synced_bytes_ = j.image_.size();  // it was read back, so it is on disk
   return j;
 }
 
@@ -105,14 +115,23 @@ void Journal::compact(std::uint64_t up_to) {
     image_.append(r.payload);
   }
   // next_seq_ is unchanged: compaction forgets history, not time.
+  // Compaction models write-new-file + fsync + rename: atomic, and the
+  // replacement image is durable the moment it exists.
+  synced_bytes_ = image_.size();
 }
 
 void Journal::tear_tail(std::size_t n) {
   if (records_.empty() || n == 0) return;
-  const std::size_t last_size =
-      kRecordOverhead + records_.back().payload.size();
+  std::size_t last_size = kRecordOverhead + records_.back().payload.size();
+  // A synced record cannot be torn — the fsync already returned.  Only
+  // the unsynced suffix of the newest record is at risk.
+  if (image_.size() - last_size < synced_bytes_) {
+    last_size = image_.size() - synced_bytes_;
+  }
+  if (last_size == 0) return;
   if (n > last_size) n = last_size;
   image_.resize(image_.size() - n);
+  if (image_.size() <= synced_bytes_) synced_bytes_ = image_.size();
   next_seq_ = records_.back().seq;  // the torn record never happened
   records_.pop_back();
 }

@@ -26,6 +26,20 @@
 // append (bad magic, unknown version) means the caller handed us
 // something that was never this journal, and raises Error{kBadJournal} —
 // never a crash, never a partial object.
+//
+// Durability (the fsync boundary): append() only extends the in-memory
+// image — on a real filesystem nothing is guaranteed on disk until an
+// fsync returns.  sync() models that call: it advances the durable
+// watermark to the current image size, and durable_image() is the
+// prefix a crash is guaranteed to leave behind (plus, possibly, an
+// arbitrary prefix of the unsynced tail, which the parse() scan
+// truncates).  SyncPolicy says who calls sync(): kNone never does (a
+// crash can lose every record since the last checkpoint — deliberately
+// observable), kOnCommit syncs after every completed append (a crash
+// loses at most the append that was still in flight).  The RuntimeHost
+// always syncs as part of save_checkpoint(), whatever the policy: a
+// checkpoint that references journal state weaker than itself would be
+// unrecoverable.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +55,14 @@ struct JournalRecord {
   std::uint64_t seq = 0;
   std::string payload;
 };
+
+// Who is responsible for calling Journal::sync() (RuntimeOptions).
+enum class SyncPolicy {
+  kNone,      // never flushed; a crash keeps only checkpoint-synced bytes
+  kOnCommit,  // synced after every completed append
+};
+
+const char* to_string(SyncPolicy p) noexcept;
 
 class Journal {
  public:
@@ -67,7 +89,19 @@ class Journal {
   // bytes off the image's tail, clamped to the newest record so earlier
   // records stay intact.  The newest record is dropped from the record
   // list — exactly what parse() of the torn image will reconstruct.
+  // Bytes a completed sync() promised are never torn: a tear stops at
+  // the durable watermark.
   void tear_tail(std::size_t n);
+
+  // Marks everything appended so far as durable (the fsync returned).
+  void sync() noexcept { synced_bytes_ = image_.size(); }
+  std::size_t synced_bytes() const noexcept { return synced_bytes_; }
+  // The image prefix a crash is guaranteed to preserve.  Recovery from
+  // this view is the honest simulation of a machine crash; recovery
+  // from image() additionally assumes the OS wrote the (unsynced) tail.
+  std::string_view durable_image() const noexcept {
+    return std::string_view(image_).substr(0, synced_bytes_);
+  }
 
   const std::string& image() const noexcept { return image_; }
   std::size_t num_records() const noexcept { return records_.size(); }
@@ -89,6 +123,12 @@ class Journal {
   std::string image_;
   std::uint64_t next_seq_ = 1;
   std::size_t truncated_bytes_ = 0;
+  // Durable watermark.  A fresh journal's header counts as synced (the
+  // file exists); parse() marks the whole surviving image synced (it
+  // was read back, so it is on "disk" by construction).  compact()
+  // models the rewrite-and-rename idiom and leaves the new image fully
+  // synced.
+  std::size_t synced_bytes_ = 0;
 };
 
 }  // namespace hfsc

@@ -1,0 +1,219 @@
+// ShardedRuntime: N supervised shards behind one enqueue front door
+// (docs/ROBUSTNESS.md Section 12).
+//
+// The runtime partitions a HierarchySpec across N Shards — each a full
+// Hfsc + Journal + OverloadGovernor with its own worker thread — and
+// routes enqueues by global class id through each shard's lock-free
+// MPSC ring.  The partition unit is the top-level subtree: a class
+// belongs to the shard of its top-level ancestor, which is pinned by
+// the spec's explicit `shard` attribute or hashed from the ancestor's
+// name.  Cross-subtree link-sharing obviously cannot span shards; what
+// a shard guarantees is exactly what its own hierarchy guarantees at
+// its own (per-shard) link rate.
+//
+// The Supervisor thread drives the per-shard fault-isolation state
+// machine:
+//
+//     kRunning --missed heartbeats--> kSuspect --more--> restart
+//     kRunning --dead flag (crash)------------------------> restart
+//     restart = kQuarantined (divert producers to the bounded spill
+//               buffer, join the worker, drain its ring into the
+//               spill) -> recover twice from (checkpoint image,
+//               durable journal image), compare digests -> reconcile
+//               the crash-loss residual -> re-inject the spill ->
+//               kRunning (fresh worker)
+//     recovery itself throwing --> kFailed (terminal; the harness
+//               asserts it never happens)
+//
+// A stalled-but-alive shard is treated like a wedged process: it is
+// killed and restarted from its persisted state, and whatever its
+// in-memory host had not persisted is charged to crash_lost — the
+// accounting makes watchdog kills honest instead of pretending a hung
+// shard lost nothing.
+//
+// Conservation identity (checked by sim/chaos_sharded.cpp, exact at
+// any quiesced moment, summed over shards):
+//
+//     presented == sent + dropped + rejected + backlog + spilled
+//
+// where dropped includes crash_lost (a crash is a drop, not an
+// accounting hole), rejected = host data-path rejections + ring
+// backpressure + spill overflow, and backlog = host backlog + in-ring.
+// The per-shard residual is reconciled at each restart as
+// popped + injected − (recovered host's sent+dropped+rejected+backlog),
+// which must never be negative: a crash never invents packets.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/hierarchy_spec.hpp"
+#include "runtime/shard.hpp"
+
+namespace hfsc {
+
+enum class ShardPhase { kRunning, kSuspect, kQuarantined, kFailed };
+
+const char* to_string(ShardPhase p) noexcept;
+
+struct SupervisorEvent {
+  enum class Kind {
+    kStallSuspected,
+    kStallConfirmed,
+    kCrashDetected,
+    kQuarantined,
+    kRecovered,
+    kRestarted,
+    kRecoveryFailed,
+    kSupervisorStarted,
+    kSupervisorStopped,
+  };
+  Kind kind{};
+  int shard = -1;
+  ShardDeathPoint death = ShardDeathPoint::kNone;
+  std::uint64_t spilled = 0;     // ring entries drained at quarantine
+  std::uint64_t crash_lost = 0;  // cumulative residual after reconcile
+  bool digest_match = false;     // double-recovery determinism probe
+  std::string detail;
+};
+
+const char* to_string(SupervisorEvent::Kind k) noexcept;
+
+struct ShardedOptions {
+  int shards = 1;
+  ShardConfig shard{};  // per-shard template (link rate is per shard)
+  std::size_t spill_capacity = 4096;
+  // Supervisor cadence.  The stall thresholds are deliberately generous
+  // (whole milliseconds of silence) so OS scheduling jitter on a small
+  // machine can never masquerade as a wedged worker: a descheduled
+  // worker beats again the moment it runs, resetting the miss counter.
+  std::chrono::microseconds poll_every{1000};
+  int suspect_after_polls = 25;
+  int restart_after_polls = 100;
+  bool run_supervisor = true;
+};
+
+class ShardedRuntime {
+ public:
+  ShardedRuntime(const ShardedOptions& opts, const HierarchySpec& spec);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  // Shard index per spec class (declaration order), resolved from the
+  // top-level ancestor's explicit `shard` pin or name hash.  Throws
+  // Error{kInvalidArgument} on an out-of-range or non-top-level pin.
+  static std::vector<int> partition(const HierarchySpec& spec, int shards);
+
+  // --- Lifecycle -------------------------------------------------------------
+  void start();  // worker threads, plus the supervisor per options
+  void stop();   // supervisor first, then the workers; idempotent
+
+  void start_supervisor();
+  void stop_supervisor();
+  bool supervisor_running() const noexcept {
+    return supervisor_.joinable();
+  }
+
+  // --- Topology --------------------------------------------------------------
+  int num_shards() const noexcept { return static_cast<int>(shards_.size()); }
+  Shard& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+  // Global ids are 1 + the class's index in spec declaration order.
+  ClassId global_id(const std::string& name) const;
+  int shard_of(ClassId global) const;
+  ClassId local_id(ClassId global) const;
+  ShardPhase phase(int i) const noexcept {
+    return phase_[static_cast<std::size_t>(i)]->load(
+        std::memory_order_acquire);
+  }
+
+  // --- Data path (any thread) ------------------------------------------------
+  // Routes by pkt.cls (GLOBAL id) to the owning shard's ring, or to the
+  // spill buffer while that shard is quarantined.  False = backpressure
+  // (ring or spill full) or an unroutable class id.
+  bool enqueue(TimeNs now, Packet pkt);
+
+  // Conservative time gate: one frontier slot per producer thread,
+  // registered before start(); publish_frontier(p, t) promises that
+  // producer p will never again push a stamp < t.
+  int register_producer();
+  void publish_frontier(int producer, TimeNs t);
+
+  // --- Accounting ------------------------------------------------------------
+  struct Totals {
+    std::uint64_t presented = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t dropped = 0;     // host drops + spill overflow at drain
+    std::uint64_t crash_lost = 0;  // reported inside `dropped` as well
+    std::uint64_t rejected = 0;    // host taxonomy + ring + spill full
+    std::uint64_t backlog = 0;     // host backlog + in-ring
+    std::uint64_t spilled = 0;     // sitting in the spill buffer
+    std::uint64_t restarts = 0;
+    TimeNs max_rt_delay = 0;
+
+    bool conserved() const noexcept {
+      return presented == sent + dropped + rejected + backlog + spilled;
+    }
+    std::string to_string() const;
+  };
+  // Exact when no producer is mid-push: pauses every live worker,
+  // reads, resumes.  Excludes supervisor restarts for the duration.
+  Totals quiesce_totals();
+  Totals shard_quiesce_totals(int i);
+
+  // Runs the runtime audit on every (non-failed) shard while paused;
+  // returns true when all pass, else fills `why`.
+  bool audit_all(std::string* why);
+
+  std::vector<SupervisorEvent> drain_events();
+
+ private:
+  struct PerShard {
+    std::atomic<bool> diverted{false};
+    std::atomic<std::uint64_t> presented{0};
+    std::atomic<std::uint64_t> ring_rejected{0};
+    std::atomic<std::uint64_t> spill_rejected{0};
+    std::atomic<std::uint64_t> spill_dropped{0};  // overflow at drain
+    std::mutex spill_mu;
+    std::vector<ShardItem> spill;
+  };
+
+  void supervisor_loop();
+  // Quarantine + join + drain + recover + reconcile + restart.  Caller
+  // holds act_mu_.
+  void restart_shard_locked(int i, ShardDeathPoint death);
+  void push_event(SupervisorEvent ev);
+  Totals read_totals_locked(int i);  // shard paused/joined by caller
+
+  ShardedOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<PerShard>> per_shard_;
+  std::vector<std::unique_ptr<std::atomic<ShardPhase>>> phase_;
+
+  // Routing tables (immutable after construction).
+  std::map<std::string, ClassId> name_to_global_;
+  std::vector<int> shard_of_;       // by global id
+  std::vector<ClassId> local_of_;   // by global id
+  std::atomic<std::uint64_t> unroutable_{0};
+
+  // Serializes supervisor actions against quiesce/audit readers.
+  std::mutex act_mu_;
+
+  std::thread supervisor_;
+  std::atomic<bool> sup_stop_{false};
+
+  std::mutex events_mu_;
+  std::vector<SupervisorEvent> events_;
+
+  bool started_ = false;
+};
+
+}  // namespace hfsc

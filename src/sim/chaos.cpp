@@ -15,8 +15,10 @@ namespace hfsc {
 
 namespace {
 
+// Every failure carries the run's seed so a red line is reproducible
+// verbatim (rep.seed is set before any episode runs).
 void fail(ChaosReport& rep, const std::string& what) {
-  rep.failures.push_back(what);
+  rep.failures.push_back(what + " [" + chaos_seed_tag(rep.seed) + "]");
 }
 
 // Per crash-free epoch packet accounting: everything offered must be
@@ -612,19 +614,40 @@ void run_episode(const ChaosConfig& cfg, int ep, ChaosReport& rep) {
 
 }  // namespace
 
+std::string chaos_seed_tag(std::uint64_t seed) {
+  std::ostringstream os;
+  os << "seed=0x" << std::hex << seed;
+  return os.str();
+}
+
 std::string ChaosReport::to_string() const {
   std::ostringstream os;
-  os << "chaos: " << episodes << " episodes, " << crashes << " crashes ("
-     << torn_appends << " torn appends), " << recoveries << " recoveries, "
-     << replayed_records << " journal records replayed\n";
+  if (episodes > 0 || crashes > 0) {
+    os << "chaos: " << episodes << " episodes, " << crashes << " crashes ("
+       << torn_appends << " torn appends), " << recoveries << " recoveries, "
+       << replayed_records << " journal records replayed ("
+       << chaos_seed_tag(seed) << ")\n";
+  }
   os << "traffic: " << offered << " offered, " << delivered << " delivered\n";
-  os << "overload: max governor level " << max_gov_level << ", " << push_outs
-     << " push-outs, rt delay bound " << rt_delay_bound << " ns (governed max "
-     << rt_delay_max_governed << ", twin max " << rt_delay_max_twin << ")\n";
+  if (rt_delay_bound > 0 || max_gov_level > 0) {
+    os << "overload: max governor level " << max_gov_level << ", "
+       << push_outs << " push-outs, rt delay bound " << rt_delay_bound
+       << " ns (governed max " << rt_delay_max_governed << ", twin max "
+       << rt_delay_max_twin << ")\n";
+  }
+  if (shard_episodes > 0) {
+    os << "sharded: " << shard_episodes << " episodes, " << shard_faults
+       << " faults injected, " << shard_restarts << " supervisor restarts, "
+       << shard_spilled << " spilled, " << shard_crash_lost
+       << " crash-lost (" << chaos_seed_tag(seed) << ")\n";
+    os << "sharded rt: delay bound " << shard_rt_delay_bound
+       << " ns, healthy-shard max " << shard_rt_delay_max << " ns\n";
+  }
   if (failures.empty()) {
-    os << "result: OK";
+    os << "result: OK (" << chaos_seed_tag(seed) << ")";
   } else {
-    os << "result: " << failures.size() << " failure(s):";
+    os << "result: " << failures.size() << " failure(s) ("
+       << chaos_seed_tag(seed) << "):";
     for (const std::string& f : failures) os << "\n  " << f;
   }
   return os.str();
@@ -632,6 +655,7 @@ std::string ChaosReport::to_string() const {
 
 ChaosReport run_chaos(const ChaosConfig& cfg) {
   ChaosReport rep;
+  rep.seed = cfg.seed;
   if (cfg.overload_check) run_overload_check(rep);
   for (int ep = 0; ep < cfg.episodes; ++ep) run_episode(cfg, ep, rep);
   if (cfg.soak) {
@@ -644,9 +668,9 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
     }
   }
   if (rep.recoveries != rep.crashes) {
-    rep.failures.push_back("not every crash was recovered (" +
-                           std::to_string(rep.recoveries) + "/" +
-                           std::to_string(rep.crashes) + ")");
+    fail(rep, "not every crash was recovered (" +
+                  std::to_string(rep.recoveries) + "/" +
+                  std::to_string(rep.crashes) + ")");
   }
   return rep;
 }

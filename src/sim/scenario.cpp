@@ -195,6 +195,14 @@ Scenario Scenario::parse(std::istream& in, const std::string& name) {
           std::string n;
           if (!(ls >> n)) fail_at(name, line, "qlimit needs a count");
           c.qlimit = static_cast<std::size_t>(parse_bytes(n));
+        } else if (key == "shard") {
+          std::string n;
+          if (!(ls >> n)) fail_at(name, line, "shard needs an index");
+          if (c.parent != "root") {
+            fail_at(name, line,
+                    "shard pins are only allowed on top-level classes");
+          }
+          c.shard = static_cast<int>(parse_bytes(n));
         } else {
           fail_at(name, line, "unknown class attribute: " + key);
         }
@@ -306,6 +314,7 @@ HierarchySpec Scenario::to_hierarchy_spec() const {
     cs.qlimit = c.qlimit;
     cs.env_burst = c.env_burst;
     cs.env_rate = c.env_rate;
+    cs.shard = c.shard;
     spec.add(std::move(cs));
   }
   return spec;

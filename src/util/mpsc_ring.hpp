@@ -1,0 +1,144 @@
+// Bounded lock-free multi-producer / single-consumer ring
+// (docs/ROBUSTNESS.md Section 12).
+//
+// This is the enqueue mailbox between producer threads and a shard
+// worker (runtime/shard.hpp): any number of producers try_push()
+// concurrently; exactly one consumer thread try_pop()s.  The ring is a
+// Vyukov-style bounded queue — a power-of-two array of cells, each
+// carrying an atomic sequence number that encodes whose turn the cell
+// is on.  Producers claim a slot with one CAS on the tail counter and
+// publish the payload with a release store of the cell sequence; the
+// consumer observes that store with an acquire load, so the payload
+// hand-off needs no locks and no per-element allocation.
+//
+// Backpressure is explicit: try_push() returns false when the ring is
+// full and the caller decides (the sharded runtime counts the packet as
+// `ring_rejected` — the conservation identity's `rejected` term — or
+// diverts it to the spill buffer while the shard is quarantined).  A
+// full ring never blocks a producer and never overwrites unconsumed
+// entries.
+//
+// Single-consumer restriction: only one thread may call try_pop() /
+// drain() at a time.  The shard worker owns that role while running;
+// the supervisor takes it over only after joining the worker thread
+// (the join gives the required happens-before edge).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace hfsc {
+
+template <typename T>
+class MpscRing {
+ public:
+  // Capacity is rounded up to the next power of two (minimum 2).
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  // Multi-producer.  False = ring full (backpressure); the element is
+  // not consumed from the caller in that case.
+  bool try_push(const T& v) {
+    Cell* cell = nullptr;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the slot still holds an unconsumed element
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = v;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Single consumer only.
+  std::optional<T> try_pop() {
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    Cell* cell = &cells_[pos & mask_];
+    const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+    const std::int64_t dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+    if (dif < 0) return std::nullopt;  // empty (or producer mid-publish)
+    std::optional<T> out{std::move(cell->value)};
+    head_.store(pos + 1, std::memory_order_relaxed);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  // Single consumer only: the head element without consuming it, or
+  // null when the ring is empty.  The pointer stays valid until the
+  // consumer's own next try_pop()/drain() (producers never touch a
+  // published, unconsumed cell).  The shard worker uses this to merge
+  // ring arrivals with transmission completions in virtual-timestamp
+  // order.
+  const T* try_peek() const {
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    const Cell* cell = &cells_[pos & mask_];
+    const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+    const std::int64_t dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+    if (dif < 0) return nullptr;  // empty (or producer mid-publish)
+    return &cell->value;
+  }
+
+  // Consumer-side bulk drain into `sink(T&&)`; returns the count.
+  template <typename Sink>
+  std::size_t drain(Sink&& sink) {
+    std::size_t n = 0;
+    while (auto v = try_pop()) {
+      sink(std::move(*v));
+      ++n;
+    }
+    return n;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // Racy by nature (producers move tail concurrently); exact only when
+  // every producer and the consumer are quiescent.
+  std::size_t size_approx() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  // Head and tail sit on separate cache lines so producers CASing the
+  // tail do not bounce the consumer's head line.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace hfsc

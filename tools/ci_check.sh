@@ -9,7 +9,8 @@
 #
 #   $ tools/ci_check.sh            # all stages
 #   $ tools/ci_check.sh release    # just the Release config
-#   $ tools/ci_check.sh sanitize   # just the sanitizer config
+#   $ tools/ci_check.sh sanitize   # just the ASan+UBSan config
+#   $ tools/ci_check.sh tsan      # just the ThreadSanitizer config
 #   $ tools/ci_check.sh tidy      # just the clang-tidy stage
 #
 # The sanitizer config re-runs the chaos/soak harness gate (ctest label
@@ -18,6 +19,14 @@
 # under ASan+UBSan, so every recovery path is memory- and UB-clean.  The
 # long soak (ctest label "soak") is opt-in:
 #   $ HFSC_SOAK=1 tools/ci_check.sh sanitize     # adds the 60 s soak
+#
+# The ThreadSanitizer config (-DHFSC_SANITIZE=thread) covers the
+# threaded supervised sharded runtime (runtime/shard.hpp,
+# runtime/supervisor.hpp): it builds everything but runs only the
+# thread-bearing labels — "runtime" (MPSC-ring stress, shard
+# restart-under-load) and "chaos" (which includes the sharded
+# thread-fault episodes) — under a raised timeout, since TSan slows
+# the real-thread suites by an order of magnitude.
 #
 # The randomized long-running suites carry the ctest label "fuzz"
 # (tests/CMakeLists.txt); exclude them for a quick local gate with
@@ -103,14 +112,29 @@ case "${what}" in
         -L soak --timeout 300
     fi
     ;;&
+  tsan|all)
+    tsan_dir="${repo}/build-ci-tsan"
+    echo "=== TSan: configure ==="
+    cmake -B "${tsan_dir}" -S "${repo}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHFSC_WERROR=ON \
+      -DHFSC_SANITIZE=thread
+    echo "=== TSan: build ==="
+    cmake --build "${tsan_dir}" -j "${jobs}"
+    echo "=== TSan: runtime (sharded) + chaos gates ==="
+    # Only the thread-bearing labels: TSan has nothing new to say about
+    # the single-threaded suites, and it slows execution ~10x, hence
+    # the raised per-test timeout.
+    ctest --test-dir "${tsan_dir}" --output-on-failure \
+      -L 'runtime|chaos' --timeout 600 --stop-on-failure
+    ;;&
   tidy|all)
     run_tidy
     ;;&
-  release|sanitize|tidy|all)
+  release|sanitize|tsan|tidy|all)
     echo "=== ci_check: OK (${what}) ==="
     ;;
   *)
-    echo "usage: $0 [release|sanitize|tidy|all]" >&2
+    echo "usage: $0 [release|sanitize|tsan|tidy|all]" >&2
     exit 2
     ;;
 esac

@@ -56,7 +56,11 @@ int usage(const char* argv0) {
                "       %s --analyze <scenario-file>\n"
                "       %s --restore=FILE [--scheduler=KIND]\n"
                "       %s --chaos[=EPISODES] [--seed=N] [--soak[=SECONDS]]\n"
-               "KIND: hfsc | hpfq | cbq | drr | sced | vclock | fifo\n",
+               "                 [--shards=N [--shard-episodes=N]]\n"
+               "KIND: hfsc | hpfq | cbq | drr | sced | vclock | fifo\n"
+               "--shards adds real-threaded chaos against the supervised\n"
+               "sharded runtime (stalls, kills, ring overflow, supervisor\n"
+               "outage) on top of the single-instance episodes.\n",
                argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -126,6 +130,7 @@ int main(int argc, char** argv) {
   bool admission = false;
   bool analyze = false;
   bool chaos = false;
+  bool sharded = false;
   hfsc::ChaosConfig chaos_cfg;
   std::string checkpoint_path;
   std::string restore_path;
@@ -167,6 +172,25 @@ int main(int argc, char** argv) {
         return 2;
       }
       chaos_cfg.seed = static_cast<std::uint64_t>(n);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(arg + 9, &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0 || n > 64) {
+        std::fprintf(stderr, "error: --shards needs an integer in [1, 64]\n");
+        return 2;
+      }
+      sharded = true;
+      chaos_cfg.shards = static_cast<int>(n);
+    } else if (std::strncmp(arg, "--shard-episodes=", 17) == 0) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(arg + 17, &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr,
+                     "error: --shard-episodes needs a positive integer\n");
+        return 2;
+      }
+      sharded = true;
+      chaos_cfg.shard_episodes = static_cast<int>(n);
     } else if (std::strcmp(arg, "--soak") == 0) {
       chaos_cfg.soak = true;
     } else if (std::strncmp(arg, "--soak=", 7) == 0) {
@@ -202,15 +226,24 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (chaos || chaos_cfg.soak) {
+    if (chaos || sharded || chaos_cfg.soak) {
       if (path != nullptr || admission || analyze || audit_every != 0 ||
           !checkpoint_path.empty() || !restore_path.empty() || scheduler ||
           !compare.empty()) {
         return usage(argv[0]);
       }
-      const hfsc::ChaosReport report = hfsc::run_chaos(chaos_cfg);
-      std::printf("%s", report.to_string().c_str());
-      return report.ok() ? 0 : 1;
+      bool ok = true;
+      if (chaos || chaos_cfg.soak) {
+        const hfsc::ChaosReport report = hfsc::run_chaos(chaos_cfg);
+        std::printf("%s\n", report.to_string().c_str());
+        ok = ok && report.ok();
+      }
+      if (sharded) {
+        const hfsc::ChaosReport report = hfsc::run_sharded_chaos(chaos_cfg);
+        std::printf("%s\n", report.to_string().c_str());
+        ok = ok && report.ok();
+      }
+      return ok ? 0 : 1;
     }
     if (!restore_path.empty()) {
       if (path != nullptr || admission || audit_every != 0 ||
