@@ -45,6 +45,7 @@
 
 #include "config/hierarchy_spec.hpp"
 #include "core/hfsc.hpp"
+#include "curve/runtime_curve.hpp"
 #include "runtime/host.hpp"
 #include "runtime/supervisor.hpp"
 
@@ -122,6 +123,7 @@ struct Result {
   std::string scheduler = "hfsc";
   std::string kind;  // eligible-set kind; "-" for non-H-FSC rows
   int shards = 1;    // > 1 only for the supervised sharded-runtime rows
+  int batch = 1;     // dequeues per dequeue_batch() call (1 = single API)
   std::uint64_t packets = 0;
   std::uint64_t wall_ns = 0;
   double pkts_per_sec = 0.0;
@@ -160,8 +162,45 @@ std::uint64_t run_loop(S& s, TimeNs& now, const TimeNs step,
   return served;
 }
 
+// The batched variant of run_loop: advances the clock by k steps at once,
+// drains up to k packets with one dequeue_batch() call, then refills each
+// served class.  Latency samples are per-dequeue figures derived from the
+// batch call (wall / served), so batch rows and single rows report the
+// same unit; schema v4 tags each row with its batch size.
+template <class S>
+std::uint64_t run_loop_batch(S& s, TimeNs& now, const TimeNs step,
+                             std::size_t k, std::uint64_t iters,
+                             std::uint64_t& seq,
+                             std::vector<std::uint32_t>* lat,
+                             std::vector<Packet>& buf) {
+  std::uint64_t served = 0;
+  for (std::uint64_t i = 0; i < iters; i += k) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(k, iters - i));
+    now += step * static_cast<TimeNs>(want);
+    buf.clear();
+    std::size_t got;
+    if (lat) {
+      const std::uint64_t t0 = now_ns();
+      got = s.dequeue_batch(now, want, buf);
+      const std::uint64_t t1 = now_ns();
+      if (got > 0) {
+        lat->push_back(static_cast<std::uint32_t>(
+            std::min<std::uint64_t>((t1 - t0) / got, 0xFFFFFFFFu)));
+      }
+    } else {
+      got = s.dequeue_batch(now, want, buf);
+    }
+    served += got;
+    for (std::size_t j = 0; j < got; ++j) {
+      s.enqueue(now, Packet{buf[j].cls, kPktLen, now, seq++});
+    }
+  }
+  return served;
+}
+
 Result run_one(const Workload& w, EligibleSetKind kind, std::uint64_t packets,
-               std::uint64_t lat_samples) {
+               std::uint64_t lat_samples, std::size_t batch) {
   Hfsc s(kLink, kind);
   const std::vector<ClassId> leaves = w.build(s);
   TimeNs now = 0;
@@ -172,19 +211,30 @@ Result run_one(const Workload& w, EligibleSetKind kind, std::uint64_t packets,
     }
   }
   const TimeNs step = tx_time(kPktLen, kLink);
+  std::vector<Packet> buf;
+  buf.reserve(batch);
 
   // Warmup: reach the steady state (heaps at final size, curves past
-  // their knees) before the timed phase.
+  // their knees) before the timed phase — through the same API the timed
+  // phase will use.
   std::uint64_t warm = std::min<std::uint64_t>(packets / 10, 100'000);
-  run_loop(s, now, step, warm, seq, nullptr);
+  if (batch > 1) {
+    run_loop_batch(s, now, step, batch, warm, seq, nullptr, buf);
+  } else {
+    run_loop(s, now, step, warm, seq, nullptr);
+  }
 
   Result res;
   res.workload = w.name;
   res.kind = kind_name(kind);
+  res.batch = static_cast<int>(batch);
   res.packets = packets;
 
   const std::uint64_t t0 = now_ns();
-  const std::uint64_t served = run_loop(s, now, step, packets, seq, nullptr);
+  const std::uint64_t served =
+      batch > 1 ? run_loop_batch(s, now, step, batch, packets, seq, nullptr,
+                                 buf)
+                : run_loop(s, now, step, packets, seq, nullptr);
   res.wall_ns = now_ns() - t0;
   if (served != packets) {
     std::fprintf(stderr,
@@ -200,7 +250,11 @@ Result run_one(const Workload& w, EligibleSetKind kind, std::uint64_t packets,
 
   std::vector<std::uint32_t> lat;
   lat.reserve(lat_samples);
-  run_loop(s, now, step, lat_samples, seq, &lat);
+  if (batch > 1) {
+    run_loop_batch(s, now, step, batch, lat_samples, seq, &lat, buf);
+  } else {
+    run_loop(s, now, step, lat_samples, seq, &lat);
+  }
   res.lat_samples = lat.size();
   if (!lat.empty()) {
     std::uint64_t sum = 0;
@@ -489,7 +543,7 @@ void write_json(const std::vector<Result>& results, std::uint64_t packets,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"bench_throughput\",\n");
-  std::fprintf(f, "  \"schema_version\": 3,\n");
+  std::fprintf(f, "  \"schema_version\": 4,\n");
   std::fprintf(f, "  \"link_rate_bps\": %llu,\n",
                static_cast<unsigned long long>(kLink));
   std::fprintf(f, "  \"packet_len\": %llu,\n",
@@ -503,17 +557,25 @@ void write_json(const std::vector<Result>& results, std::uint64_t packets,
     std::fprintf(
         f,
         "    {\"workload\": \"%s\", \"scheduler\": \"%s\", "
-        "\"eligible_set\": \"%s\", \"shards\": %d, "
+        "\"eligible_set\": \"%s\", \"shards\": %d, \"batch\": %d, "
         "\"packets\": %llu, \"wall_ns\": %llu, \"pkts_per_sec\": %.0f, "
-        "\"lat_samples\": %llu, \"ns_per_dequeue_mean\": %.1f, "
-        "\"ns_per_dequeue_p50\": %llu, \"ns_per_dequeue_p99\": %llu}%s\n",
+        "\"lat_samples\": %llu",
         r.workload.c_str(), r.scheduler.c_str(), r.kind.c_str(), r.shards,
-        static_cast<unsigned long long>(r.packets),
+        r.batch, static_cast<unsigned long long>(r.packets),
         static_cast<unsigned long long>(r.wall_ns), r.pkts_per_sec,
-        static_cast<unsigned long long>(r.lat_samples), r.ns_mean,
-        static_cast<unsigned long long>(r.ns_p50),
-        static_cast<unsigned long long>(r.ns_p99),
-        i + 1 == results.size() ? "" : ",");
+        static_cast<unsigned long long>(r.lat_samples));
+    // Rows with no latency samples (the sharded runtime measures its
+    // dequeues in-thread) omit the latency fields entirely: schema v3
+    // printed them as literal zeros, which read as an impossible 0 ns.
+    if (r.lat_samples > 0) {
+      std::fprintf(f,
+                   ", \"ns_per_dequeue_mean\": %.1f, "
+                   "\"ns_per_dequeue_p50\": %llu, "
+                   "\"ns_per_dequeue_p99\": %llu",
+                   r.ns_mean, static_cast<unsigned long long>(r.ns_p50),
+                   static_cast<unsigned long long>(r.ns_p99));
+    }
+    std::fprintf(f, "}%s\n", i + 1 == results.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -573,19 +635,26 @@ int main(int argc, char** argv) {
   std::vector<Result> results;
   auto show = [](const Result& r) {
     std::printf(
-        "%-8s %-5s %-9s  %10.0f pkts/s  mean %6.1f ns  p50 %4llu ns  "
+        "%-8s %-5s %-9s k=%-2d  %10.0f pkts/s  mean %6.1f ns  p50 %4llu ns  "
         "p99 %4llu ns\n",
-        r.workload.c_str(), r.scheduler.c_str(), r.kind.c_str(),
+        r.workload.c_str(), r.scheduler.c_str(), r.kind.c_str(), r.batch,
         r.pkts_per_sec, r.ns_mean, static_cast<unsigned long long>(r.ns_p50),
         static_cast<unsigned long long>(r.ns_p99));
   };
+  // Batch sizes for the H-FSC grid: k=1 is the classic single-dequeue
+  // API; k=8/32 drive the same steady state through dequeue_batch()
+  // (bit-identical service — tests/test_batch_ablation_fuzz.cpp — so the
+  // delta between rows is pure call-overhead amortization).
+  constexpr std::size_t kBatchSizes[] = {1, 8, 32};
   for (const Workload& w : workloads) {
     if (!only_workload.empty() && only_workload != w.name) continue;
     for (const EligibleSetKind k : kinds) {
       if (!only_kind.empty() && only_kind != kind_name(k)) continue;
-      const Result r = run_one(w, k, packets, lat_samples);
-      show(r);
-      results.push_back(r);
+      for (const std::size_t b : kBatchSizes) {
+        const Result r = run_one(w, k, packets, lat_samples, b);
+        show(r);
+        results.push_back(r);
+      }
     }
   }
   // Resilience-runtime rows: the same workloads through RuntimeHost with
@@ -598,7 +667,8 @@ int main(int argc, char** argv) {
       show(r);
       for (const Result& base : results) {
         if (base.workload == r.workload && base.scheduler == "hfsc" &&
-            base.kind == "dual_heap" && base.pkts_per_sec > 0) {
+            base.kind == "dual_heap" && base.batch == 1 &&
+            base.pkts_per_sec > 0) {
           std::printf("%-8s governor-at-level-0 overhead vs hfsc/dual_heap: "
                       "%+.2f%%\n",
                       r.workload.c_str(),
@@ -644,6 +714,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "no (workload, kind) combination selected\n");
     return 2;
   }
+#ifdef HFSC_CACHE_STATS
+  {
+    const auto& cs = curve_cache_stats();
+    const std::uint64_t hits = cs.hits.load(std::memory_order_relaxed);
+    const std::uint64_t misses = cs.misses.load(std::memory_order_relaxed);
+    const std::uint64_t total = hits + misses;
+    std::printf("curve-inverse cache: %llu hits / %llu misses (%.1f%% hit)\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(hits) /
+                                 static_cast<double>(total));
+  }
+#endif
   write_json(results, packets, smoke, out);
   std::printf("wrote %s\n", out.c_str());
   return 0;

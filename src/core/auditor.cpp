@@ -26,19 +26,21 @@ AuditReport audit(const Hfsc& s) {
 
   for (ClassId c = 0; c < nodes.size(); ++c) {
     const auto& n = nodes[c];
+    const auto& h = s.hot_[c];
+    const auto& cc = s.curves_[c];
 
     // The hot path trusts cached curve-presence flags instead of testing
     // cfg each time; they must never drift from the configuration.
-    if (n.has_rt() != !n.cfg.rt.is_zero() ||
-        n.has_ls() != !n.cfg.ls.is_zero() ||
-        n.has_ul() != !n.cfg.ul.is_zero()) {
+    if (h.has_rt() != !n.cfg.rt.is_zero() ||
+        h.has_ls() != !n.cfg.ls.is_zero() ||
+        h.has_ul() != !n.cfg.ul.is_zero()) {
       fail(c, "cached curve-presence flags disagree with the config");
     }
-    if (c != kRootClass && !n.deleted && n.has_ul()) ++ul_count;
+    if (c != kRootClass && !n.deleted && h.has_ul()) ++ul_count;
 
     if (n.deleted) {
       if (c == kRootClass) fail(c, "root marked deleted");
-      if (n.active) fail(c, "deleted but active");
+      if (h.active()) fail(c, "deleted but active");
       if (queues.has(c)) fail(c, "deleted but has queued packets");
       if (s.rt_requests_->contains(c)) fail(c, "deleted but in eligible set");
       if (!n.children.empty()) fail(c, "deleted with live children");
@@ -47,13 +49,13 @@ AuditReport audit(const Hfsc& s) {
 
     // Tree structure: the parent/child links must mirror each other.
     if (c != kRootClass) {
-      if (n.parent >= nodes.size() || nodes[n.parent].deleted) {
+      if (h.parent >= nodes.size() || nodes[h.parent].deleted) {
         fail(c, "parent link points at an unknown or deleted class");
         continue;
       }
-      const auto& p = nodes[n.parent];
-      if (n.idx_in_parent >= p.children.size() ||
-          p.children[n.idx_in_parent] != c) {
+      const auto& p = nodes[h.parent];
+      if (h.idx_in_parent >= p.children.size() ||
+          p.children[h.idx_in_parent] != c) {
         fail(c, "idx_in_parent does not match the parent's children list");
       }
     }
@@ -62,7 +64,7 @@ AuditReport audit(const Hfsc& s) {
       if (child == kRootClass || child >= nodes.size() ||
           nodes[child].deleted) {
         fail(c, "children list holds an invalid class id");
-      } else if (nodes[child].parent != c) {
+      } else if (s.hot_[child].parent != c) {
         fail(c, "child's parent link disagrees");
       }
     }
@@ -87,13 +89,13 @@ AuditReport audit(const Hfsc& s) {
     // Active flags: leaf active <=> ls curve + backlog; interior (and
     // root) active <=> non-empty active-children heap.
     if (is_leaf) {
-      const bool should = n.has_ls() && backlogged;
-      if (n.active != should) {
-        fail(c, n.active ? "leaf active without ls backlog"
-                         : "backlogged ls leaf not active");
+      const bool should = h.has_ls() && backlogged;
+      if (h.active() != should) {
+        fail(c, h.active() ? "leaf active without ls backlog"
+                           : "backlogged ls leaf not active");
       }
     } else {
-      if (n.active != !n.active_children.empty()) {
+      if (h.active() != !n.active_children.empty()) {
         fail(c, "interior active flag disagrees with the children heap");
       }
     }
@@ -104,8 +106,8 @@ AuditReport audit(const Hfsc& s) {
     for (std::uint32_t i = 0; i < n.children.size(); ++i) {
       const ClassId child = n.children[i];
       if (child >= nodes.size() || nodes[child].deleted) continue;
-      const auto& ch = nodes[child];
-      if (ch.active) {
+      const auto& ch = s.hot_[child];
+      if (ch.active()) {
         ++active_kids;
         if (!n.active_children.contains(i)) {
           fail(c, "active child missing from the heap");
@@ -127,38 +129,40 @@ AuditReport audit(const Hfsc& s) {
 
     // Real-time side: eligible-set membership <=> backlogged rt leaf, and
     // the cached (e, d) equal the curves' inverses at the operating point.
-    const bool should_request = is_leaf && n.has_rt() && backlogged;
+    const bool should_request = is_leaf && h.has_rt() && backlogged;
     if (s.rt_requests_->contains(c) != should_request) {
       fail(c, should_request ? "backlogged rt leaf missing from eligible set"
                              : "stale entry in the eligible set");
     }
     if (should_request) {
-      if (n.e != n.ec.y2x(n.cumul)) {
+      if (h.e != cc.ec.y2x(h.cumul)) {
         fail(c, "cached eligible time disagrees with E^-1(c)");
       }
-      if (n.d != n.dc.y2x(sat_add(n.cumul, queues.head(c).len))) {
+      if (h.d != cc.dc.y2x(sat_add(h.cumul, queues.head(c).len))) {
         fail(c, "cached deadline disagrees with D^-1(c + len)");
       }
-      if (n.e > n.d) fail(c, "eligible time after deadline");
+      if (h.e > h.d) fail(c, "eligible time after deadline");
     }
 
     // Curve/counter consistency.
-    if (n.active && c != kRootClass && n.has_ls() &&
-        n.vt != n.vc.y2x(n.total)) {
+    if (h.active() && c != kRootClass && h.has_ls() &&
+        h.vt != cc.vc.y2x(h.total)) {
       fail(c, "virtual time disagrees with V^-1(w)");
     }
-    if (n.has_ul() && n.fit != n.uc.y2x(n.total)) {
+    if (h.has_ul() && h.fit != cc.uc.y2x(h.total)) {
       fail(c, "fit time disagrees with U^-1(w)");
     }
-    if (n.cumul > n.total) fail(c, "rt service exceeds total service");
+    if (h.cumul > h.total) fail(c, "rt service exceeds total service");
 
     // Service conservation: live children never out-serve the parent.
     if (!n.children.empty()) {
       Bytes child_total = 0;
       for (const ClassId child : n.children) {
-        if (child < nodes.size()) child_total = sat_add(child_total, nodes[child].total);
+        if (child < nodes.size()) {
+          child_total = sat_add(child_total, s.hot_[child].total);
+        }
       }
-      if (child_total > n.total) {
+      if (child_total > h.total) {
         fail(c, "children's total service exceeds the parent's");
       }
     }
@@ -186,7 +190,7 @@ AuditReport audit(const Hfsc& s) {
     std::size_t expect_count = 0;
     for (ClassId c = 1; c < nodes.size(); ++c) {
       const auto& n = nodes[c];
-      if (n.deleted || !n.children.empty() || !n.has_rt()) continue;
+      if (n.deleted || !n.children.empty() || !s.hot_[c].has_rt()) continue;
       expect = expect.sum(PiecewiseLinear::from_service_curve(n.cfg.rt));
       ++expect_count;
     }

@@ -84,13 +84,18 @@ void checkpoint(const Hfsc& s, std::ostream& out, std::string_view ext) {
   out << "watchdog " << s.starvation_horizon_ << '\n';
   out << "ext " << ext.size() << '\n' << ext << '\n';
 
+  // The node record interleaves fields from the cold Node and the hot /
+  // curve slabs (core/hfsc.hpp); the emitted text is byte-identical to
+  // the pre-slab format, so digests and golden checkpoints carry over.
   out << "classes " << s.nodes_.size() << '\n';
   for (ClassId c = 0; c < s.nodes_.size(); ++c) {
     const auto& n = s.nodes_[c];
-    out << "node " << c << ' ' << n.parent << ' ' << n.idx_in_parent << ' '
-        << n.active << ' ' << n.ever_active << ' ' << n.deleted << ' '
-        << n.starved_flagged << ' ' << n.queue_limit << ' ' << n.cumul << ' '
-        << n.e << ' ' << n.d << ' ' << n.total << ' ' << n.vt << ' ' << n.fit
+    const auto& h = s.hot_[c];
+    const auto& cc = s.curves_[c];
+    out << "node " << c << ' ' << h.parent << ' ' << h.idx_in_parent << ' '
+        << h.active() << ' ' << n.ever_active << ' ' << n.deleted << ' '
+        << n.starved_flagged << ' ' << n.queue_limit << ' ' << h.cumul << ' '
+        << h.e << ' ' << h.d << ' ' << h.total << ' ' << h.vt << ' ' << h.fit
         << ' ' << n.vt_watermark << ' ' << n.pkts_sent << ' '
         << n.pkts_dropped << ' ' << n.bytes_dropped << ' ' << n.last_progress
         << '\n';
@@ -101,10 +106,10 @@ void checkpoint(const Hfsc& s, std::ostream& out, std::string_view ext) {
     out << ' ';
     put_sc(out, n.cfg.ul);
     out << '\n';
-    put_curve(out, "dc", n.dc);
-    put_curve(out, "ec", n.ec);
-    put_curve(out, "vc", n.vc);
-    put_curve(out, "uc", n.uc);
+    put_curve(out, "dc", cc.dc);
+    put_curve(out, "ec", cc.ec);
+    put_curve(out, "vc", cc.vc);
+    put_curve(out, "uc", cc.uc);
   }
 
   for (ClassId c = 0; c < s.nodes_.size(); ++c) {
@@ -196,24 +201,28 @@ Hfsc restore_checkpoint(std::istream& in, std::string* ext) {
   if (n_classes > kMaxClasses) bad("implausible class count");
 
   s.nodes_.resize(n_classes);
+  s.hot_.resize(n_classes);
+  s.curves_.resize(n_classes);
   for (ClassId c = 0; c < n_classes; ++c) {
     expect(in, "node");
     const ClassId id = num<ClassId>(in, "node id");
     if (id != c) bad("node records out of order");
     auto& n = s.nodes_[c];
-    n.parent = num<ClassId>(in, "parent");
-    n.idx_in_parent = num<std::uint32_t>(in, "idx_in_parent");
-    n.active = num<bool>(in, "active");
+    auto& h = s.hot_[c];
+    auto& cc = s.curves_[c];
+    h.parent = num<ClassId>(in, "parent");
+    h.idx_in_parent = num<std::uint32_t>(in, "idx_in_parent");
+    h.set_active(num<bool>(in, "active"));
     n.ever_active = num<bool>(in, "ever_active");
     n.deleted = num<bool>(in, "deleted");
     n.starved_flagged = num<bool>(in, "starved_flagged");
     n.queue_limit = num<std::size_t>(in, "queue_limit");
-    n.cumul = num<Bytes>(in, "cumul");
-    n.e = num<TimeNs>(in, "e");
-    n.d = num<TimeNs>(in, "d");
-    n.total = num<Bytes>(in, "total");
-    n.vt = num<TimeNs>(in, "vt");
-    n.fit = num<TimeNs>(in, "fit");
+    h.cumul = num<Bytes>(in, "cumul");
+    h.e = num<TimeNs>(in, "e");
+    h.d = num<TimeNs>(in, "d");
+    h.total = num<Bytes>(in, "total");
+    h.vt = num<TimeNs>(in, "vt");
+    h.fit = num<TimeNs>(in, "fit");
     n.vt_watermark = num<TimeNs>(in, "vt_watermark");
     n.pkts_sent = num<std::uint64_t>(in, "pkts_sent");
     n.pkts_dropped = num<std::uint64_t>(in, "pkts_dropped");
@@ -223,16 +232,16 @@ Hfsc restore_checkpoint(std::istream& in, std::string* ext) {
     n.cfg.rt = get_sc(in, "cfg.rt");
     n.cfg.ls = get_sc(in, "cfg.ls");
     n.cfg.ul = get_sc(in, "cfg.ul");
-    n.dc = get_curve(in, "dc");
-    n.ec = get_curve(in, "ec");
-    n.vc = get_curve(in, "vc");
-    n.uc = get_curve(in, "uc");
-    n.refresh_flags();  // cfg was written directly; re-derive cached flags
-    if (c != 0 && !n.deleted && n.has_ul()) ++s.num_ul_;
-    if (c == 0 && (n.parent != kRootClass || n.deleted)) {
+    cc.dc = get_curve(in, "dc");
+    cc.ec = get_curve(in, "ec");
+    cc.vc = get_curve(in, "vc");
+    cc.uc = get_curve(in, "uc");
+    h.refresh_flags(n.cfg);  // cfg was read directly; re-derive the flags
+    if (c != 0 && !n.deleted && h.has_ul()) ++s.num_ul_;
+    if (c == 0 && (h.parent != kRootClass || n.deleted)) {
       bad("corrupt root record");
     }
-    if (c != 0 && (n.parent >= n_classes || n.parent == c)) {
+    if (c != 0 && (h.parent >= n_classes || h.parent == c)) {
       bad("node " + std::to_string(c) + " has an out-of-range parent");
     }
   }
@@ -241,13 +250,13 @@ Hfsc restore_checkpoint(std::istream& in, std::string* ext) {
   // nodes are not attached anywhere; live ones must tile their parent's
   // vector exactly.
   for (ClassId c = 1; c < n_classes; ++c) {
-    const auto& n = s.nodes_[c];
-    if (n.deleted) continue;
-    if (s.nodes_[n.parent].deleted) bad("live child under a deleted parent");
-    auto& kids = s.nodes_[n.parent].children;
-    if (kids.size() <= n.idx_in_parent) kids.resize(n.idx_in_parent + 1, 0);
-    if (kids[n.idx_in_parent] != 0) bad("duplicate idx_in_parent");
-    kids[n.idx_in_parent] = c;
+    const auto& h = s.hot_[c];
+    if (s.nodes_[c].deleted) continue;
+    if (s.nodes_[h.parent].deleted) bad("live child under a deleted parent");
+    auto& kids = s.nodes_[h.parent].children;
+    if (kids.size() <= h.idx_in_parent) kids.resize(h.idx_in_parent + 1, 0);
+    if (kids[h.idx_in_parent] != 0) bad("duplicate idx_in_parent");
+    kids[h.idx_in_parent] = c;
   }
   for (ClassId c = 0; c < n_classes; ++c) {
     for (const ClassId kid : s.nodes_[c].children) {
@@ -286,16 +295,18 @@ Hfsc restore_checkpoint(std::istream& in, std::string* ext) {
   // the original's: IndexedHeap breaks key ties by id, so the dequeue
   // sequence depends only on the (id, key) content restored here.
   for (ClassId c = 1; c < n_classes; ++c) {
-    const auto& n = s.nodes_[c];
-    if (n.deleted || !n.active) continue;
-    s.nodes_[n.parent].active_children.push(n.idx_in_parent, n.vt);
+    const auto& h = s.hot_[c];
+    if (s.nodes_[c].deleted || !h.active()) continue;
+    s.nodes_[h.parent].active_children.push(h.idx_in_parent, h.vt);
   }
   for (ClassId c = 1; c < n_classes; ++c) {
     const auto& n = s.nodes_[c];
-    if (n.deleted || !n.children.empty() || !n.has_rt() || !s.queues_.has(c)) {
+    const auto& h = s.hot_[c];
+    if (n.deleted || !n.children.empty() || !h.has_rt() ||
+        !s.queues_.has(c)) {
       continue;
     }
-    s.rt_requests_->update(c, n.e, n.d, s.last_now_);
+    s.rt_requests_->update(c, h.e, h.d, s.last_now_);
   }
   if (adm_on) {
     auto fresh = std::make_unique<AdmissionControl>(adm_rate);

@@ -22,6 +22,8 @@ Hfsc::Hfsc(RateBps link_rate, EligibleSetKind kind, SystemVtPolicy vt_policy)
     rt_fast_ = static_cast<DualHeapEligibleSet*>(rt_requests_.get());
   }
   nodes_.emplace_back();  // root
+  hot_.emplace_back();
+  curves_.emplace_back();
 }
 
 void Hfsc::check_config(const ClassConfig& cfg, bool leaf) {
@@ -59,13 +61,13 @@ ClassId Hfsc::add_class(ClassId parent, ClassConfig cfg) {
          Errc::kInvalidClass, "unknown or deleted parent class");
   ensure(!queues_.has(parent), Errc::kHasBacklog,
          "cannot add children under a class that queues packets");
-  ensure(parent == kRootClass || nodes_[parent].has_ls(), Errc::kMissingCurve,
+  ensure(parent == kRootClass || hot_[parent].has_ls(), Errc::kMissingCurve,
          "interior classes need a link-sharing curve");
   check_config(cfg, /*leaf=*/true);
   if (admission_ && !in_txn_apply_) {
     std::vector<ServiceCurve> curves = leaf_rt_curves();
     if (parent != kRootClass && nodes_[parent].children.empty() &&
-        nodes_[parent].has_rt()) {
+        hot_[parent].has_rt()) {
       // The parent turns interior; its rt curve becomes inert.
       curves.erase(
           std::find(curves.begin(), curves.end(), nodes_[parent].cfg.rt));
@@ -76,23 +78,27 @@ ClassId Hfsc::add_class(ClassId parent, ClassConfig cfg) {
   maybe_self_check();
 
   Node n;
-  n.parent = parent;
   n.cfg = cfg;
-  n.refresh_flags();
-  n.idx_in_parent = static_cast<std::uint32_t>(nodes_[parent].children.size());
+  HotClass h;
+  h.parent = parent;
+  h.refresh_flags(cfg);
+  h.idx_in_parent = static_cast<std::uint32_t>(nodes_[parent].children.size());
   // Anchor all runtime curves at the origin; the becomes-active min-fold
   // re-anchors them (min(S(t), S(t - a) + c) == S(t - a) + c at first
   // activation, so no special first-time flag is needed).
+  ClassCurves cc;
   if (!cfg.rt.is_zero()) {
-    n.dc = RuntimeCurve(cfg.rt, 0, 0);
-    n.ec = RuntimeCurve(cfg.rt, 0, 0);
-    if (cfg.rt.m1 < cfg.rt.m2) n.ec.flatten_to_second_slope();
+    cc.dc = RuntimeCurve(cfg.rt, 0, 0);
+    cc.ec = RuntimeCurve(cfg.rt, 0, 0);
+    if (cfg.rt.m1 < cfg.rt.m2) cc.ec.flatten_to_second_slope();
   }
-  if (!cfg.ls.is_zero()) n.vc = RuntimeCurve(cfg.ls, 0, 0);
-  if (!cfg.ul.is_zero()) n.uc = RuntimeCurve(cfg.ul, 0, 0);
+  if (!cfg.ls.is_zero()) cc.vc = RuntimeCurve(cfg.ls, 0, 0);
+  if (!cfg.ul.is_zero()) cc.uc = RuntimeCurve(cfg.ul, 0, 0);
 
-  if (n.has_ul()) ++num_ul_;
+  if (h.has_ul()) ++num_ul_;
   nodes_.push_back(std::move(n));
+  hot_.push_back(h);
+  curves_.push_back(cc);
   const ClassId id = static_cast<ClassId>(nodes_.size() - 1);
   nodes_[parent].children.push_back(id);
   queues_.ensure(id);
@@ -116,72 +122,83 @@ TimeNs Hfsc::system_vt(const Node& p) const noexcept {
 }
 
 void Hfsc::update_ed(ClassId cls, TimeNs now) {
-  Node& n = nodes_[cls];
-  assert(n.has_rt() && queues_.has(cls));
-  n.dc.min_with(n.cfg.rt, now, n.cumul);
-  n.ec.min_with(n.cfg.rt, now, n.cumul);
-  if (n.cfg.rt.m1 < n.cfg.rt.m2) n.ec.flatten_to_second_slope();
-  n.e = n.ec.y2x(n.cumul);
-  n.d = n.dc.y2x(sat_add(n.cumul, queues_.head(cls).len));
-  es_update(cls, n.e, n.d, now);
+  HotClass& h = hot_[cls];
+  ClassCurves& cc = curves_[cls];
+  assert(h.has_rt() && queues_.has(cls));
+  const ServiceCurve& rt = nodes_[cls].cfg.rt;
+  cc.dc.min_with(rt, now, h.cumul);
+  cc.ec.min_with(rt, now, h.cumul);
+  if (rt.m1 < rt.m2) cc.ec.flatten_to_second_slope();
+  h.e = cc.ec.y2x(h.cumul);
+  h.d = cc.dc.y2x(sat_add(h.cumul, queues_.head(cls).len));
+  es_update(cls, h.e, h.d, now);
 }
 
 void Hfsc::update_d(ClassId cls) {
-  Node& n = nodes_[cls];
-  assert(n.has_rt() && queues_.has(cls));
-  n.d = n.dc.y2x(sat_add(n.cumul, queues_.head(cls).len));
+  HotClass& h = hot_[cls];
+  assert(h.has_rt() && queues_.has(cls));
+  h.d = curves_[cls].dc.y2x(sat_add(h.cumul, queues_.head(cls).len));
 }
 
 void Hfsc::activate_ls_path(ClassId cls, TimeNs now) {
-  for (ClassId c = cls; c != kRootClass && !nodes_[c].active;) {
-    Node& n = nodes_[c];
-    Node& p = nodes_[n.parent];
+  for (ClassId c = cls; c != kRootClass && !hot_[c].active();) {
+    HotClass& h = hot_[c];
+    Node& p = nodes_[h.parent];
     const TimeNs v = system_vt(p);
-    n.vc.min_with(n.cfg.ls, v, n.total);
-    n.vt = n.vc.y2x(n.total);
-    if (n.has_ul()) {
-      n.uc.min_with(n.cfg.ul, now, n.total);
-      n.fit = n.uc.y2x(n.total);
+    ClassCurves& cc = curves_[c];
+    const ClassConfig& cfg = nodes_[c].cfg;
+    cc.vc.min_with(cfg.ls, v, h.total);
+    h.vt = cc.vc.y2x(h.total);
+    if (h.has_ul()) {
+      cc.uc.min_with(cfg.ul, now, h.total);
+      h.fit = cc.uc.y2x(h.total);
     }
-    n.active = true;
-    p.active_children.push(n.idx_in_parent, n.vt);
-    p.vt_watermark = std::max(p.vt_watermark, n.vt);
-    c = n.parent;
+    h.set_active(true);
+    p.active_children.push(h.idx_in_parent, h.vt);
+    p.vt_watermark = std::max(p.vt_watermark, h.vt);
+    c = h.parent;
   }
-  nodes_[kRootClass].active = true;
+  hot_[kRootClass].set_active(true);
 }
 
 void Hfsc::charge_total(ClassId cls, Bytes len, TimeNs /*now*/) {
-  for (ClassId c = cls;; c = nodes_[c].parent) {
-    Node& n = nodes_[c];
-    n.total += len;
-    if (c != kRootClass && n.active) {
-      Node& p = nodes_[n.parent];
-      n.vt = n.vc.y2x(n.total);
-      p.active_children.update(n.idx_in_parent, n.vt);
-      p.vt_watermark = std::max(p.vt_watermark, n.vt);
+  // Walk the hot slab leaf-to-root: each step reads one HotClass line and
+  // (for active non-root classes) the matching curve-slab entry.  Both
+  // slab bases are pinned so the compiler keeps them in registers across
+  // the y2x and heap-update calls (no mutator runs inside the walk).
+  HotClass* const hot = hot_.data();
+  ClassCurves* const curves = curves_.data();
+  for (ClassId c = cls;;) {
+    HotClass& h = hot[c];
+    h.total += len;
+    if (c != kRootClass && h.active()) {
+      Node& p = nodes_[h.parent];
+      h.vt = curves[c].vc.y2x(h.total);
+      p.active_children.update(h.idx_in_parent, h.vt);
+      p.vt_watermark = std::max(p.vt_watermark, h.vt);
     }
-    if (n.has_ul()) n.fit = n.uc.y2x(n.total);
+    if (h.has_ul()) h.fit = curves[c].uc.y2x(h.total);
     if (c == kRootClass) break;
+    c = h.parent;
   }
 }
 
 void Hfsc::set_passive(ClassId cls) {
   for (ClassId c = cls; c != kRootClass;) {
-    Node& n = nodes_[c];
-    if (!n.active) break;
-    Node& p = nodes_[n.parent];
-    n.active = false;
-    p.active_children.erase(n.idx_in_parent);
+    HotClass& h = hot_[c];
+    if (!h.active()) break;
+    Node& p = nodes_[h.parent];
+    h.set_active(false);
+    p.active_children.erase(h.idx_in_parent);
     if (!p.active_children.empty()) return;
-    c = n.parent;
+    c = h.parent;
   }
-  nodes_[kRootClass].active = false;
+  hot_[kRootClass].set_active(false);
 }
 
 std::optional<ClassId> Hfsc::ls_select(TimeNs now) {
   ls_next_fit_ = kTimeInfinity;
-  if (!nodes_[kRootClass].active) return std::nullopt;
+  if (!hot_[kRootClass].active()) return std::nullopt;
   ClassId c = kRootClass;
   if (num_ul_ == 0) {
     // No upper-limit curve anywhere in the hierarchy: the min-vt child is
@@ -204,11 +221,11 @@ std::optional<ClassId> Hfsc::ls_select(TimeNs now) {
     while (!n.active_children.empty()) {
       const std::uint32_t idx = n.active_children.top_id();
       const ClassId child = n.children[idx];
-      if (!nodes_[child].has_ul() || nodes_[child].fit <= now) {
+      if (!hot_[child].has_ul() || hot_[child].fit <= now) {
         chosen = idx;
         break;
       }
-      ls_next_fit_ = std::min(ls_next_fit_, nodes_[child].fit);
+      ls_next_fit_ = std::min(ls_next_fit_, hot_[child].fit);
       ls_blocked_.emplace_back(idx, n.active_children.top_key());
       n.active_children.pop();
     }
@@ -219,11 +236,12 @@ std::optional<ClassId> Hfsc::ls_select(TimeNs now) {
   return c;
 }
 
-std::optional<Packet> Hfsc::serve(ClassId leaf, Criterion crit, TimeNs now) {
+Packet Hfsc::serve(ClassId leaf, Criterion crit, TimeNs now) {
+  HotClass& h = hot_[leaf];
   Node& n = nodes_[leaf];
   Packet p = queues_.pop(leaf);
   if (crit == Criterion::kRealTime) {
-    n.cumul += p.len;
+    h.cumul += p.len;
     ++rt_selections_;
   } else {
     ++ls_selections_;
@@ -233,19 +251,19 @@ std::optional<Packet> Hfsc::serve(ClassId leaf, Criterion crit, TimeNs now) {
   n.starved_flagged = false;
   charge_total(leaf, p.len, now);
   if (queues_.has(leaf)) {
-    if (n.has_rt()) {
+    if (h.has_rt()) {
       if (crit == Criterion::kRealTime) {
         // Fig. 5(a) tail: new head under the real-time criterion.
-        n.e = n.ec.y2x(n.cumul);
+        h.e = curves_[leaf].ec.y2x(h.cumul);
       }
       // Fig. 5(b): after a link-sharing service only the deadline moves
       // (c did not change but the head packet's length may differ).
       update_d(leaf);
-      es_update(leaf, n.e, n.d, now);
+      es_update(leaf, h.e, h.d, now);
     }
   } else {
-    if (n.has_rt()) es_erase(leaf);
-    if (n.active) set_passive(leaf);
+    if (h.has_rt()) es_erase(leaf);
+    if (h.active()) set_passive(leaf);
   }
   last_criterion_ = crit;
   return p;
@@ -254,10 +272,12 @@ std::optional<Packet> Hfsc::serve(ClassId leaf, Criterion crit, TimeNs now) {
 void Hfsc::change_class(TimeNs now, ClassId cls, ClassConfig cfg) {
   ensure(live(cls), Errc::kInvalidClass, "unknown or deleted class");
   Node& n = nodes_[cls];
+  HotClass& h = hot_[cls];
+  ClassCurves& cc = curves_[cls];
   check_config(cfg, /*leaf=*/n.children.empty());
   if (admission_ && !in_txn_apply_ && n.children.empty()) {
     std::vector<ServiceCurve> curves = leaf_rt_curves();
-    if (n.has_rt()) {
+    if (h.has_rt()) {
       curves.erase(std::find(curves.begin(), curves.end(), n.cfg.rt));
     }
     if (!cfg.rt.is_zero()) curves.push_back(cfg.rt);
@@ -266,65 +286,66 @@ void Hfsc::change_class(TimeNs now, ClassId cls, ClassConfig cfg) {
   maybe_self_check();
   now = clamp_now(now);
 
-  const bool had_ls = n.has_ls();
-  const bool had_ul = n.has_ul();
+  const bool had_ls = h.has_ls();
+  const bool had_ul = h.has_ul();
   n.cfg = cfg;
-  n.refresh_flags();
-  if (had_ul && !n.has_ul()) --num_ul_;
-  if (!had_ul && n.has_ul()) ++num_ul_;
+  h.refresh_flags(cfg);
+  if (had_ul && !h.has_ul()) --num_ul_;
+  if (!had_ul && h.has_ul()) ++num_ul_;
 
   // Real-time side: re-anchor at (now, c).
-  if (n.has_rt()) {
-    n.dc = RuntimeCurve(cfg.rt, now, n.cumul);
-    n.ec = RuntimeCurve(cfg.rt, now, n.cumul);
-    if (cfg.rt.m1 < cfg.rt.m2) n.ec.flatten_to_second_slope();
+  if (h.has_rt()) {
+    cc.dc = RuntimeCurve(cfg.rt, now, h.cumul);
+    cc.ec = RuntimeCurve(cfg.rt, now, h.cumul);
+    if (cfg.rt.m1 < cfg.rt.m2) cc.ec.flatten_to_second_slope();
     if (queues_.has(cls)) {
-      n.e = n.ec.y2x(n.cumul);
-      n.d = n.dc.y2x(sat_add(n.cumul, queues_.head(cls).len));
-      es_update(cls, n.e, n.d, now);
+      h.e = cc.ec.y2x(h.cumul);
+      h.d = cc.dc.y2x(sat_add(h.cumul, queues_.head(cls).len));
+      es_update(cls, h.e, h.d, now);
     }
   } else if (es_contains(cls)) {
     es_erase(cls);
   }
 
   // Link-sharing side: re-anchor at (v, w).
-  if (n.has_ls()) {
-    n.vc = RuntimeCurve(cfg.ls, n.vt, n.total);
-    if (n.active) {
-      n.vt = n.vc.y2x(n.total);
-      Node& p = nodes_[n.parent];
-      p.active_children.update(n.idx_in_parent, n.vt);
-      p.vt_watermark = std::max(p.vt_watermark, n.vt);
+  if (h.has_ls()) {
+    cc.vc = RuntimeCurve(cfg.ls, h.vt, h.total);
+    if (h.active()) {
+      h.vt = cc.vc.y2x(h.total);
+      Node& p = nodes_[h.parent];
+      p.active_children.update(h.idx_in_parent, h.vt);
+      p.vt_watermark = std::max(p.vt_watermark, h.vt);
     } else if (queues_.has(cls)) {
       activate_ls_path(cls, now);
     }
-  } else if (had_ls && n.active) {
+  } else if (had_ls && h.active()) {
     set_passive(cls);
   }
 
   // Upper limit: re-anchor at (now, w).
-  if (n.has_ul()) {
-    n.uc = RuntimeCurve(cfg.ul, now, n.total);
-    n.fit = n.uc.y2x(n.total);
+  if (h.has_ul()) {
+    cc.uc = RuntimeCurve(cfg.ul, now, h.total);
+    h.fit = cc.uc.y2x(h.total);
   } else {
-    n.fit = 0;
+    h.fit = 0;
   }
 }
 
 void Hfsc::delete_class(ClassId cls) {
   ensure(live(cls), Errc::kInvalidClass, "unknown or deleted class");
   Node& n = nodes_[cls];
+  HotClass& h = hot_[cls];
   ensure(n.children.empty(), Errc::kHasChildren, "delete children first");
   if (admission_ && !in_txn_apply_) {
     std::vector<ServiceCurve> curves = leaf_rt_curves();
-    if (n.has_rt()) {
+    if (h.has_rt()) {
       curves.erase(std::find(curves.begin(), curves.end(), n.cfg.rt));
     }
-    if (n.parent != kRootClass && nodes_[n.parent].children.size() == 1 &&
-        nodes_[n.parent].has_rt()) {
+    if (h.parent != kRootClass && nodes_[h.parent].children.size() == 1 &&
+        hot_[h.parent].has_rt()) {
       // The parent becomes a leaf again; its rt guarantee re-activates
       // and must fit back under the link curve.
-      curves.push_back(nodes_[n.parent].cfg.rt);
+      curves.push_back(nodes_[h.parent].cfg.rt);
     }
     apply_admission(curves);
   }
@@ -337,19 +358,19 @@ void Hfsc::delete_class(ClassId cls) {
     n.bytes_dropped += p.len;
   }
   if (es_contains(cls)) es_erase(cls);
-  if (n.active) set_passive(cls);
-  if (n.has_ul()) --num_ul_;
+  if (h.active()) set_passive(cls);
+  if (h.has_ul()) --num_ul_;
 
   // Detach from the parent: swap-remove from the children vector and fix
   // the displaced sibling's index (including its heap entry if active).
-  Node& p = nodes_[n.parent];
-  const std::uint32_t idx = n.idx_in_parent;
+  Node& p = nodes_[h.parent];
+  const std::uint32_t idx = h.idx_in_parent;
   const std::uint32_t last = static_cast<std::uint32_t>(p.children.size() - 1);
   if (idx != last) {
     const ClassId moved = p.children[last];
     p.children[idx] = moved;
-    Node& m = nodes_[moved];
-    if (m.active) {
+    HotClass& m = hot_[moved];
+    if (m.active()) {
       const TimeNs key = p.active_children.key_of(m.idx_in_parent);
       p.active_children.erase(m.idx_in_parent);
       p.active_children.push(idx, key);
@@ -400,8 +421,9 @@ void Hfsc::enqueue(TimeNs now, Packet pkt) {
   if (!was_empty) return;
   n.last_progress = now;  // a starvation episode starts at backlog onset
   n.starved_flagged = false;
-  if (n.has_rt()) update_ed(pkt.cls, now);
-  if (n.has_ls()) activate_ls_path(pkt.cls, now);
+  const HotClass& h = hot_[pkt.cls];
+  if (h.has_rt()) update_ed(pkt.cls, now);
+  if (h.has_ls()) activate_ls_path(pkt.cls, now);
 }
 
 bool Hfsc::drop_tail(ClassId cls) {
@@ -410,12 +432,13 @@ bool Hfsc::drop_tail(ClassId cls) {
     return false;
   }
   Node& n = nodes_[cls];
+  const HotClass& h = hot_[cls];
   const Packet p = queues_.pop_back(cls);
   ++n.pkts_dropped;
   n.bytes_dropped += p.len;
   if (!queues_.has(cls)) {
-    if (n.has_rt() && es_contains(cls)) es_erase(cls);
-    if (n.active) set_passive(cls);
+    if (h.has_rt() && es_contains(cls)) es_erase(cls);
+    if (h.active()) set_passive(cls);
   }
   return true;
 }
@@ -439,6 +462,35 @@ std::optional<Packet> Hfsc::dequeue(TimeNs now) {
   return std::nullopt;
 }
 
+std::size_t Hfsc::dequeue_batch(TimeNs now, std::size_t max_pkts,
+                                std::vector<Packet>& out) {
+  // Bit-identical to a loop of single dequeue() calls stopping at the
+  // first nullopt: clamp_now is idempotent at a fixed `now` (the first
+  // call advances the watermark, later calls return it unchanged) and so
+  // is maybe_watchdog (its scan window moves past `now` on the first
+  // call), so both hoist out of the loop.  maybe_self_check stays inside
+  // so the audit cadence — and therefore op_count_ — matches the single
+  // calls exactly, including the final failing call's check when the
+  // batch ends early.
+  now = clamp_now(now);
+  maybe_watchdog(now);
+  std::size_t served = 0;
+  while (served < max_pkts) {
+    maybe_self_check();
+    if (queues_.packets() == 0) break;
+    Criterion crit = Criterion::kRealTime;
+    std::optional<ClassId> leaf = es_min_deadline_eligible(now);
+    if (!leaf) {
+      leaf = ls_select(now);
+      crit = Criterion::kLinkShare;
+      if (!leaf) break;
+    }
+    out.push_back(serve(*leaf, crit, now));
+    ++served;
+  }
+  return served;
+}
+
 TimeNs Hfsc::next_wakeup(TimeNs /*now*/) const noexcept {
   return std::min(es_next_eligible_time(), ls_next_fit_);
 }
@@ -449,7 +501,7 @@ std::vector<ServiceCurve> Hfsc::leaf_rt_curves() const {
   std::vector<ServiceCurve> out;
   for (ClassId c = 1; c < nodes_.size(); ++c) {
     const Node& n = nodes_[c];
-    if (!n.deleted && n.children.empty() && n.has_rt()) {
+    if (!n.deleted && n.children.empty() && hot_[c].has_rt()) {
       out.push_back(n.cfg.rt);
     }
   }

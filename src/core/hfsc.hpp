@@ -239,6 +239,13 @@ class Hfsc final : public Scheduler {
   // curves stay monotone under clock anomalies.
   void enqueue(TimeNs now, Packet pkt) override;
   std::optional<Packet> dequeue(TimeNs now) override;
+  // Batched dequeue: bit-identical to `max_pkts` single dequeue() calls
+  // (same packet order, same state_digest — fuzzer-proven), but pays the
+  // per-call overhead (clock clamp, watchdog scan check, virtual
+  // dispatch) once and keeps the hot slab / heap lines resident across
+  // the k selections.
+  std::size_t dequeue_batch(TimeNs now, std::size_t max_pkts,
+                            std::vector<Packet>& out) override;
 
   // Push-out buffer management (runtime/governor.hpp): drops the *newest*
   // queued packet of `cls`, counted against the class like any other
@@ -292,16 +299,16 @@ class Hfsc final : public Scheduler {
   RateBps link_rate() const noexcept { return link_rate_; }
   std::size_t num_classes() const noexcept { return nodes_.size(); }
   bool is_leaf(ClassId cls) const { return nodes_[cls].children.empty(); }
-  ClassId parent_of(ClassId cls) const { return nodes_[cls].parent; }
+  ClassId parent_of(ClassId cls) const { return hot_[cls].parent; }
   const ClassConfig& config_of(ClassId cls) const { return nodes_[cls].cfg; }
   // Total service (both criteria) delivered to the class's subtree.
-  Bytes total_work(ClassId cls) const { return nodes_[cls].total; }
+  Bytes total_work(ClassId cls) const { return hot_[cls].total; }
   // Service delivered to a leaf by the real-time criterion.
-  Bytes rt_work(ClassId cls) const { return nodes_[cls].cumul; }
-  TimeNs vtime(ClassId cls) const { return nodes_[cls].vt; }
-  TimeNs eligible_of(ClassId cls) const { return nodes_[cls].e; }
-  TimeNs deadline_of(ClassId cls) const { return nodes_[cls].d; }
-  bool active(ClassId cls) const { return nodes_[cls].active; }
+  Bytes rt_work(ClassId cls) const { return hot_[cls].cumul; }
+  TimeNs vtime(ClassId cls) const { return hot_[cls].vt; }
+  TimeNs eligible_of(ClassId cls) const { return hot_[cls].e; }
+  TimeNs deadline_of(ClassId cls) const { return hot_[cls].d; }
+  bool active(ClassId cls) const { return hot_[cls].active(); }
   // Packets / bytes delivered and dropped, kernel-statistics style.
   std::uint64_t packets_sent(ClassId cls) const {
     return nodes_[cls].pkts_sent;
@@ -319,28 +326,70 @@ class Hfsc final : public Scheduler {
   Criterion last_criterion() const noexcept { return last_criterion_; }
 
  private:
-  struct Node {
-    ClassId parent = kRootClass;
-    std::uint32_t idx_in_parent = 0;  // dense index in parent's heap
-    std::vector<ClassId> children;
-    ClassConfig cfg;
-
-    // Real-time state (leaves with rt curve).
-    RuntimeCurve dc;  // deadline curve D
-    RuntimeCurve ec;  // eligible curve E
-    Bytes cumul = 0;  // c: service received via the real-time criterion
+  // --- Struct-of-arrays per-class state ------------------------------------
+  // The dequeue hot path touches, per served packet, the leaf's cached
+  // times / work counters / curve-presence flags plus the same fields of
+  // every ancestor.  Exactly those fields are packed into one 64-byte
+  // line per class in `hot_` (indexed by dense ClassId, parallel to
+  // `nodes_`), and the four runtime curves into a second parallel slab
+  // `curves_`, so a serve touches a couple of predictable cache lines per
+  // class instead of chasing through a ~600-byte Node.  Everything the
+  // data path reads at most once per packet — configuration, children
+  // lists, per-parent heaps, statistics — stays in the cold Node.
+  struct alignas(64) HotClass {
     TimeNs e = 0;     // eligible time of the head packet
     TimeNs d = 0;     // deadline of the head packet
-
-    // Link-sharing state.
-    RuntimeCurve vc;  // virtual curve V
-    Bytes total = 0;  // w: total service received (both criteria)
     TimeNs vt = 0;    // virtual time v = V^{-1}(w)
+    TimeNs fit = 0;   // f = U^{-1}(w); may use link-sharing once fit <= now
+    Bytes cumul = 0;  // c: service received via the real-time criterion
+    Bytes total = 0;  // w: total service received (both criteria)
+    ClassId parent = kRootClass;
+    std::uint32_t idx_in_parent = 0;  // dense index in parent's heap
 
-    // Upper-limit state (extension).
-    RuntimeCurve uc;
-    TimeNs fit = 0;  // f = U^{-1}(w); class may use link-sharing once
-                     // fit <= now
+    // Curve-presence flags cached from cfg (refresh_flags) plus the
+    // active bit, packed into one byte so the hot path never probes the
+    // three ServiceCurve structs.  kActive: leaf = backlogged with an ls
+    // curve; interior = has an active child.
+    static constexpr std::uint8_t kHasRt = 1;
+    static constexpr std::uint8_t kHasLs = 2;
+    static constexpr std::uint8_t kHasUl = 4;
+    static constexpr std::uint8_t kActive = 8;
+    std::uint8_t flags = 0;
+
+    bool has_rt() const noexcept { return (flags & kHasRt) != 0; }
+    bool has_ls() const noexcept { return (flags & kHasLs) != 0; }
+    bool has_ul() const noexcept { return (flags & kHasUl) != 0; }
+    bool active() const noexcept { return (flags & kActive) != 0; }
+    void set_active(bool on) noexcept {
+      flags = static_cast<std::uint8_t>(on ? (flags | kActive)
+                                           : (flags & ~kActive));
+    }
+    void refresh_flags(const ClassConfig& cfg) noexcept {
+      flags = static_cast<std::uint8_t>((flags & kActive) |
+                                        (cfg.rt.is_zero() ? 0 : kHasRt) |
+                                        (cfg.ls.is_zero() ? 0 : kHasLs) |
+                                        (cfg.ul.is_zero() ? 0 : kHasUl));
+    }
+  };
+  static_assert(sizeof(HotClass) == 64,
+                "hot per-class state must stay one cache line");
+
+  // Runtime curves of one class, parallel to hot_ (see HotClass).
+  // Member order is deliberate: charge_total() reads vc (and uc when an
+  // upper limit exists) for EVERY class on the leaf-to-root walk, while
+  // dc/ec are only touched for the served rt leaf — so the per-level
+  // curves lead the struct and share its first cache lines.
+  struct ClassCurves {
+    RuntimeCurve vc;  // virtual curve V
+    RuntimeCurve uc;  // upper-limit curve U (extension)
+    RuntimeCurve dc;  // deadline curve D
+    RuntimeCurve ec;  // eligible curve E
+  };
+
+  // Cold per-class state: read at most once per packet on the data path.
+  struct Node {
+    std::vector<ClassId> children;
+    ClassConfig cfg;
 
     // As a parent: heap of active children keyed by vt (ids are
     // idx_in_parent), plus the watermark used for the system virtual
@@ -360,22 +409,8 @@ class Hfsc final : public Scheduler {
     TimeNs last_progress = 0;
     bool starved_flagged = false;
 
-    bool active = false;       // leaf: backlogged; interior: any active child
     bool ever_active = false;  // curves initialized
     bool deleted = false;
-    // Curve-presence flags, cached from cfg (refresh_flags) so the hot
-    // path reads one byte instead of probing three ServiceCurve structs.
-    bool rt_flag = false;
-    bool ls_flag = false;
-    bool ul_flag = false;
-    bool has_rt() const noexcept { return rt_flag; }
-    bool has_ls() const noexcept { return ls_flag; }
-    bool has_ul() const noexcept { return ul_flag; }
-    void refresh_flags() noexcept {
-      rt_flag = !cfg.rt.is_zero();
-      ls_flag = !cfg.ls.is_zero();
-      ul_flag = !cfg.ul.is_zero();
-    }
   };
 
   // System virtual time of interior class p (Section IV-C).
@@ -404,7 +439,7 @@ class Hfsc final : public Scheduler {
   // fit time in ls_next_fit_ for next_wakeup().
   std::optional<ClassId> ls_select(TimeNs now);
 
-  std::optional<Packet> serve(ClassId leaf, Criterion crit, TimeNs now);
+  Packet serve(ClassId leaf, Criterion crit, TimeNs now);
 
   // True when `cls` names a live (non-root, non-deleted) class.
   bool live(ClassId cls) const noexcept {
@@ -466,7 +501,9 @@ class Hfsc final : public Scheduler {
   RateBps link_rate_;
   EligibleSetKind es_kind_;  // recorded for checkpoint/restore
   SystemVtPolicy vt_policy_;
-  std::vector<Node> nodes_;  // nodes_[0] = root
+  std::vector<Node> nodes_;       // nodes_[0] = root (cold state)
+  std::vector<HotClass> hot_;     // parallel to nodes_ (hot slab)
+  std::vector<ClassCurves> curves_;  // parallel to nodes_ (curve slab)
   ClassQueues queues_;
   std::unique_ptr<EligibleSet> rt_requests_;
   // Non-owning view of rt_requests_ when es_kind_ == kDualHeap (the

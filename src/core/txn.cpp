@@ -64,7 +64,7 @@ Hfsc::Txn::Shadow Hfsc::Txn::make_shadow() const {
   for (ClassId c = 0; c < s_->nodes_.size(); ++c) {
     const Node& n = s_->nodes_[c];
     Shadow::SNode& sn = sh.nodes[c];
-    sn.parent = n.parent;
+    sn.parent = s_->hot_[c].parent;
     sn.cfg = n.cfg;
     sn.children = static_cast<std::uint32_t>(n.children.size());
     sn.deleted = n.deleted;

@@ -17,10 +17,35 @@
 // for the supported curve family, generalizing Fig. 8's update_dc.
 #pragma once
 
+#ifdef HFSC_CACHE_STATS
+#include <atomic>
+#endif
+
 #include "curve/service_curve.hpp"
 #include "util/types.hpp"
 
 namespace hfsc {
+
+#ifdef HFSC_CACHE_STATS
+// Compile-flag-gated diagnostics for the incremental-inverse cache: how
+// often a second-segment y2x query was answered from the cached divmod
+// state (hit) versus a full 128-bit divide (miss).  Relaxed atomics: the
+// counters are statistical, so cross-thread ordering does not matter and
+// the instrumented build stays ThreadSanitizer-clean.  bench_throughput
+// prints the totals in its smoke output (docs/BENCH_NOTES.md).
+struct CurveCacheStats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+};
+inline CurveCacheStats& curve_cache_stats() noexcept {
+  static CurveCacheStats stats;
+  return stats;
+}
+#define HFSC_CURVE_STAT(field) \
+  ::hfsc::curve_cache_stats().field.fetch_add(1, std::memory_order_relaxed)
+#else
+#define HFSC_CURVE_STAT(field) ((void)0)
+#endif
 
 class RuntimeCurve {
  public:
@@ -107,22 +132,38 @@ class RuntimeCurve {
   // Inverse on the second segment (rel2 = v - y_ - dy_ > 0): computes
   // ceil(rel2 * 1e9 / m2_) either incrementally from the cached divmod
   // state or from scratch, re-seeding the cache.
+  //
+  // The fast-path admission test is branchless: all four conditions are
+  // evaluated unconditionally and folded into one well-predicted branch.
+  // The subtraction and multiplication feeding the mask may wrap when a
+  // condition is false; that is defined (unsigned) and their results are
+  // only consumed when every condition holds.
   TimeNs second_seg_y2x(Bytes rel2) const noexcept {
     if (m2_ == 0) return kTimeInfinity;
-    if (inv_valid_ && rel2 >= inv_rel_) {
-      const Bytes delta = rel2 - inv_rel_;
-      // delta * 1e9 must fit in 64 bits alongside the remainder.
-      if (delta <= kMaxIncrDelta) {
-        const std::uint64_t grow = delta * kNsPerSec;
-        if (grow <= ~std::uint64_t{0} - inv_rem_) {
-          const std::uint64_t a = grow + inv_rem_;
-          inv_q_ += a / m2_;
-          inv_rem_ = a % m2_;
-          inv_rel_ = rel2;
-          return sat_add(sat_add(x_, dx_), inv_q_ + (inv_rem_ != 0 ? 1 : 0));
-        }
+    const Bytes delta = rel2 - inv_rel_;        // valid iff rel2 >= inv_rel_
+    const std::uint64_t grow = delta * kNsPerSec;  // valid iff delta small
+    const bool ok = inv_valid_ & (rel2 >= inv_rel_) &
+                    (delta <= kMaxIncrDelta) &
+                    (grow <= ~std::uint64_t{0} - inv_rem_);
+    if (__builtin_expect(ok, 1)) {
+      const std::uint64_t a = grow + inv_rem_;
+      const std::uint64_t add = a / m2_;
+      // The cold path refuses to seed the cache at quotients >= 2^62, but
+      // incremental advances can still march the cached quotient toward
+      // the top of the 64-bit range, where `inv_q_ += add` — or the + 1
+      // ceil carry in the return — would wrap and silently disagree with
+      // the cold path's saturating arithmetic (a curve with a tiny m2
+      // gets there in two queries).  Hand such advances back to the cold
+      // path, which computes the saturated result and drops the cache.
+      if (__builtin_expect(add <= ~std::uint64_t{0} - 1 - inv_q_, 1)) {
+        HFSC_CURVE_STAT(hits);
+        inv_q_ += add;
+        inv_rem_ = a % m2_;
+        inv_rel_ = rel2;
+        return sat_add(sat_add(x_, dx_), inv_q_ + (inv_rem_ != 0 ? 1 : 0));
       }
     }
+    HFSC_CURVE_STAT(misses);
     // Cold path: full 128-bit divide, then seed the incremental cache
     // (only while the quotient is far from saturation, so the cached and
     // saturating arithmetic can never disagree).

@@ -224,6 +224,7 @@ class Shard {
   std::uint64_t refill_seq_ = 1u << 20;
   std::size_t pops_since_ckpt_ = 0;
   std::vector<bool> rt_leaf_;
+  std::vector<Packet> batch_buf_;  // refill-mode batched-drain scratch
 
   // Flags and the stats segment.
   std::atomic<bool> abort_{false};

@@ -46,6 +46,7 @@ ClassId Cbq::add_class(ClassId parent, RateBps rate, bool borrow) {
     c = p;
   }
   queues_.ensure(id);
+  ++borrow_gen_;  // levels and the class set changed
   return id;
 }
 
@@ -57,6 +58,35 @@ int Cbq::min_unsatisfied_level(TimeNs now) const {
       lvl = std::min(lvl, n.level);
     }
   }
+  return lvl;
+}
+
+int Cbq::unsat_level_lazy(TimeNs now) {
+  if (unsat_cache_gen_ == borrow_gen_ && now >= unsat_cache_now_ &&
+      now < unsat_cache_next_) {
+    // Cache validity argument: with estimators and backlogs frozen (same
+    // generation), a class's underlimit() verdict can only flip
+    // over->under, and only when the clock reaches its undertime — the
+    // earliest of which is unsat_cache_next_.  assert()-checked against
+    // the eager scan so debug/sanitizer CI revalidates every hit.
+    assert(unsat_cache_lvl_ == min_unsatisfied_level(now));
+    return unsat_cache_lvl_;
+  }
+  int lvl = std::numeric_limits<int>::max();
+  TimeNs next = kTimeInfinity;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.subtree_backlog == 0) continue;
+    if (underlimit(n, now)) {
+      lvl = std::min(lvl, n.level);
+    } else if (n.undertime > now) {
+      next = std::min(next, n.undertime);
+    }
+  }
+  unsat_cache_gen_ = borrow_gen_;
+  unsat_cache_now_ = now;
+  unsat_cache_next_ = next;
+  unsat_cache_lvl_ = lvl;
   return lvl;
 }
 
@@ -118,6 +148,7 @@ void Cbq::enqueue(TimeNs /*now*/, Packet pkt) {
     return;
   }
   queues_.push(pkt);
+  ++borrow_gen_;  // a 0 -> >0 subtree backlog creates unsatisfied classes
   for (ClassId c = pkt.cls; c != kRootClass; c = nodes_[c].parent) {
     ++nodes_[c].subtree_backlog;
   }
@@ -131,9 +162,9 @@ void Cbq::enqueue(TimeNs /*now*/, Packet pkt) {
 
 std::optional<Packet> Cbq::dequeue(TimeNs now) {
   // Weighted round robin over backlogged leaves, skipping those that are
-  // overlimit with nothing to borrow from.  One full scan per call; if
-  // nobody may send, the link must idle (next_wakeup knows how long).
-  const int unsat = min_unsatisfied_level(now);
+  // overlimit with nothing to borrow from.  If nobody may send, the link
+  // must idle (next_wakeup knows how long).
+  const int unsat = unsat_level_lazy(now);
   for (std::size_t scanned = 0; scanned < round_.size(); ++scanned) {
     const ClassId cls = round_.front();
     Node& n = nodes_[cls];
@@ -152,6 +183,7 @@ std::optional<Packet> Cbq::dequeue(TimeNs now) {
     }
     n.deficit -= head;
     Packet p = queues_.pop(cls);
+    ++borrow_gen_;  // backlog and estimator state both move below
     for (ClassId c = cls; c != kRootClass; c = nodes_[c].parent) {
       --nodes_[c].subtree_backlog;
     }

@@ -17,6 +17,7 @@
 // estimator's time constant, and delay inherently coupled to bandwidth.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <vector>
@@ -91,6 +92,13 @@ class Cbq final : public Scheduler {
   // backlogged class is underlimit (an "unsatisfied" class); borrowing is
   // only permitted from ancestors at or below that level.
   int min_unsatisfied_level(TimeNs now) const;
+  // Memoized front-end for min_unsatisfied_level().  Between borrow-state
+  // mutations (estimator charges, backlog changes — tracked by
+  // borrow_gen_) the unsatisfied set can only change when the clock
+  // crosses a blocked class's undertime, so the eager full-tree scan is
+  // re-run only on a generation bump, a clock regression, or crossing the
+  // cached validity horizon.  Steady-state dequeues hit the cache.
+  int unsat_level_lazy(TimeNs now);
   bool may_send(ClassId cls, TimeNs now, int unsat_level) const;
   void charge(ClassId cls, Bytes len, TimeNs now);
 
@@ -100,6 +108,13 @@ class Cbq final : public Scheduler {
   ClassQueues queues_;
   std::deque<ClassId> round_;  // backlogged leaves, WRR order
   DataPathCounters counters_;
+
+  // Lazy unsatisfied-level cache (see unsat_level_lazy).
+  std::uint64_t borrow_gen_ = 0;       // bumped on any borrow-state change
+  std::uint64_t unsat_cache_gen_ = ~std::uint64_t{0};
+  TimeNs unsat_cache_now_ = 0;   // `now` the cache was computed at
+  TimeNs unsat_cache_next_ = 0;  // earliest undertime that could change it
+  int unsat_cache_lvl_ = 0;
 };
 
 }  // namespace hfsc

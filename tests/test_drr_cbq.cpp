@@ -128,5 +128,34 @@ TEST(Cbq, DelayCoupledToBandwidth) {
   EXPECT_GT(sim.tracker().max_delay_ms(audio), 1.0);
 }
 
+TEST(Cbq, UnsatLevelCacheKeepsSeedSentCounts) {
+  // Differential pin for the lazy unsatisfied-level cache: the exact
+  // per-class delivered-packet counts of this borrow-heavy workload were
+  // captured with the original eager implementation (one full-tree scan
+  // per dequeue).  The cache must be invisible — any drift here means a
+  // stale cache changed a borrowing decision.  The workload exercises the
+  // interesting transitions: a non-borrowing class going overlimit, a
+  // source stopping mid-run (its share becomes borrowable), and a
+  // late-starting class flipping the unsatisfied level back down.
+  Cbq sched(mbps(10));
+  const ClassId agency_a = sched.add_class(kRootClass, mbps(7));
+  const ClassId agency_b = sched.add_class(kRootClass, mbps(3));
+  const ClassId a1 = sched.add_class(agency_a, mbps(5), /*borrow=*/true);
+  const ClassId a2 = sched.add_class(agency_a, mbps(2), /*borrow=*/false);
+  const ClassId b1 = sched.add_class(agency_b, mbps(2), /*borrow=*/true);
+  const ClassId b2 = sched.add_class(agency_b, mbps(1), /*borrow=*/true);
+  Simulator sim(mbps(10), sched);
+  sim.add<GreedySource>(a1, 1000, 4, 0, sec(2));
+  sim.add<GreedySource>(a2, 700, 4, 0, sec(1));
+  sim.add<PoissonSource>(b1, mbps(2), 400, 0, sec(2), 7);
+  sim.add<GreedySource>(b2, 1200, 4, msec(500), sec(2));
+  sim.run(sec(2) + msec(100));
+  const auto& t = sim.tracker();
+  EXPECT_EQ(t.packets(a1), 1520u);
+  EXPECT_EQ(t.packets(a2), 370u);
+  EXPECT_EQ(t.packets(b1), 1270u);
+  EXPECT_EQ(t.packets(b2), 182u);
+}
+
 }  // namespace
 }  // namespace hfsc

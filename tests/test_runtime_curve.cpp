@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "curve/runtime_curve.hpp"
 #include "util/rng.hpp"
@@ -174,6 +175,71 @@ INSTANTIATE_TEST_SUITE_P(
         MinWithCase{{0, msec(100), kbps(512)}, 5},        // slow convex
         MinWithCase{ServiceCurve::linear(mbps(5)), 6},    // linear
         MinWithCase{ServiceCurve::linear(kbps(64)), 7}));
+
+// --- incremental-inverse cache vs cold path at saturation ----------------
+//
+// y2x's second-segment fast path advances a cached (quotient, remainder)
+// pair with 64-bit arithmetic, while the cold path computes the same
+// inverse with a saturating 128-bit divide.  The two must stay
+// bit-identical even where the quotient approaches and crosses the
+// 64-bit range — a curve with a tiny m2 gets there in a handful of
+// queries, and an unguarded `inv_q_ += add` (or the ceil's +1 carry)
+// wraps where the cold path saturates to kTimeInfinity.
+
+// Ground truth: a freshly constructed curve answers its first query via
+// the cold path (the cache starts invalid).
+TimeNs cold_y2x(const ServiceCurve& sc, Bytes v) {
+  const RuntimeCurve fresh(sc, 0, 0);
+  return fresh.y2x(v);
+}
+
+TEST(RuntimeCurve, CachedInverseMatchesColdAcrossSaturation) {
+  for (const RateBps m2 : {RateBps{1}, RateBps{3}, RateBps{7}}) {
+    const ServiceCurve sc{0, 0, m2};
+    RuntimeCurve warm(sc, 0, 0);
+    // Walk v monotonically (the scheduler's query pattern) from well
+    // inside cacheable territory, across the 2^62 re-seed refusal line,
+    // up to and past the point where the true inverse saturates to
+    // kTimeInfinity.  Mixed step sizes keep the walk hitting both the
+    // incremental fast path and every cold fallback.
+    const Bytes v62 = muldiv_floor(std::uint64_t{1} << 62, m2, kNsPerSec);
+    const Bytes vinf = muldiv_floor(~std::uint64_t{0}, m2, kNsPerSec);
+    const Bytes steps[] = {1, 3, v62 / 7, 1, 2, v62 / 3, 5, vinf / 4, 1,
+                           1, vinf / 3,  7, 1, vinf / 2, 1, 3};
+    Bytes v = v62 > 64 ? v62 - 64 : 1;
+    for (const Bytes s : steps) {
+      ASSERT_EQ(warm.y2x(v), cold_y2x(sc, v))
+          << "cached path diverged from cold at v=" << v << " m2=" << m2;
+      v = sat_add(v, s);
+    }
+    // Terminal check: far past saturation both sides pin at infinity.
+    EXPECT_EQ(warm.y2x(~std::uint64_t{0} - 1), kTimeInfinity);
+    EXPECT_EQ(cold_y2x(sc, ~std::uint64_t{0} - 1), kTimeInfinity);
+    // And the warm curve recovers normal service after saturation
+    // dropped its cache (queries are allowed to keep coming).
+    EXPECT_EQ(warm.y2x(~std::uint64_t{0} - 1), kTimeInfinity);
+  }
+}
+
+TEST(RuntimeCurve, CacheSurvivesCheckpointRestoreBitIdentical) {
+  // from_parts() is the checkpoint-restore constructor: it must produce
+  // a curve whose (cold, cache-less) answers match the original warm
+  // curve's cached answers query for query — including right at the
+  // saturation boundary the cache refuses to cross.
+  const ServiceCurve sc{0, 0, 2};
+  RuntimeCurve warm(sc, usec(5), 100);
+  const Bytes v62 = muldiv_floor(std::uint64_t{1} << 62, 2, kNsPerSec);
+  std::vector<Bytes> probes = {200,         5000,       v62 / 2,
+                               v62 - 1,     v62 + 1000, v62 * 2,
+                               v62 * 3 + 7, ~std::uint64_t{0} / 2};
+  for (const Bytes v : probes) (void)warm.y2x(v);  // warm the cache
+  const RuntimeCurve restored = RuntimeCurve::from_parts(
+      warm.x(), warm.y(), warm.dx(), warm.dy(), warm.m1(), warm.m2());
+  for (const Bytes v : probes) {
+    ASSERT_EQ(warm.y2x(v), restored.y2x(v))
+        << "restored curve diverged at v=" << v;
+  }
+}
 
 }  // namespace
 }  // namespace hfsc

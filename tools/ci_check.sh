@@ -98,6 +98,27 @@ case "${what}" in
     echo "=== Release: scenario lint gate ==="
     ctest --test-dir "${repo}/build-ci-release" --output-on-failure \
       -L lint
+    echo "=== Release: perf smoke vs committed baseline ==="
+    # A focused smoke run of the headline combination, compared against
+    # the committed trajectory: > 10% regression warns, and fails the
+    # stage when HFSC_PERF_GATE=1 (tools/perf_smoke_check.py).
+    "${repo}/build-ci-release/bench/bench_throughput" --smoke \
+      --workload=wide1000 --kind=dual_heap \
+      --out="${repo}/build-ci-release/PERF_smoke.json"
+    python3 "${repo}/tools/perf_smoke_check.py" \
+      "${repo}/BENCH_throughput.json" \
+      "${repo}/build-ci-release/PERF_smoke.json"
+    echo "=== Release: curve-cache hit rate (HFSC_CACHE_STATS build) ==="
+    # Separate build dir: the stats counters are two atomic increments on
+    # the hottest path, so the gated comparison above must not pay for
+    # them.  Only the bench target is built here.
+    cmake -B "${repo}/build-ci-stats" -S "${repo}" \
+      -DCMAKE_BUILD_TYPE=Release -DHFSC_WERROR=ON -DHFSC_CACHE_STATS=ON
+    cmake --build "${repo}/build-ci-stats" -j "${jobs}" \
+      --target bench_throughput
+    "${repo}/build-ci-stats/bench/bench_throughput" --smoke \
+      --workload=wide1000 --kind=dual_heap \
+      --out="${repo}/build-ci-stats/PERF_smoke_stats.json"
     ;;&
   sanitize|all)
     run_config "ASan+UBSan" "${repo}/build-ci-sanitize" \
