@@ -485,8 +485,90 @@ AnalysisReport analyze(const HierarchySpec& spec, RateBps link_rate,
 }
 
 AnalysisReport analyze(const Scenario& sc, const AnalysisOptions& opts) {
-  const HierarchySpec spec = sc.to_hierarchy_spec();
-  return analyze_impl(spec, sc.link_rate, &sc, opts);
+  AnalysisReport report;
+  if (!sc.multi_node) {
+    const HierarchySpec spec = sc.to_hierarchy_spec();
+    report = analyze_impl(spec, sc.link_rate, &sc, opts);
+  } else {
+    // Multi-node topology: each node's hierarchy is admitted against its
+    // own link, so run the whole analysis once per node on a filtered
+    // single-node view and merge, tagging findings "node.class".
+    report.file = sc.file;
+    report.link_rate = sc.link_rate;
+    for (const ScenarioNode& node : sc.nodes) {
+      Scenario sub;
+      sub.file = sc.file;
+      sub.link_rate = node.rate;
+      sub.duration = sc.duration;
+      sub.window = sc.window;
+      sub.scheduler = sc.scheduler;
+      sub.admission = sc.admission;
+      sub.nodes.push_back(ScenarioNode{node.name, node.rate, node.line});
+      for (const ScenarioClass& c : sc.classes) {
+        if (c.node == node.name) sub.classes.push_back(c);
+      }
+      for (const ScenarioSource& s : sc.sources) {
+        if (s.node == node.name) sub.sources.push_back(s);
+      }
+      // A routed class is fed on its later hops by the upstream node, not
+      // by a source directive: synthesize the entry-hop sources there so
+      // the unfed lint doesn't misfire and packet sizes still propagate
+      // into the Theorem 2 transmission term.
+      for (const ScenarioRoute& r : sc.routes) {
+        if (std::find(r.nodes.begin() + 1, r.nodes.end(), node.name) ==
+            r.nodes.end()) {
+          continue;
+        }
+        for (const ScenarioSource& s : sc.sources) {
+          if (s.cls != r.cls) continue;
+          ScenarioSource fwd = s;
+          fwd.node = node.name;
+          sub.sources.push_back(std::move(fwd));
+        }
+      }
+      const HierarchySpec spec = sub.to_hierarchy_spec();
+      AnalysisReport rep = analyze_impl(spec, node.rate, &sub, opts);
+      report.num_classes += rep.num_classes;
+      report.rt_feasible = report.rt_feasible && rep.rt_feasible;
+      report.rt_utilization =
+          std::max(report.rt_utilization, rep.rt_utilization);
+      for (Diagnostic& d : rep.diagnostics) {
+        d.cls = d.cls.empty() ? node.name : node.name + "." + d.cls;
+        report.diagnostics.push_back(std::move(d));
+      }
+      for (LeafDelayBound& b : rep.delay_bounds) {
+        b.cls = node.name + "." + b.cls;
+        report.delay_bounds.push_back(std::move(b));
+      }
+      for (PortabilityEntry& e : rep.portability) {
+        for (std::string& n : e.notes) n = node.name + ": " + n;
+      }
+      if (report.portability.empty()) {
+        report.portability = std::move(rep.portability);
+      } else {
+        for (std::size_t i = 0; i < rep.portability.size(); ++i) {
+          PortabilityEntry& m = report.portability[i];
+          PortabilityEntry& e = rep.portability[i];
+          m.compiles = m.compiles && e.compiles;
+          m.lossless = m.lossless && e.lossless;
+          for (std::string& n : e.notes) m.notes.push_back(std::move(n));
+        }
+      }
+    }
+  }
+  if (!sc.events.empty()) {
+    Diagnostic d;
+    d.severity = Severity::kNote;
+    d.id = "timed-events-unanalyzed";
+    d.message = std::to_string(sc.events.size()) +
+                " timed `at` event(s) are applied at run time "
+                "(admission-gated when `admission` is set) and are outside "
+                "the static analysis";
+    d.loc.file = sc.file;
+    d.loc.line = sc.events.front().line;
+    report.diagnostics.push_back(std::move(d));
+  }
+  return report;
 }
 
 // ---------------------------------------------------------------- output

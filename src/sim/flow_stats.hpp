@@ -42,6 +42,11 @@ class FlowTracker {
   double delay_quantile_ms(ClassId cls, double q) const {
     return get(cls).delay_ns.quantile(q) / 1e6;
   }
+  // Raw per-packet delay samples in nanoseconds, departure order
+  // (histogram builders, merging stats across recreated class ids).
+  const SampleSet& delay_samples_ns(ClassId cls) const {
+    return get(cls).delay_ns;
+  }
 
   // Average goodput over [t0, t1) in Mb/s.
   double rate_mbps(ClassId cls, TimeNs t0, TimeNs t1) const {

@@ -50,6 +50,11 @@ class Link {
 
   Bytes bytes_sent() const noexcept { return bytes_sent_; }
   std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+  // 1 while a packet is on the wire (dequeued from the scheduler, last
+  // bit not yet out) — the in-service term of the conservation identity
+  //     offered == sent + dropped + rejected + backlog + in_service
+  // when a run is cut mid-transmission.
+  std::uint64_t in_service() const noexcept { return busy_ ? 1 : 0; }
   // Total time the transmitter spent busy (link utilization numerator).
   TimeNs busy_time() const noexcept { return busy_time_; }
 

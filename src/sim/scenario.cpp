@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/checkpoint.hpp"
-#include "sim/simulator.hpp"
+#include "sim/sources.hpp"
+#include "sim/topology.hpp"
 #include "util/stats.hpp"
 
 namespace hfsc {
@@ -140,12 +143,142 @@ ServiceCurve parse_spec(std::istringstream& ls, const std::string& fname,
   fail_at(fname, line, "unknown curve spec kind: " + kind);
 }
 
+// Body of a `class` directive after <name> <parent>: rt/ls/ul/qlimit
+// [/shard] attributes.  Shared between static classes and timed
+// (`at ... class`) creations, which cannot carry a shard pin.
+void parse_class_attrs(std::istringstream& ls, ScenarioClass* c,
+                       bool allow_shard, const std::string& fname,
+                       std::size_t line) {
+  std::string key;
+  while (ls >> key) {
+    if (key == "rt") {
+      c->cfg.rt = parse_spec(ls, fname, line);
+    } else if (key == "ls") {
+      c->cfg.ls = parse_spec(ls, fname, line);
+    } else if (key == "ul") {
+      c->cfg.ul = parse_spec(ls, fname, line);
+    } else if (key == "qlimit") {
+      std::string n;
+      if (!(ls >> n)) fail_at(fname, line, "qlimit needs a count");
+      c->qlimit = static_cast<std::size_t>(parse_bytes(n));
+    } else if (key == "shard") {
+      std::string n;
+      if (!(ls >> n)) fail_at(fname, line, "shard needs an index");
+      if (!allow_shard) {
+        fail_at(fname, line, "shard pins are not allowed on timed classes");
+      }
+      if (c->parent != "root") {
+        fail_at(fname, line,
+                "shard pins are only allowed on top-level classes");
+      }
+      c->shard = static_cast<int>(parse_bytes(n));
+    } else {
+      fail_at(fname, line, "unknown class attribute: " + key);
+    }
+  }
+  if (c->cfg.rt.is_zero() && c->cfg.ls.is_zero()) {
+    fail_at(fname, line, "class " + c->name + " needs at least one of rt/ls");
+  }
+}
+
+// Parses one source directive body after `source <kind> <class>`.  The
+// timed form (`at <t> source ...`) omits <start>/<stop>: the event time
+// is the start and the stop is resolved from later stop/delete events.
+ScenarioSource parse_source(std::istringstream& ls, const std::string& kind,
+                            bool timed, const std::string& fname,
+                            std::size_t line) {
+  ScenarioSource s;
+  auto want = [&](const char* what) -> std::string {
+    std::string tok;
+    if (!(ls >> tok)) fail_at(fname, line, std::string("source missing ") + what);
+    return tok;
+  };
+  auto span = [&] {
+    if (timed) return;
+    s.start = parse_time(want("start"));
+    s.stop = parse_time(want("stop"));
+  };
+  if (kind == "cbr") {
+    s.kind = ScenarioSource::Kind::kCbr;
+    s.rate = parse_rate(want("rate"));
+    s.pkt_len = parse_bytes(want("pkt"));
+    span();
+  } else if (kind == "poisson") {
+    s.kind = ScenarioSource::Kind::kPoisson;
+    s.rate = parse_rate(want("rate"));
+    s.pkt_len = parse_bytes(want("pkt"));
+    span();
+    s.seed = parse_bytes(want("seed"));
+  } else if (kind == "onoff") {
+    s.kind = ScenarioSource::Kind::kOnOff;
+    s.rate = parse_rate(want("peak rate"));
+    s.pkt_len = parse_bytes(want("pkt"));
+    s.mean_on = parse_time(want("mean_on"));
+    s.mean_off = parse_time(want("mean_off"));
+    span();
+    s.seed = parse_bytes(want("seed"));
+  } else if (kind == "pareto") {
+    s.kind = ScenarioSource::Kind::kPareto;
+    s.rate = parse_rate(want("peak rate"));
+    s.pkt_len = parse_bytes(want("pkt"));
+    s.mean_on = parse_time(want("mean_on"));
+    s.mean_off = parse_time(want("mean_off"));
+    s.alpha = std::stod(want("alpha"));
+    if (!(s.alpha > 1.0)) {
+      fail_at(fname, line, "pareto alpha must be > 1 (finite mean)");
+    }
+    span();
+    s.seed = parse_bytes(want("seed"));
+  } else if (kind == "greedy") {
+    s.kind = ScenarioSource::Kind::kGreedy;
+    s.pkt_len = parse_bytes(want("pkt"));
+    s.window = static_cast<std::size_t>(parse_bytes(want("window")));
+    span();
+  } else if (kind == "tcpish") {
+    s.kind = ScenarioSource::Kind::kTcpish;
+    s.pkt_len = parse_bytes(want("pkt"));
+    s.window = static_cast<std::size_t>(parse_bytes(want("max window")));
+    if (s.window == 0) fail_at(fname, line, "tcpish max window must be > 0");
+    span();
+  } else if (kind == "video") {
+    s.kind = ScenarioSource::Kind::kVideo;
+    s.fps = std::stod(want("fps"));
+    s.mean_frame = parse_bytes(want("mean_frame"));
+    s.max_frame = parse_bytes(want("max_frame"));
+    s.mtu = parse_bytes(want("mtu"));
+    span();
+    s.seed = parse_bytes(want("seed"));
+  } else {
+    fail_at(fname, line, "unknown source kind: " + kind);
+  }
+  std::string extra;
+  if (ls >> extra) fail_at(fname, line, "trailing token: " + extra);
+  s.line = line;
+  return s;
+}
+
 }  // namespace
 
 Scenario Scenario::parse(std::istream& in, const std::string& name) {
   Scenario sc;
   sc.file = name;
-  std::map<std::string, bool> class_names;
+  // Parser scope: "" at top level, else the open `node` block.  Legacy
+  // single-node files keep everything at top level; the implicit node
+  // "link" is materialized after the loop.
+  std::string cur_node;
+  bool saw_link = false;
+  // Per-scope class names ever declared (static and timed) — parent /
+  // target validation for later directives.
+  std::map<std::string, std::set<std::string>> ever;
+
+  auto find_static = [&sc](const std::string& node,
+                           const std::string& nm) -> ScenarioClass* {
+    for (ScenarioClass& c : sc.classes) {
+      if (c.node == node && c.name == nm) return &c;
+    }
+    return nullptr;
+  };
+
   std::string raw;
   std::size_t line = 0;
   while (std::getline(in, raw)) {
@@ -156,143 +289,299 @@ Scenario Scenario::parse(std::istream& in, const std::string& name) {
     std::string directive;
     if (!(ls >> directive)) continue;
 
+    auto global_only = [&] {
+      if (!cur_node.empty()) {
+        fail_at(name, line,
+                directive + " is a global directive (not allowed inside a "
+                            "node block)");
+      }
+    };
+    auto no_trailing = [&] {
+      std::string extra;
+      if (ls >> extra) fail_at(name, line, "trailing token: " + extra);
+    };
+
     if (directive == "link") {
+      global_only();
+      if (sc.multi_node) {
+        fail_at(name, line, "cannot mix `link` with `node` blocks");
+      }
       std::string r;
       if (!(ls >> r)) fail_at(name, line, "link needs a rate");
       sc.link_rate = parse_rate(r);
+      saw_link = true;
+    } else if (directive == "node") {
+      if (!cur_node.empty()) fail_at(name, line, "nested node block");
+      if (saw_link) {
+        fail_at(name, line, "cannot mix `node` blocks with `link`");
+      }
+      ScenarioNode n;
+      std::string r;
+      if (!(ls >> n.name >> r)) fail_at(name, line, "node needs <name> <rate>");
+      no_trailing();
+      if (sc.find_node(n.name) != nullptr) {
+        fail_at(name, line, "duplicate node " + n.name);
+      }
+      n.rate = parse_rate(r);
+      n.line = line;
+      cur_node = n.name;
+      sc.nodes.push_back(std::move(n));
+      sc.multi_node = true;
+    } else if (directive == "end") {
+      if (cur_node.empty()) fail_at(name, line, "end outside a node block");
+      no_trailing();
+      cur_node.clear();
     } else if (directive == "duration") {
+      global_only();
       std::string t;
       if (!(ls >> t)) fail_at(name, line, "duration needs a time");
       sc.duration = parse_time(t);
     } else if (directive == "window") {
+      global_only();
       std::string t;
       if (!(ls >> t)) fail_at(name, line, "window needs a time");
       sc.window = parse_time(t);
     } else if (directive == "scheduler") {
+      global_only();
       std::string kind;
       if (!(ls >> kind)) fail_at(name, line, "scheduler needs a kind");
       const auto parsed = parse_scheduler_kind(kind);
       if (!parsed) fail_at(name, line, "unknown scheduler kind: " + kind);
       sc.scheduler = *parsed;
+    } else if (directive == "admission") {
+      global_only();
+      no_trailing();
+      sc.admission = true;
     } else if (directive == "class") {
+      if (sc.multi_node && cur_node.empty()) {
+        fail_at(name, line, "class declared outside a node block");
+      }
       ScenarioClass c;
       if (!(ls >> c.name >> c.parent)) {
         fail_at(name, line, "class needs <name> <parent>");
       }
-      if (class_names.count(c.name)) fail_at(name, line, "duplicate class " + c.name);
-      if (c.parent != "root" && !class_names.count(c.parent)) {
+      c.node = cur_node;
+      if (ever[cur_node].count(c.name)) {
+        fail_at(name, line, "duplicate class " + c.name);
+      }
+      if (c.parent != "root" && find_static(cur_node, c.parent) == nullptr) {
         fail_at(name, line, "unknown parent class " + c.parent);
       }
-      std::string key;
-      while (ls >> key) {
-        if (key == "rt") {
-          c.cfg.rt = parse_spec(ls, name, line);
-        } else if (key == "ls") {
-          c.cfg.ls = parse_spec(ls, name, line);
-        } else if (key == "ul") {
-          c.cfg.ul = parse_spec(ls, name, line);
-        } else if (key == "qlimit") {
-          std::string n;
-          if (!(ls >> n)) fail_at(name, line, "qlimit needs a count");
-          c.qlimit = static_cast<std::size_t>(parse_bytes(n));
-        } else if (key == "shard") {
-          std::string n;
-          if (!(ls >> n)) fail_at(name, line, "shard needs an index");
-          if (c.parent != "root") {
-            fail_at(name, line,
-                    "shard pins are only allowed on top-level classes");
-          }
-          c.shard = static_cast<int>(parse_bytes(n));
-        } else {
-          fail_at(name, line, "unknown class attribute: " + key);
-        }
-      }
-      if (c.cfg.rt.is_zero() && c.cfg.ls.is_zero()) {
-        fail_at(name, line, "class " + c.name + " needs at least one of rt/ls");
-      }
+      parse_class_attrs(ls, &c, /*allow_shard=*/true, name, line);
       c.line = line;
-      class_names[c.name] = true;
+      ever[cur_node].insert(c.name);
       sc.classes.push_back(std::move(c));
     } else if (directive == "envelope") {
       std::string cls, burst, rate;
       if (!(ls >> cls >> burst >> rate)) {
         fail_at(name, line, "envelope needs <class> <burst> <rate>");
       }
-      std::string extra;
-      if (ls >> extra) fail_at(name, line, "trailing token: " + extra);
-      if (!class_names.count(cls)) fail_at(name, line, "unknown class " + cls);
-      const auto it = std::find_if(
-          sc.classes.begin(), sc.classes.end(),
-          [&](const ScenarioClass& c) { return c.name == cls; });
-      if (it->env_line != 0) {
+      no_trailing();
+      ScenarioClass* c = find_static(cur_node, cls);
+      if (c == nullptr) fail_at(name, line, "unknown class " + cls);
+      if (c->env_line != 0) {
         fail_at(name, line, "duplicate envelope for class " + cls);
       }
-      it->env_burst = parse_bytes(burst);
-      it->env_rate = parse_rate(rate);
-      if (it->env_burst == 0 && it->env_rate == 0) {
+      c->env_burst = parse_bytes(burst);
+      c->env_rate = parse_rate(rate);
+      if (c->env_burst == 0 && c->env_rate == 0) {
         fail_at(name, line, "envelope must have a non-zero burst or rate");
       }
-      it->env_line = line;
+      c->env_line = line;
     } else if (directive == "source") {
-      std::string kind;
-      ScenarioSource s;
-      if (!(ls >> kind >> s.cls)) fail_at(name, line, "source needs <kind> <class>");
-      if (!class_names.count(s.cls)) fail_at(name, line, "unknown class " + s.cls);
-      auto want = [&](const char* what) -> std::string {
-        std::string tok;
-        if (!(ls >> tok)) fail_at(name, line, std::string("source missing ") + what);
-        return tok;
-      };
-      if (kind == "cbr") {
-        s.kind = ScenarioSource::Kind::kCbr;
-        s.rate = parse_rate(want("rate"));
-        s.pkt_len = parse_bytes(want("pkt"));
-        s.start = parse_time(want("start"));
-        s.stop = parse_time(want("stop"));
-      } else if (kind == "poisson") {
-        s.kind = ScenarioSource::Kind::kPoisson;
-        s.rate = parse_rate(want("rate"));
-        s.pkt_len = parse_bytes(want("pkt"));
-        s.start = parse_time(want("start"));
-        s.stop = parse_time(want("stop"));
-        s.seed = parse_bytes(want("seed"));
-      } else if (kind == "onoff") {
-        s.kind = ScenarioSource::Kind::kOnOff;
-        s.rate = parse_rate(want("peak rate"));
-        s.pkt_len = parse_bytes(want("pkt"));
-        s.mean_on = parse_time(want("mean_on"));
-        s.mean_off = parse_time(want("mean_off"));
-        s.start = parse_time(want("start"));
-        s.stop = parse_time(want("stop"));
-        s.seed = parse_bytes(want("seed"));
-      } else if (kind == "greedy") {
-        s.kind = ScenarioSource::Kind::kGreedy;
-        s.pkt_len = parse_bytes(want("pkt"));
-        s.window = static_cast<std::size_t>(parse_bytes(want("window")));
-        s.start = parse_time(want("start"));
-        s.stop = parse_time(want("stop"));
-      } else if (kind == "video") {
-        s.kind = ScenarioSource::Kind::kVideo;
-        s.fps = std::stod(want("fps"));
-        s.mean_frame = parse_bytes(want("mean_frame"));
-        s.max_frame = parse_bytes(want("max_frame"));
-        s.mtu = parse_bytes(want("mtu"));
-        s.start = parse_time(want("start"));
-        s.stop = parse_time(want("stop"));
-        s.seed = parse_bytes(want("seed"));
-      } else {
-        fail_at(name, line, "unknown source kind: " + kind);
+      std::string kind, cls;
+      if (!(ls >> kind >> cls)) {
+        fail_at(name, line, "source needs <kind> <class>");
       }
-      std::string extra;
-      if (ls >> extra) fail_at(name, line, "trailing token: " + extra);
+      // Inside a node block the class must live on that node; a top-level
+      // source may name a class on any node (the entry node is resolved
+      // from the route after the whole file is read).
+      bool known = false;
+      for (const ScenarioClass& c : sc.classes) {
+        if (c.name == cls && (cur_node.empty() || c.node == cur_node)) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) fail_at(name, line, "unknown class " + cls);
+      ScenarioSource s = parse_source(ls, kind, /*timed=*/false, name, line);
+      s.cls = cls;
+      s.node = cur_node;  // hint; entry node resolved after parsing
       sc.sources.push_back(std::move(s));
+    } else if (directive == "route") {
+      global_only();
+      ScenarioRoute r;
+      if (!(ls >> r.cls)) fail_at(name, line, "route needs <class> <node>...");
+      std::string n;
+      while (ls >> n) r.nodes.push_back(std::move(n));
+      r.line = line;
+      sc.routes.push_back(std::move(r));
+    } else if (directive == "at") {
+      if (sc.multi_node && cur_node.empty()) {
+        fail_at(name, line, "`at` event outside a node block");
+      }
+      std::string t, what;
+      if (!(ls >> t >> what)) {
+        fail_at(name, line, "at needs <time> <class|delete|source|stop>");
+      }
+      ScenarioEvent e;
+      e.at = parse_time(t);
+      e.node = cur_node;
+      e.line = line;
+      if (what == "class") {
+        e.kind = ScenarioEvent::Kind::kAddClass;
+        if (!(ls >> e.cls.name >> e.cls.parent)) {
+          fail_at(name, line, "at ... class needs <name> <parent>");
+        }
+        if (find_static(cur_node, e.cls.name) != nullptr) {
+          fail_at(name, line,
+                  "timed class " + e.cls.name + " duplicates a static class");
+        }
+        if (e.cls.parent != "root" && !ever[cur_node].count(e.cls.parent)) {
+          fail_at(name, line, "unknown parent class " + e.cls.parent);
+        }
+        e.cls.node = cur_node;
+        parse_class_attrs(ls, &e.cls, /*allow_shard=*/false, name, line);
+        e.cls.line = line;
+        ever[cur_node].insert(e.cls.name);
+      } else if (what == "delete") {
+        e.kind = ScenarioEvent::Kind::kDeleteClass;
+        if (!(ls >> e.target)) fail_at(name, line, "at ... delete needs <class>");
+        no_trailing();
+        if (!ever[cur_node].count(e.target)) {
+          fail_at(name, line, "unknown class " + e.target);
+        }
+      } else if (what == "source") {
+        e.kind = ScenarioEvent::Kind::kStartSource;
+        std::string kind, cls;
+        if (!(ls >> kind >> cls)) {
+          fail_at(name, line, "at ... source needs <kind> <class>");
+        }
+        if (!ever[cur_node].count(cls)) {
+          fail_at(name, line, "unknown class " + cls);
+        }
+        e.src = parse_source(ls, kind, /*timed=*/true, name, line);
+        e.src.cls = cls;
+        e.src.node = cur_node;
+        e.src.start = e.at;
+        e.src.stop = kTimeInfinity;  // truncated by later stop/delete
+      } else if (what == "stop") {
+        e.kind = ScenarioEvent::Kind::kStopSources;
+        if (!(ls >> e.target)) fail_at(name, line, "at ... stop needs <class>");
+        no_trailing();
+        if (!ever[cur_node].count(e.target)) {
+          fail_at(name, line, "unknown class " + e.target);
+        }
+      } else {
+        fail_at(name, line, "unknown at-directive: " + what);
+      }
+      sc.events.push_back(std::move(e));
     } else {
       fail_at(name, line, "unknown directive: " + directive);
     }
   }
-  if (sc.link_rate == 0) fail_at(name.empty() ? "scenario" : name, line, "missing link");
-  if (sc.duration == 0) fail_at(name.empty() ? "scenario" : name, line, "missing duration");
-  if (sc.classes.empty()) fail_at(name.empty() ? "scenario" : name, line, "no classes");
+
+  // ---- finalize -----------------------------------------------------------
+  const std::string fname = name.empty() ? "scenario" : name;
+  if (sc.multi_node) {
+    if (!cur_node.empty()) {
+      fail_at(fname, line, "unterminated node block (missing end)");
+    }
+    for (const ScenarioClass& c : sc.classes) {
+      if (c.node.empty()) {
+        fail_at(name, c.line, "class declared outside a node block");
+      }
+    }
+    for (const ScenarioEvent& e : sc.events) {
+      if (e.node.empty()) {
+        fail_at(name, e.line, "`at` event outside a node block");
+      }
+    }
+    sc.link_rate = sc.nodes.front().rate;
+  } else {
+    if (sc.link_rate == 0) fail_at(fname, line, "missing link");
+    if (!sc.routes.empty()) {
+      fail_at(name, sc.routes.front().line,
+              "route needs `node` blocks (single-link scenario)");
+    }
+    ScenarioNode n;
+    n.name = "link";
+    n.rate = sc.link_rate;
+    sc.nodes.push_back(std::move(n));
+    for (ScenarioClass& c : sc.classes) c.node = "link";
+    for (ScenarioSource& s : sc.sources) s.node = "link";
+    for (ScenarioEvent& e : sc.events) {
+      e.node = "link";
+      if (e.kind == ScenarioEvent::Kind::kAddClass) e.cls.node = "link";
+      if (e.kind == ScenarioEvent::Kind::kStartSource) e.src.node = "link";
+    }
+  }
+  if (sc.duration == 0) fail_at(fname, line, "missing duration");
+  if (sc.classes.empty()) fail_at(fname, line, "no classes");
+
+  // Route validation: every hop must name a known node carrying a static
+  // declaration of the class, no node repeats, one route per class, and
+  // no (node, class) pair covered twice.
+  std::set<std::pair<std::string, std::string>> routed;
+  for (const ScenarioRoute& r : sc.routes) {
+    if (r.nodes.size() < 2) {
+      fail_at(name, r.line, "route needs at least two nodes");
+    }
+    if (sc.find_route(r.cls) != &r) {
+      fail_at(name, r.line, "duplicate route for class " + r.cls);
+    }
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+      const std::string& nn = r.nodes[i];
+      if (!seen.insert(nn).second) {
+        fail_at(name, r.line, "route visits node " + nn + " twice");
+      }
+      if (sc.find_node(nn) == nullptr) {
+        fail_at(name, r.line, "route through unknown node " + nn);
+      }
+      if (find_static(nn, r.cls) == nullptr) {
+        fail_at(name, r.line,
+                i == 0 ? "class " + r.cls + " is not declared on its first "
+                         "hop " + nn
+                       : "class " + r.cls + " is not declared on hop " + nn);
+      }
+      if (!routed.insert({nn, r.cls}).second) {
+        fail_at(name, r.line,
+                "class " + r.cls + " already routed at node " + nn);
+      }
+    }
+  }
+
+  // Entry-node resolution: a source feeds its class's route at the first
+  // hop; an unrouted class must pin the source to a node (its block, or
+  // being declared on exactly one node).
+  auto resolve_entry = [&](ScenarioSource& s) {
+    if (const ScenarioRoute* r = sc.find_route(s.cls)) {
+      if (!s.node.empty() && s.node != r->nodes.front()) {
+        fail_at(name, s.line,
+                "source for routed class " + s.cls + " must enter at its "
+                "first hop " + r->nodes.front());
+      }
+      s.node = r->nodes.front();
+      return;
+    }
+    if (!s.node.empty()) return;
+    std::string owner;
+    for (const ScenarioClass& c : sc.classes) {
+      if (c.name != s.cls) continue;
+      if (!owner.empty()) {
+        fail_at(name, s.line,
+                "class " + s.cls + " is declared on several nodes; add a "
+                "route or move the source into a node block");
+      }
+      owner = c.node;
+    }
+    s.node = owner;  // non-empty: parse checked the class exists somewhere
+  };
+  for (ScenarioSource& s : sc.sources) resolve_entry(s);
+  for (ScenarioEvent& e : sc.events) {
+    if (e.kind == ScenarioEvent::Kind::kStartSource) resolve_entry(e.src);
+  }
   return sc;
 }
 
@@ -302,9 +591,27 @@ Scenario Scenario::parse_file(const std::string& path) {
   return parse(f, path);
 }
 
-HierarchySpec Scenario::to_hierarchy_spec() const {
+const ScenarioNode* Scenario::find_node(const std::string& name) const {
+  for (const ScenarioNode& n : nodes) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+const ScenarioRoute* Scenario::find_route(const std::string& cls) const {
+  for (const ScenarioRoute& r : routes) {
+    if (r.cls == cls) return &r;
+  }
+  return nullptr;
+}
+
+namespace {
+
+HierarchySpec spec_from(const std::vector<ScenarioClass>& classes,
+                        const std::string& node) {
   HierarchySpec spec;
   for (const ScenarioClass& c : classes) {
+    if (!node.empty() && c.node != node) continue;
     HierarchySpec::ClassSpec cs;
     cs.name = c.name;
     cs.parent = c.parent;
@@ -320,6 +627,164 @@ HierarchySpec Scenario::to_hierarchy_spec() const {
   return spec;
 }
 
+}  // namespace
+
+HierarchySpec Scenario::to_hierarchy_spec() const {
+  return spec_from(classes, "");
+}
+
+HierarchySpec Scenario::node_hierarchy_spec(const std::string& node) const {
+  return spec_from(classes, node);
+}
+
+// ---------------------------------------------------------------------------
+// Delay histograms
+
+const std::vector<double>& delay_hist_edges_ms() {
+  static const std::vector<double> edges = [] {
+    std::vector<double> e;
+    double v = 0.001;  // 1 us
+    for (int k = 0; k <= 24; ++k, v *= 2.0) e.push_back(v);
+    return e;
+  }();
+  return edges;
+}
+
+std::vector<std::uint64_t> delay_histogram(const std::vector<double>& ms) {
+  const std::vector<double>& edges = delay_hist_edges_ms();
+  std::vector<std::uint64_t> counts(edges.size() + 1, 0);
+  for (double v : ms) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    ++counts[static_cast<std::size_t>(it - edges.begin())];
+  }
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+
+namespace {
+
+// Type-erased ownership of the per-kind source objects (they share an
+// install() shape, not a base class).
+struct AnySource {
+  virtual ~AnySource() = default;
+};
+template <class S>
+struct SourceHolder final : AnySource {
+  template <class... A>
+  explicit SourceHolder(A&&... a) : src(std::forward<A>(a)...) {}
+  S src;
+};
+
+template <class S, class... A>
+void emplace_source(std::vector<std::unique_ptr<AnySource>>& owned,
+                    EventQueue& ev, Link& link, A&&... a) {
+  auto h = std::make_unique<SourceHolder<S>>(std::forward<A>(a)...);
+  S& s = h->src;
+  owned.push_back(std::move(h));
+  s.install(ev, link);
+}
+
+void install_source(const ScenarioSource& s, ClassId cls, EventQueue& ev,
+                    Link& link, std::vector<std::unique_ptr<AnySource>>& owned) {
+  switch (s.kind) {
+    case ScenarioSource::Kind::kCbr:
+      emplace_source<CbrSource>(owned, ev, link, cls, s.rate, s.pkt_len,
+                                s.start, s.stop);
+      break;
+    case ScenarioSource::Kind::kPoisson:
+      emplace_source<PoissonSource>(owned, ev, link, cls, s.rate, s.pkt_len,
+                                    s.start, s.stop, s.seed);
+      break;
+    case ScenarioSource::Kind::kOnOff:
+      emplace_source<OnOffSource>(owned, ev, link, cls, s.rate, s.pkt_len,
+                                  s.mean_on, s.mean_off, s.start, s.stop,
+                                  s.seed);
+      break;
+    case ScenarioSource::Kind::kPareto:
+      emplace_source<ParetoBurstSource>(owned, ev, link, cls, s.rate,
+                                        s.pkt_len, s.mean_on, s.mean_off,
+                                        s.alpha, s.start, s.stop, s.seed);
+      break;
+    case ScenarioSource::Kind::kGreedy:
+      emplace_source<GreedySource>(owned, ev, link, cls, s.pkt_len, s.window,
+                                   s.start, s.stop);
+      break;
+    case ScenarioSource::Kind::kTcpish:
+      emplace_source<TcpishSource>(owned, ev, link, cls, s.pkt_len, s.window,
+                                   s.start, s.stop);
+      break;
+    case ScenarioSource::Kind::kVideo:
+      emplace_source<VideoSource>(owned, ev, link, cls, s.fps, s.mean_frame,
+                                  s.max_frame, s.mtu, s.start, s.stop, s.seed);
+      break;
+  }
+}
+
+// Per-node live state while the simulation runs: the compiled scheduler
+// plus the name -> id view the timed events mutate, and the full id
+// provenance of every class name for merged reporting.
+struct NodeRun {
+  Topology::NodeIndex idx = 0;
+  HierarchySpec spec;           // the node's static classes
+  HierarchySpec::IdMap ids;     // static name -> id
+  Hfsc* hfsc = nullptr;         // non-null when the family is H-FSC
+  // Current name -> id (starts as `ids`; timed creates/deletes move it).
+  std::map<std::string, ClassId> live;
+  // Every id a name ever had on this node, creation order (a deleted and
+  // re-created class reports the union of its incarnations).
+  std::map<std::string, std::vector<ClassId>> history;
+  // Timed-created names in first-creation order (report after statics);
+  // `at_seen` mirrors it for O(log n) membership at churn scale.
+  std::vector<std::string> at_names;
+  std::set<std::string> at_seen;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_num(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  os << tmp.str();
+}
+
+void json_hist(std::ostream& os, const std::vector<std::uint64_t>& hist) {
+  os << '[';
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    if (i) os << ',';
+    os << hist[i];
+  }
+  os << ']';
+}
+
+}  // namespace
+
 ScenarioResult run_scenario(const Scenario& sc) {
   return run_scenario(sc, ScenarioRunOptions{});
 }
@@ -327,52 +792,283 @@ ScenarioResult run_scenario(const Scenario& sc) {
 ScenarioResult run_scenario(const Scenario& sc,
                             const ScenarioRunOptions& opts) {
   const SchedulerKind kind = opts.scheduler.value_or(sc.scheduler);
+  const bool admission = opts.admission || sc.admission;
   if (!opts.checkpoint_path.empty() && kind != SchedulerKind::kHfsc) {
     throw std::runtime_error(
         "checkpointing requires the hfsc scheduler (running " +
         std::string(to_string(kind)) + ")");
   }
-  const HierarchySpec spec = sc.to_hierarchy_spec();
-  HierarchySpec::CompileOptions copts;
-  copts.audit_every = opts.audit_every;
-  copts.admission = opts.admission;
-  HierarchySpec::Compiled compiled = spec.compile(kind, sc.link_rate, copts);
-  Scheduler& sched = *compiled.sched;
-  const HierarchySpec::IdMap& ids = compiled.ids;
+  if (!opts.checkpoint_path.empty() && sc.nodes.size() > 1) {
+    throw std::runtime_error(
+        "checkpointing is limited to single-node scenarios");
+  }
+  const bool has_class_events =
+      std::any_of(sc.events.begin(), sc.events.end(), [](const auto& e) {
+        return e.kind == ScenarioEvent::Kind::kAddClass ||
+               e.kind == ScenarioEvent::Kind::kDeleteClass;
+      });
+  if (has_class_events && kind != SchedulerKind::kHfsc) {
+    throw std::runtime_error(
+        "timed class events require the hfsc scheduler (running " +
+        std::string(to_string(kind)) + ")");
+  }
 
-  Simulator sim(sc.link_rate, sched, sc.window);
-  for (const ScenarioSource& s : sc.sources) {
-    const auto it = ids.find(s.cls);
-    if (it == ids.end()) {
+  EventQueue ev;
+  Topology topo(ev, sc.window);
+  std::vector<NodeRun> runs;
+  runs.reserve(sc.nodes.size());
+
+  ScenarioResult out;
+  for (const ScenarioNode& n : sc.nodes) {
+    NodeRun nr;
+    nr.spec = sc.node_hierarchy_spec(n.name);
+    HierarchySpec::CompileOptions copts;
+    copts.audit_every = opts.audit_every;
+    copts.admission = admission;
+    HierarchySpec::Compiled compiled = nr.spec.compile(kind, n.rate, copts);
+    nr.hfsc = compiled.hfsc;
+    nr.ids = std::move(compiled.ids);
+    nr.idx = topo.add_node(n.name, n.rate, std::move(compiled.sched));
+    for (const auto& [cname, id] : nr.ids) {
+      nr.live.emplace(cname, id);
+      nr.history[cname].push_back(id);
+    }
+    for (std::string& note : compiled.notes) {
+      out.notes.push_back(sc.multi_node ? n.name + ": " + std::move(note)
+                                        : std::move(note));
+    }
+    runs.push_back(std::move(nr));
+  }
+  auto node_run = [&](const std::string& nm) -> NodeRun& {
+    for (std::size_t i = 0; i < sc.nodes.size(); ++i) {
+      if (sc.nodes[i].name == nm) return runs[i];
+    }
+    throw std::runtime_error("unknown node " + nm);  // unreachable post-parse
+  };
+
+  // Wire the routes (parse order == Topology route index order).
+  for (const ScenarioRoute& r : sc.routes) {
+    std::vector<Topology::Hop> hops;
+    for (const std::string& nn : r.nodes) {
+      NodeRun& nr = node_run(nn);
+      const auto it = nr.ids.find(r.cls);
+      if (it == nr.ids.end()) {
+        throw std::runtime_error("routed class '" + r.cls +
+                                 "' was dropped by the " +
+                                 std::string(to_string(kind)) + " mapping");
+      }
+      hops.push_back(Topology::Hop{nr.idx, it->second});
+    }
+    topo.add_route(std::move(hops));
+  }
+
+  // Resolve the static source list: copies so stop/delete events can
+  // truncate stop times without touching the caller's Scenario.
+  std::vector<ScenarioSource> static_srcs = sc.sources;
+  std::vector<ScenarioSource> timed_srcs;
+  for (const ScenarioEvent& e : sc.events) {
+    if (e.kind == ScenarioEvent::Kind::kStartSource) {
+      timed_srcs.push_back(e.src);
+    }
+  }
+  {
+    // Index sources by (node, class) so a churn scenario with 100k
+    // stop/delete events doesn't rescan every source per event.
+    std::map<std::pair<std::string, std::string>, std::vector<ScenarioSource*>>
+        by_cls;
+    for (ScenarioSource& s : static_srcs) by_cls[{s.node, s.cls}].push_back(&s);
+    for (ScenarioSource& s : timed_srcs) by_cls[{s.node, s.cls}].push_back(&s);
+    for (const ScenarioEvent& e : sc.events) {
+      if (e.kind != ScenarioEvent::Kind::kStopSources &&
+          e.kind != ScenarioEvent::Kind::kDeleteClass) {
+        continue;
+      }
+      const auto it = by_cls.find({e.node, e.target});
+      if (it == by_cls.end()) continue;
+      for (ScenarioSource* s : it->second) {
+        if (s->start <= e.at && s->stop > e.at) s->stop = e.at;
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<AnySource>> owned;
+  // Static sources first, in file order — the exact install sequence the
+  // single-link engine used, which the bit-identity tests pin.
+  for (const ScenarioSource& s : static_srcs) {
+    NodeRun& nr = node_run(s.node);
+    const auto it = nr.ids.find(s.cls);
+    if (it == nr.ids.end()) {
       // Flat families drop interior classes; a source may only feed a leaf
       // anyway, so a missing id means the scenario misattached a source.
       throw std::runtime_error("source class '" + s.cls +
                                "' was dropped by the " +
                                std::string(to_string(kind)) + " mapping");
     }
-    const ClassId cls = it->second;
-    switch (s.kind) {
-      case ScenarioSource::Kind::kCbr:
-        sim.add<CbrSource>(cls, s.rate, s.pkt_len, s.start, s.stop);
-        break;
-      case ScenarioSource::Kind::kPoisson:
-        sim.add<PoissonSource>(cls, s.rate, s.pkt_len, s.start, s.stop,
-                               s.seed);
-        break;
-      case ScenarioSource::Kind::kOnOff:
-        sim.add<OnOffSource>(cls, s.rate, s.pkt_len, s.mean_on, s.mean_off,
-                             s.start, s.stop, s.seed);
-        break;
-      case ScenarioSource::Kind::kGreedy:
-        sim.add<GreedySource>(cls, s.pkt_len, s.window, s.start, s.stop);
-        break;
-      case ScenarioSource::Kind::kVideo:
-        sim.add<VideoSource>(cls, s.fps, s.mean_frame, s.max_frame, s.mtu,
-                             s.start, s.stop, s.seed);
-        break;
+    install_source(s, it->second, ev, topo.link(nr.idx), owned);
+  }
+
+  // Timed control plane.  Class creations/deletions at the same (node,
+  // time) coalesce into ONE transaction: Txn validation copies the whole
+  // hierarchy per commit, so per-op commits would make a 100k-flow churn
+  // step quadratic.  A batch refused by admission control falls back to
+  // per-op commits so each class gets its own verdict (the flash-crowd
+  // behaviour Section II's feasibility test implies).
+  std::uint64_t classes_rejected = 0;
+  std::uint64_t sources_skipped = 0;
+  struct Group {
+    TimeNs at = 0;
+    NodeRun* nr = nullptr;
+    std::vector<const ScenarioEvent*> ops;  // adds + deletes, file order
+    std::size_t line = 0;
+  };
+  std::vector<Group> groups;
+  {
+    std::map<std::pair<TimeNs, NodeRun*>, std::size_t> group_of;
+    for (const ScenarioEvent& e : sc.events) {
+      if (e.kind != ScenarioEvent::Kind::kAddClass &&
+          e.kind != ScenarioEvent::Kind::kDeleteClass) {
+        continue;
+      }
+      NodeRun* nr = &node_run(e.node);
+      const auto [it, fresh] =
+          group_of.try_emplace({e.at, nr}, groups.size());
+      if (fresh) groups.push_back(Group{e.at, nr, {}, e.line});
+      Group& g = groups[it->second];
+      g.ops.push_back(&e);
+      g.line = std::min(g.line, e.line);
     }
   }
-  sim.run(sc.duration);
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const Group& a, const Group& b) {
+                     return a.at != b.at ? a.at < b.at : a.line < b.line;
+                   });
+
+  auto run_group = [&classes_rejected](
+                       NodeRun& nr,
+                       const std::vector<const ScenarioEvent*>& ops) {
+    // Deletes first: they free admission capacity the adds then claim.
+    std::vector<const ScenarioEvent*> ordered = ops;
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const ScenarioEvent* a, const ScenarioEvent* b) {
+                       return (a->kind == ScenarioEvent::Kind::kDeleteClass) >
+                              (b->kind == ScenarioEvent::Kind::kDeleteClass);
+                     });
+    auto apply_one = [&](const ScenarioEvent& e,
+                         std::map<std::string, ClassId>& view, Hfsc::Txn& txn,
+                         std::vector<std::pair<std::string, ClassId>>* adds)
+        -> bool {
+      if (e.kind == ScenarioEvent::Kind::kDeleteClass) {
+        const auto it = view.find(e.target);
+        if (it == view.end()) return true;  // creation was rejected earlier
+        txn.delete_class(it->second);
+        view.erase(it);
+        return true;
+      }
+      ClassId parent = kRootClass;
+      if (e.cls.parent != "root") {
+        const auto it = view.find(e.cls.parent);
+        if (it == view.end()) return false;  // parent rejected: cascade
+        parent = it->second;
+      }
+      const ClassId id = txn.add_class(parent, e.cls.cfg);
+      if (e.cls.qlimit != 0) txn.set_queue_limit(id, e.cls.qlimit);
+      view[e.cls.name] = id;
+      adds->emplace_back(e.cls.name, id);
+      return true;
+    };
+    auto bookkeep = [&nr](const std::string& name, ClassId id) {
+      nr.live[name] = id;
+      auto& hist = nr.history[name];
+      if (std::find(hist.begin(), hist.end(), id) == hist.end()) {
+        hist.push_back(id);
+      }
+      if (nr.ids.find(name) == nr.ids.end() &&
+          nr.at_seen.insert(name).second) {
+        nr.at_names.push_back(name);
+      }
+    };
+
+    // Batch attempt.
+    {
+      Hfsc::Txn txn = nr.hfsc->begin();
+      std::map<std::string, ClassId> view = nr.live;
+      std::vector<std::pair<std::string, ClassId>> adds;
+      std::uint64_t cascades = 0;
+      for (const ScenarioEvent* e : ordered) {
+        if (!apply_one(*e, view, txn, &adds)) ++cascades;
+      }
+      bool ok = false;
+      if (txn.num_ops() == 0) {
+        txn.rollback();
+        ok = true;
+      } else {
+        try {
+          txn.commit();
+          ok = true;
+        } catch (const Error& err) {
+          if (err.code() != Errc::kAdmissionRejected) throw;
+          txn.rollback();
+        }
+      }
+      if (ok) {
+        nr.live = std::move(view);
+        for (auto& [name, id] : adds) bookkeep(name, id);
+        classes_rejected += cascades;
+        return;
+      }
+    }
+    // Per-op fallback: each mutation gets its own verdict.
+    for (const ScenarioEvent* e : ordered) {
+      Hfsc::Txn txn = nr.hfsc->begin();
+      std::map<std::string, ClassId> view = nr.live;
+      std::vector<std::pair<std::string, ClassId>> adds;
+      if (!apply_one(*e, view, txn, &adds)) {
+        ++classes_rejected;
+        txn.rollback();
+        continue;
+      }
+      if (txn.num_ops() == 0) {
+        txn.rollback();
+        nr.live = std::move(view);
+        continue;
+      }
+      try {
+        txn.commit();
+        nr.live = std::move(view);
+        for (auto& [name, id] : adds) bookkeep(name, id);
+      } catch (const Error& err) {
+        if (err.code() != Errc::kAdmissionRejected) throw;
+        ++classes_rejected;
+        txn.rollback();
+      }
+    }
+  };
+
+  for (Group& g : groups) {
+    NodeRun* nr = g.nr;
+    auto ops = g.ops;
+    ev.schedule(g.at, [&run_group, nr, ops](TimeNs) {
+      run_group(*nr, ops);
+    });
+  }
+  // Timed source starts run after any class group at the same instant
+  // (scheduled later at equal time => later in tie-break order), and look
+  // the class id up at fire time so they bind to the live incarnation.
+  for (const ScenarioSource& s : timed_srcs) {
+    NodeRun& nr = node_run(s.node);
+    Link& link = topo.link(nr.idx);
+    ev.schedule(s.start,
+                [s, &nr, &link, &ev, &owned, &sources_skipped](TimeNs) {
+                  const auto it = nr.live.find(s.cls);
+                  if (it == nr.live.end()) {
+                    ++sources_skipped;  // class rejected or already deleted
+                    return;
+                  }
+                  install_source(s, it->second, ev, link, owned);
+                });
+  }
+
+  topo.run(sc.duration);
 
   if (!opts.checkpoint_path.empty()) {
     std::ofstream ck(opts.checkpoint_path);
@@ -380,31 +1076,93 @@ ScenarioResult run_scenario(const Scenario& sc,
       throw std::runtime_error("cannot write checkpoint: " +
                                opts.checkpoint_path);
     }
-    checkpoint(*compiled.hfsc, ck);
+    checkpoint(*runs.front().hfsc, ck);
   }
 
-  ScenarioResult out;
-  out.scheduler = std::string(sched.name());
-  out.notes = std::move(compiled.notes);
-  const auto& t = sim.tracker();
-  for (const ScenarioClass& c : sc.classes) {
-    const auto it = ids.find(c.name);
-    if (it == ids.end()) continue;  // dropped by a flat mapping
-    const ClassId id = it->second;
-    if (!spec.is_leaf(c.name) && !t.has(id)) continue;  // interior class
-    ScenarioResult::PerClass pc;
-    pc.name = c.name;
-    pc.packets = t.packets(id);
-    pc.bytes = t.bytes(id);
-    pc.dropped = sched.class_drops(id);
-    pc.mean_delay_ms = t.mean_delay_ms(id);
-    pc.p99_delay_ms = t.delay_quantile_ms(id, 0.99);
-    pc.max_delay_ms = t.max_delay_ms(id);
-    pc.rate_mbps = t.rate_mbps(id, 0, sc.duration);
-    out.per_class.push_back(std::move(pc));
+  // ---- gather -------------------------------------------------------------
+  out.duration = sc.duration;
+  out.scheduler = std::string(topo.scheduler(runs.front().idx).name());
+  out.classes_rejected = classes_rejected;
+  if (sources_skipped != 0) {
+    out.notes.push_back(std::to_string(sources_skipped) +
+                        " timed source start(s) skipped (class not live)");
   }
-  out.link_utilization = static_cast<double>(sim.link().busy_time()) /
-                         static_cast<double>(sc.duration);
+  if (runs.front().hfsc != nullptr) {
+    out.state_digest = state_digest(*runs.front().hfsc);
+  }
+
+  for (std::size_t ni = 0; ni < sc.nodes.size(); ++ni) {
+    NodeRun& nr = runs[ni];
+    Scheduler& sched = topo.scheduler(nr.idx);
+    const FlowTracker& t = topo.tracker(nr.idx);
+
+    auto report = [&](const std::string& cname) {
+      const auto hit = nr.history.find(cname);
+      if (hit == nr.history.end() || hit->second.empty()) return;  // dropped
+      const std::vector<ClassId>& ids = hit->second;
+      const bool leaf = nr.spec.is_leaf(cname) ||
+                        nr.ids.find(cname) == nr.ids.end();
+      const bool any_data = std::any_of(ids.begin(), ids.end(),
+                                        [&](ClassId id) { return t.has(id); });
+      if (!leaf && !any_data) return;  // interior class: no direct traffic
+      ScenarioResult::PerClass pc;
+      pc.name = cname;
+      pc.node = sc.nodes[ni].name;
+      SampleSet delay_ns;
+      for (ClassId id : ids) {
+        pc.packets += t.packets(id);
+        pc.bytes += t.bytes(id);
+        pc.dropped += sched.class_drops(id);
+        pc.rate_mbps += t.rate_mbps(id, 0, sc.duration);
+        for (double v : t.delay_samples_ns(id).samples()) delay_ns.add(v);
+      }
+      pc.mean_delay_ms = delay_ns.mean() / 1e6;
+      pc.p99_delay_ms = delay_ns.quantile(0.99) / 1e6;
+      pc.max_delay_ms = delay_ns.max() / 1e6;
+      std::vector<double> ms;
+      ms.reserve(delay_ns.samples().size());
+      for (double v : delay_ns.samples()) ms.push_back(v / 1e6);
+      pc.hist = delay_histogram(ms);
+      out.per_class.push_back(std::move(pc));
+    };
+    for (const ScenarioClass& c : sc.classes) {
+      if (c.node == sc.nodes[ni].name) report(c.name);
+    }
+    for (const std::string& cname : nr.at_names) report(cname);
+
+    ScenarioResult::NodeStats ns;
+    ns.name = sc.nodes[ni].name;
+    Link& link = topo.link(nr.idx);
+    ns.link_utilization = static_cast<double>(link.busy_time()) /
+                          static_cast<double>(sc.duration);
+    ns.offered = topo.offered(nr.idx);
+    ns.sent = link.packets_sent();
+    std::set<ClassId> seen_ids;
+    for (const auto& [cname, ids] : nr.history) {
+      for (ClassId id : ids) {
+        if (seen_ids.insert(id).second) ns.dropped += sched.class_drops(id);
+      }
+    }
+    ns.rejected = sched.counters().rejected_packets();
+    ns.backlog = sched.backlog_packets() + link.in_service();
+    out.nodes.push_back(std::move(ns));
+  }
+
+  for (std::size_t ri = 0; ri < sc.routes.size(); ++ri) {
+    ScenarioResult::EndToEnd ee;
+    ee.cls = sc.routes[ri].cls;
+    ee.route = sc.routes[ri].nodes;
+    ee.delivered = topo.delivered(ri);
+    ee.bytes = topo.delivered_bytes(ri);
+    const SampleSet& d = topo.e2e_delay_ms(ri);
+    ee.mean_delay_ms = d.mean();
+    ee.p99_delay_ms = d.quantile(0.99);
+    ee.max_delay_ms = d.max();
+    ee.hist = delay_histogram(d.samples());
+    out.e2e.push_back(std::move(ee));
+  }
+
+  out.link_utilization = out.nodes.front().link_utilization;
   return out;
 }
 
@@ -421,14 +1179,56 @@ CompareResult run_compare(const Scenario& sc,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Conservation totals
+
+std::uint64_t ScenarioResult::offered() const noexcept {
+  std::uint64_t v = 0;
+  for (const NodeStats& n : nodes) v += n.offered;
+  return v;
+}
+std::uint64_t ScenarioResult::sent() const noexcept {
+  std::uint64_t v = 0;
+  for (const NodeStats& n : nodes) v += n.sent;
+  return v;
+}
+std::uint64_t ScenarioResult::dropped() const noexcept {
+  std::uint64_t v = 0;
+  for (const NodeStats& n : nodes) v += n.dropped;
+  return v;
+}
+std::uint64_t ScenarioResult::rejected() const noexcept {
+  std::uint64_t v = 0;
+  for (const NodeStats& n : nodes) v += n.rejected;
+  return v;
+}
+std::uint64_t ScenarioResult::backlog() const noexcept {
+  std::uint64_t v = 0;
+  for (const NodeStats& n : nodes) v += n.backlog;
+  return v;
+}
+bool ScenarioResult::conserved() const noexcept {
+  return std::all_of(nodes.begin(), nodes.end(),
+                     [](const NodeStats& n) { return n.conserved(); });
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
 std::string CompareResult::to_table() const {
   // One row per class that appeared in any run; a family that dropped the
-  // class shows "-".  Classes keep first-appearance order.
+  // class shows "-".  Classes keep first-appearance order, labelled
+  // "node.class" when a run spans several nodes.
+  const bool multi =
+      !runs.empty() && runs.front().nodes.size() > 1;
+  auto label = [multi](const ScenarioResult::PerClass& pc) {
+    return multi ? pc.node + "." + pc.name : pc.name;
+  };
   std::vector<std::string> names;
   for (const ScenarioResult& r : runs) {
     for (const auto& pc : r.per_class) {
-      if (std::find(names.begin(), names.end(), pc.name) == names.end()) {
-        names.push_back(pc.name);
+      if (std::find(names.begin(), names.end(), label(pc)) == names.end()) {
+        names.push_back(label(pc));
       }
     }
   }
@@ -445,7 +1245,7 @@ std::string CompareResult::to_table() const {
     for (const ScenarioResult& r : runs) {
       const auto it =
           std::find_if(r.per_class.begin(), r.per_class.end(),
-                       [&](const auto& pc) { return pc.name == name; });
+                       [&](const auto& pc) { return label(pc) == name; });
       if (it == r.per_class.end()) {
         row.insert(row.end(), {"-", "-", "-", "-"});
       } else {
@@ -467,20 +1267,165 @@ std::string CompareResult::to_table() const {
 }
 
 std::string ScenarioResult::to_table() const {
-  TablePrinter table({"class", "packets", "bytes", "dropped", "mean_ms",
-                      "p99_ms", "max_ms", "rate_mbps"});
-  for (const PerClass& pc : per_class) {
-    table.add_row({pc.name, std::to_string(pc.packets),
-                   std::to_string(pc.bytes), std::to_string(pc.dropped),
-                   TablePrinter::fmt(pc.mean_delay_ms),
-                   TablePrinter::fmt(pc.p99_delay_ms),
-                   TablePrinter::fmt(pc.max_delay_ms),
-                   TablePrinter::fmt(pc.rate_mbps, 2)});
-  }
   std::ostringstream os;
-  os << table.to_string();
-  os << "link utilization: "
-     << TablePrinter::fmt(link_utilization * 100.0, 1) << "%\n";
+  if (nodes.size() <= 1 && e2e.empty()) {
+    // The historical single-link format, byte-for-byte (pinned by the
+    // engine-equivalence tests).
+    TablePrinter table({"class", "packets", "bytes", "dropped", "mean_ms",
+                        "p99_ms", "max_ms", "rate_mbps"});
+    for (const PerClass& pc : per_class) {
+      table.add_row({pc.name, std::to_string(pc.packets),
+                     std::to_string(pc.bytes), std::to_string(pc.dropped),
+                     TablePrinter::fmt(pc.mean_delay_ms),
+                     TablePrinter::fmt(pc.p99_delay_ms),
+                     TablePrinter::fmt(pc.max_delay_ms),
+                     TablePrinter::fmt(pc.rate_mbps, 2)});
+    }
+    os << table.to_string();
+    os << "link utilization: "
+       << TablePrinter::fmt(link_utilization * 100.0, 1) << "%\n";
+    return os.str();
+  }
+  for (const NodeStats& ns : nodes) {
+    os << "node " << ns.name << "\n";
+    TablePrinter table({"class", "packets", "bytes", "dropped", "mean_ms",
+                        "p99_ms", "max_ms", "rate_mbps"});
+    for (const PerClass& pc : per_class) {
+      if (pc.node != ns.name) continue;
+      table.add_row({pc.name, std::to_string(pc.packets),
+                     std::to_string(pc.bytes), std::to_string(pc.dropped),
+                     TablePrinter::fmt(pc.mean_delay_ms),
+                     TablePrinter::fmt(pc.p99_delay_ms),
+                     TablePrinter::fmt(pc.max_delay_ms),
+                     TablePrinter::fmt(pc.rate_mbps, 2)});
+    }
+    os << table.to_string();
+    os << "link utilization: "
+       << TablePrinter::fmt(ns.link_utilization * 100.0, 1)
+       << "%  conservation: offered " << ns.offered << " = sent " << ns.sent
+       << " + dropped " << ns.dropped << " + rejected " << ns.rejected
+       << " + backlog " << ns.backlog
+       << (ns.conserved() ? "" : "  [VIOLATED]") << "\n\n";
+  }
+  if (!e2e.empty()) {
+    os << "end-to-end\n";
+    TablePrinter table({"class", "route", "delivered", "bytes", "mean_ms",
+                        "p99_ms", "max_ms"});
+    for (const EndToEnd& ee : e2e) {
+      std::string route;
+      for (const std::string& n : ee.route) {
+        if (!route.empty()) route += ">";
+        route += n;
+      }
+      table.add_row({ee.cls, route, std::to_string(ee.delivered),
+                     std::to_string(ee.bytes),
+                     TablePrinter::fmt(ee.mean_delay_ms),
+                     TablePrinter::fmt(ee.p99_delay_ms),
+                     TablePrinter::fmt(ee.max_delay_ms)});
+    }
+    os << table.to_string();
+  }
+  return os.str();
+}
+
+std::string ScenarioResult::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"hfsc-sim-report-v1\"";
+  os << ",\"scheduler\":\"" << json_escape(scheduler) << "\"";
+  os << ",\"duration_ns\":" << duration;
+  os << ",\"link_utilization\":";
+  json_num(os, link_utilization);
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(state_digest));
+    os << ",\"state_digest\":\"" << buf << "\"";
+  }
+  os << ",\"classes_rejected\":" << classes_rejected;
+  os << ",\"conserved\":" << (conserved() ? "true" : "false");
+  os << ",\"totals\":{\"offered\":" << offered() << ",\"sent\":" << sent()
+     << ",\"dropped\":" << dropped() << ",\"rejected\":" << rejected()
+     << ",\"backlog\":" << backlog() << "}";
+  os << ",\"hist_edges_ms\":[";
+  const auto& edges = delay_hist_edges_ms();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i) os << ',';
+    json_num(os, edges[i]);
+  }
+  os << "]";
+  os << ",\"nodes\":[";
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    const NodeStats& ns = nodes[ni];
+    if (ni) os << ',';
+    os << "{\"name\":\"" << json_escape(ns.name) << "\"";
+    os << ",\"link_utilization\":";
+    json_num(os, ns.link_utilization);
+    os << ",\"offered\":" << ns.offered << ",\"sent\":" << ns.sent
+       << ",\"dropped\":" << ns.dropped << ",\"rejected\":" << ns.rejected
+       << ",\"backlog\":" << ns.backlog
+       << ",\"conserved\":" << (ns.conserved() ? "true" : "false");
+    os << ",\"classes\":[";
+    bool first = true;
+    for (const PerClass& pc : per_class) {
+      if (pc.node != ns.name) continue;
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"" << json_escape(pc.name) << "\""
+         << ",\"packets\":" << pc.packets << ",\"bytes\":" << pc.bytes
+         << ",\"dropped\":" << pc.dropped;
+      os << ",\"mean_delay_ms\":";
+      json_num(os, pc.mean_delay_ms);
+      os << ",\"p99_delay_ms\":";
+      json_num(os, pc.p99_delay_ms);
+      os << ",\"max_delay_ms\":";
+      json_num(os, pc.max_delay_ms);
+      os << ",\"rate_mbps\":";
+      json_num(os, pc.rate_mbps);
+      os << ",\"hist\":";
+      json_hist(os, pc.hist);
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "]";
+  os << ",\"e2e\":[";
+  for (std::size_t i = 0; i < e2e.size(); ++i) {
+    const EndToEnd& ee = e2e[i];
+    if (i) os << ',';
+    os << "{\"class\":\"" << json_escape(ee.cls) << "\",\"route\":[";
+    for (std::size_t j = 0; j < ee.route.size(); ++j) {
+      if (j) os << ',';
+      os << '"' << json_escape(ee.route[j]) << '"';
+    }
+    os << "],\"delivered\":" << ee.delivered << ",\"bytes\":" << ee.bytes;
+    os << ",\"mean_delay_ms\":";
+    json_num(os, ee.mean_delay_ms);
+    os << ",\"p99_delay_ms\":";
+    json_num(os, ee.p99_delay_ms);
+    os << ",\"max_delay_ms\":";
+    json_num(os, ee.max_delay_ms);
+    os << ",\"hist\":";
+    json_hist(os, ee.hist);
+    os << "}";
+  }
+  os << "]";
+  os << ",\"notes\":[";
+  for (std::size_t i = 0; i < notes.size(); ++i) {
+    if (i) os << ',';
+    os << '"' << json_escape(notes[i]) << '"';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string CompareResult::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"hfsc-sim-compare-v1\",\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) os << ',';
+    os << runs[i].to_json();
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -1,6 +1,6 @@
-// Scenario files: a small declarative language for describing an H-FSC
-// hierarchy plus a workload, so experiments can be run without writing
-// C++ (tools/hfsc_sim reads these).
+// Scenario files: a small declarative language for describing one or
+// more scheduling nodes plus a workload, so experiments can be run
+// without writing C++ (tools/hfsc_sim reads these).
 //
 //     # 45 Mb/s campus link
 //     link 45Mbps
@@ -11,12 +11,35 @@
 //     source cbr    audio 64kbps 160 0s 10s
 //     source greedy data  1500 8 0s 10s
 //
+// Multi-node topologies wrap class declarations in `node` blocks and wire
+// flows across nodes with `route` (full grammar: docs/SCENARIOS.md):
+//
+//     duration 5s
+//     node edge 10Mbps
+//       class voice root rt udr 160 5ms 64kbps ls linear 64kbps
+//     end
+//     node core 45Mbps
+//       class voice root rt udr 160 5ms 64kbps ls linear 64kbps
+//     end
+//     route voice edge core
+//     source cbr voice 64kbps 160 0s 5s
+//
 // Grammar (one directive per line, '#' comments):
-//     link <rate>
+//     link <rate>                          (single-node form)
 //     duration <time>
 //     window <time>                        (throughput window, default 100ms)
 //     scheduler <kind>                     (hfsc | hpfq | cbq | drr | sced |
 //                                           vclock | fifo; default hfsc)
+//     admission                            (gate rt curves — static classes
+//                                           at compile, timed `at` creations
+//                                           per transaction, rejections
+//                                           counted instead of fatal)
+//     node <name> <rate>                   (opens a node block; class /
+//       ...                                 envelope / source / at
+//     end                                   directives inside are scoped
+//                                           to the node)
+//     route <class> <node> <node> [...]    (multi-hop path; the class must
+//                                           be declared on every hop)
 //     class <name> <parent|root> [rt <spec>] [ls <spec>] [ul <spec>]
 //                                [qlimit <packets>] [shard <index>]
 //       (shard pins the class's subtree to one shard of the sharded
@@ -28,9 +51,19 @@
 //     source poisson <class> <rate> <pkt bytes> <start> <stop> <seed>
 //     source onoff   <class> <peak rate> <pkt bytes> <mean_on> <mean_off>
 //                    <start> <stop> <seed>
+//     source pareto  <class> <peak rate> <pkt bytes> <mean_on> <mean_off>
+//                    <alpha> <start> <stop> <seed>
 //     source greedy  <class> <pkt bytes> <window pkts> <start> <stop>
+//     source tcpish  <class> <pkt bytes> <max window pkts> <start> <stop>
 //     source video   <class> <fps> <mean_frame> <max_frame> <mtu>
 //                    <start> <stop> <seed>
+//     at <time> class <name> <parent> [attrs...]   (timed Txn class create)
+//     at <time> delete <class>                     (timed Txn class delete;
+//                                                   also stops its sources)
+//     at <time> source <kind> <class> <args minus start/stop>
+//                                                  (source starts at <time>)
+//     at <time> stop <class>                       (stops the class's
+//                                                   earlier-started sources)
 //     envelope <class> <burst bytes> <rate>
 //       (token-bucket arrival envelope A(t) = burst + rate*t the class's
 //        traffic is promised to conform to; the static analyzer derives
@@ -57,9 +90,21 @@ RateBps parse_rate(const std::string& tok);   // throws std::runtime_error
 TimeNs parse_time(const std::string& tok);    // throws
 Bytes parse_bytes(const std::string& tok);    // throws
 
+// One scheduling node of the topology.  Single-node files (the `link`
+// directive) parse into one implicit node named "link".
+struct ScenarioNode {
+  std::string name;
+  RateBps rate = 0;
+  std::size_t line = 0;  // 0 for the implicit single-node form
+};
+
 struct ScenarioClass {
   std::string name;
   std::string parent;  // "root" for top level
+  // Owning node ("link" for single-node scenarios).  Class names are
+  // unique per node; the same name on several nodes describes the same
+  // flow's per-hop class (wired by `route`).
+  std::string node;
   ClassConfig cfg;
   std::size_t qlimit = 0;
   // Token-bucket arrival envelope (`envelope` directive); rate == 0 and
@@ -77,9 +122,13 @@ struct ScenarioClass {
 };
 
 struct ScenarioSource {
-  enum class Kind { kCbr, kPoisson, kOnOff, kGreedy, kVideo };
+  enum class Kind { kCbr, kPoisson, kOnOff, kGreedy, kVideo, kPareto,
+                    kTcpish };
   Kind kind{};
   std::string cls;
+  // Entry node, resolved after parse: the first hop of the class's route,
+  // else its sole declaring node.
+  std::string node;
   RateBps rate = 0;
   Bytes pkt_len = 0;
   TimeNs start = 0;
@@ -87,14 +136,40 @@ struct ScenarioSource {
   std::uint64_t seed = 0;
   TimeNs mean_on = 0;
   TimeNs mean_off = 0;
-  std::size_t window = 0;  // greedy
+  double alpha = 0;        // pareto shape
+  std::size_t window = 0;  // greedy / tcpish
   double fps = 0;          // video
   Bytes mean_frame = 0;
   Bytes max_frame = 0;
   Bytes mtu = 0;
+  std::size_t line = 0;
+};
+
+// Multi-hop path for one class name across node hierarchies.
+struct ScenarioRoute {
+  std::string cls;
+  std::vector<std::string> nodes;
+  std::size_t line = 0;
+};
+
+// A timed control directive (`at <time> ...`).  Class create/delete run
+// through Hfsc::Txn at simulation time; source start/stop are resolved
+// statically (a stop truncates the effective stop time of the class's
+// earlier-started sources).
+struct ScenarioEvent {
+  enum class Kind { kAddClass, kDeleteClass, kStartSource, kStopSources };
+  Kind kind{};
+  TimeNs at = 0;
+  std::string node;
+  ScenarioClass cls;    // kAddClass payload
+  ScenarioSource src;   // kStartSource payload
+  std::string target;   // kDeleteClass / kStopSources class name
+  std::size_t line = 0;
 };
 
 struct Scenario {
+  // Rate of the single/first node — kept for single-node consumers; the
+  // authoritative per-node rates live in `nodes`.
   RateBps link_rate = 0;
   TimeNs duration = 0;
   TimeNs window = msec(100);
@@ -104,8 +179,19 @@ struct Scenario {
   // Which family runs the hierarchy (`scheduler` directive); the same
   // file compiles for any family via HierarchySpec's mapping rules.
   SchedulerKind scheduler = SchedulerKind::kHfsc;
+  // Enable admission control (`admission` directive): static hierarchies
+  // are validated at compile time; timed class creations that fail the
+  // feasibility check are counted as rejected instead of failing the run.
+  bool admission = false;
+  // All nodes, in declaration order.  Always at least one after parse():
+  // single-node files get the implicit node {"link", link_rate}.
+  std::vector<ScenarioNode> nodes;
+  // True when the file used explicit `node` blocks.
+  bool multi_node = false;
   std::vector<ScenarioClass> classes;
   std::vector<ScenarioSource> sources;
+  std::vector<ScenarioRoute> routes;
+  std::vector<ScenarioEvent> events;
 
   // Parses a scenario; throws std::runtime_error with a line number on
   // any malformed directive, unknown class reference, or missing
@@ -115,13 +201,27 @@ struct Scenario {
   static Scenario parse_file(const std::string& path);
 
   // The scheduler-agnostic form of the classes (config/hierarchy_spec.hpp)
-  // that every family compiles from.
+  // that every family compiles from.  The one-argument overload selects a
+  // single node's classes; the legacy zero-argument form returns the
+  // whole class list (only meaningful for single-node scenarios).
   HierarchySpec to_hierarchy_spec() const;
+  HierarchySpec node_hierarchy_spec(const std::string& node) const;
+
+  const ScenarioNode* find_node(const std::string& name) const;
+  const ScenarioRoute* find_route(const std::string& cls) const;
 };
+
+// Fixed log-spaced delay-histogram bucket edges in milliseconds (1 us
+// doubling up to ~16.8 s).  counts[0] holds samples below edges[0],
+// counts[i] samples in [edges[i-1], edges[i]), counts.back() samples at
+// or above edges.back(); counts.size() == edges.size() + 1.
+const std::vector<double>& delay_hist_edges_ms();
+std::vector<std::uint64_t> delay_histogram(const std::vector<double>& ms);
 
 struct ScenarioResult {
   struct PerClass {
     std::string name;
+    std::string node;  // owning node ("link" for single-node scenarios)
     std::uint64_t packets = 0;
     Bytes bytes = 0;
     std::uint64_t dropped = 0;
@@ -129,16 +229,71 @@ struct ScenarioResult {
     double p99_delay_ms = 0;
     double max_delay_ms = 0;
     double rate_mbps = 0;
+    // Per-class delay histogram over delay_hist_edges_ms().
+    std::vector<std::uint64_t> hist;
   };
+  // Per-node link utilization and packet-conservation terms:
+  //     offered == sent + dropped + rejected + backlog
+  // (offered counts source + forwarded-in arrivals; dropped is the sum of
+  // per-class drops; rejected the data-path rejection taxonomy; backlog
+  // what the scheduler still queues at the end of the run plus a packet
+  // caught on the wire mid-transmission).
+  struct NodeStats {
+    std::string name;
+    double link_utilization = 0;
+    std::uint64_t offered = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t backlog = 0;
+    bool conserved() const noexcept {
+      return offered == sent + dropped + rejected + backlog;
+    }
+  };
+  // End-to-end statistics for each multi-hop route.
+  struct EndToEnd {
+    std::string cls;
+    std::vector<std::string> route;
+    std::uint64_t delivered = 0;
+    Bytes bytes = 0;
+    double mean_delay_ms = 0;
+    double p99_delay_ms = 0;
+    double max_delay_ms = 0;
+    std::vector<std::uint64_t> hist;
+  };
+
+  // Every reported class across all nodes, declaration order (timed
+  // `at`-created classes append after the static ones, per node).
   std::vector<PerClass> per_class;
-  double link_utilization = 0;  // busy fraction over the run
+  std::vector<NodeStats> nodes;
+  std::vector<EndToEnd> e2e;
+  TimeNs duration = 0;  // simulated time the run covered
+  double link_utilization = 0;  // first node's busy fraction over the run
   std::string scheduler;        // display name of the family that ran
   // Lossy-mapping notes the compiler recorded for this family (empty for
   // H-FSC, which expresses the full spec).
   std::vector<std::string> notes;
+  // H-FSC state digest after the run (first node; 0 for other families) —
+  // the refactor-equivalence tests pin on it.
+  std::uint64_t state_digest = 0;
+  // Timed class creations refused by admission control (the flash-crowd
+  // counter; classes, not packets).
+  std::uint64_t classes_rejected = 0;
 
-  // Formatted like the experiment binaries' tables.
+  // Whole-run conservation totals (sums over nodes).
+  std::uint64_t offered() const noexcept;
+  std::uint64_t sent() const noexcept;
+  std::uint64_t dropped() const noexcept;
+  std::uint64_t rejected() const noexcept;
+  std::uint64_t backlog() const noexcept;
+  bool conserved() const noexcept;
+
+  // Formatted like the experiment binaries' tables.  Single-node results
+  // print the historical one-table format byte-for-byte; multi-node
+  // results add per-node sections and the end-to-end table.
   std::string to_table() const;
+  // Structured report, schema "hfsc-sim-report-v1" (docs/SCENARIOS.md).
+  std::string to_json() const;
 };
 
 struct ScenarioRunOptions {
@@ -146,22 +301,24 @@ struct ScenarioRunOptions {
   // operations during the run; 0 disables.  A violation surfaces as
   // Error{kInvariantViolation}.
   std::size_t audit_every = 0;
-  // Gate the hierarchy through admission control at the scenario's link
+  // Gate the hierarchy through admission control at the node's link
   // rate: a scenario whose leaf rt curves oversubscribe the link fails
   // with a one-line error naming the offending class instead of running.
+  // (The scenario `admission` directive sets this from the file.)
   bool admission = false;
   // When non-empty, write a checkpoint (core/checkpoint.hpp) of the
   // scheduler's final state to this path after the run.  Checkpointing is
-  // an H-FSC feature: combining this with any other family throws.
+  // an H-FSC feature: combining this with any other family (or a
+  // multi-node topology) throws.
   std::string checkpoint_path;
   // Overrides the scenario's `scheduler` directive (hfsc_sim --scheduler).
   std::optional<SchedulerKind> scheduler;
 };
 
 // Compiles the scenario's hierarchy for the selected family (the
-// `scheduler` directive unless opts.scheduler overrides it), runs the
-// workload, gathers statistics.  audit_every/admission apply to H-FSC and
-// are recorded as notes elsewhere.
+// `scheduler` directive unless opts.scheduler overrides it) on every
+// node, wires the routes, runs the workload (including timed `at`
+// events, H-FSC only), gathers statistics.
 ScenarioResult run_scenario(const Scenario& sc);
 ScenarioResult run_scenario(const Scenario& sc,
                             const ScenarioRunOptions& opts);
@@ -175,6 +332,9 @@ struct CompareResult {
   // Side-by-side delay/throughput table: one row per class, one column
   // group (mean/p99 delay, rate, drops) per scheduler.
   std::string to_table() const;
+  // Structured report, schema "hfsc-sim-compare-v1": one
+  // hfsc-sim-report-v1 object per run.
+  std::string to_json() const;
 };
 CompareResult run_compare(const Scenario& sc,
                           const std::vector<SchedulerKind>& kinds,

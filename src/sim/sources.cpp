@@ -136,6 +136,91 @@ void VideoSource::emit_frame(EventQueue& ev, Link& link, TimeNs t) {
               [this, &ev, &link](TimeNs t2) { emit_frame(ev, link, t2); });
 }
 
+// -------------------------------------------------------- Pareto burst
+
+ParetoBurstSource::ParetoBurstSource(ClassId cls, RateBps peak_rate,
+                                     Bytes pkt_len, TimeNs mean_on,
+                                     TimeNs mean_off, double alpha,
+                                     TimeNs start, TimeNs stop,
+                                     std::uint64_t seed)
+    : cls_(cls), pkt_len_(pkt_len), interval_(seg_y2x(pkt_len, peak_rate)),
+      mean_on_(static_cast<double>(mean_on)),
+      mean_off_(static_cast<double>(mean_off)), alpha_(alpha), start_(start),
+      stop_(stop), rng_(seed) {
+  assert(alpha_ > 1.0 && pkt_len_ > 0);
+}
+
+TimeNs ParetoBurstSource::draw(double mean) noexcept {
+  // Pareto(alpha, xm) has mean alpha*xm/(alpha-1); invert for xm so the
+  // configured mean is kept while the tail stays power-law.
+  const double xm = mean * (alpha_ - 1.0) / alpha_;
+  return static_cast<TimeNs>(rng_.pareto(alpha_, xm));
+}
+
+void ParetoBurstSource::install(EventQueue& ev, Link& link) {
+  ev.schedule(start_, [this, &ev, &link](TimeNs t) {
+    on_until_ = t + draw(mean_on_);
+    emit(ev, link, t);
+  });
+}
+
+void ParetoBurstSource::emit(EventQueue& ev, Link& link, TimeNs t) {
+  if (t >= stop_) return;
+  if (t >= on_until_) {
+    const TimeNs wake = t + 1 + draw(mean_off_);
+    ev.schedule(wake, [this, &ev, &link](TimeNs t2) {
+      on_until_ = t2 + draw(mean_on_);
+      emit(ev, link, t2);
+    });
+    return;
+  }
+  link.on_arrival(t, Packet{cls_, pkt_len_, t, seq_++});
+  ev.schedule(t + interval_,
+              [this, &ev, &link](TimeNs t2) { emit(ev, link, t2); });
+}
+
+// -------------------------------------------------------------- Tcpish
+
+TcpishSource::TcpishSource(ClassId cls, Bytes pkt_len, std::size_t max_window,
+                           TimeNs start, TimeNs stop)
+    : cls_(cls), pkt_len_(pkt_len), max_window_(max_window), start_(start),
+      stop_(stop) {
+  assert(max_window_ > 0 && pkt_len_ > 0);
+}
+
+void TcpishSource::install(EventQueue& ev, Link& link) {
+  link.add_departure_hook([this, &link](TimeNs t, const Packet& p) {
+    if (p.cls != cls_) return;
+    if (in_flight_ > 0) --in_flight_;
+    if (t < start_ || t >= stop_) return;
+    // New drops since the last departure mean the window overran the
+    // queue: halve.  Otherwise a fully delivered window grows it by one.
+    const std::uint64_t drops = link.scheduler().class_drops(cls_);
+    if (drops > last_drops_) {
+      // Dropped packets never depart, so they must leave the in-flight
+      // account here or the effective window shrinks forever.
+      const std::uint64_t lost = drops - last_drops_;
+      in_flight_ -= static_cast<std::size_t>(
+          lost < in_flight_ ? lost : in_flight_);
+      last_drops_ = drops;
+      cwnd_ = cwnd_ > 1 ? cwnd_ / 2 : 1;
+      acked_ = 0;
+    } else if (++acked_ >= cwnd_) {
+      acked_ = 0;
+      if (cwnd_ < max_window_) ++cwnd_;
+    }
+    top_up(link, t);
+  });
+  ev.schedule(start_, [this, &link](TimeNs t) { top_up(link, t); });
+}
+
+void TcpishSource::top_up(Link& link, TimeNs t) {
+  while (in_flight_ < cwnd_) {
+    ++in_flight_;
+    link.on_arrival(t, Packet{cls_, pkt_len_, t, seq_++});
+  }
+}
+
 // --------------------------------------------------------------- Trace
 
 TraceSource::TraceSource(ClassId cls, std::vector<Item> items)

@@ -119,6 +119,66 @@ class VideoSource {
   std::uint64_t seq_ = 0;
 };
 
+// Pareto-burst on-off source: CBR at `peak_rate` during on periods,
+// silent during off periods, with both period lengths drawn from a
+// Pareto distribution of shape `alpha` (heavy tails — the self-similar
+// burst structure measured in real traffic, unlike OnOffSource's
+// exponential periods).  The Pareto scale is chosen so the periods keep
+// the requested means: xm = mean * (alpha - 1) / alpha (alpha > 1).
+class ParetoBurstSource {
+ public:
+  ParetoBurstSource(ClassId cls, RateBps peak_rate, Bytes pkt_len,
+                    TimeNs mean_on, TimeNs mean_off, double alpha,
+                    TimeNs start, TimeNs stop, std::uint64_t seed);
+  void install(EventQueue& ev, Link& link);
+
+ private:
+  TimeNs draw(double mean) noexcept;
+  void emit(EventQueue& ev, Link& link, TimeNs t);
+
+  ClassId cls_;
+  Bytes pkt_len_;
+  TimeNs interval_;
+  double mean_on_;
+  double mean_off_;
+  double alpha_;
+  TimeNs start_;
+  TimeNs stop_;
+  Rng rng_;
+  TimeNs on_until_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+// TCP-like window feedback source: keeps a congestion window of packets
+// in flight at the link (acked by its own departures), grows the window
+// by one packet per delivered window (additive increase) and halves it
+// whenever its class records a new drop (multiplicative decrease,
+// observed through Scheduler::class_drops).  Give the class a qlimit to
+// exercise the feedback loop; without drops the window opens to
+// `max_window` and the source behaves like GreedySource.
+class TcpishSource {
+ public:
+  TcpishSource(ClassId cls, Bytes pkt_len, std::size_t max_window,
+               TimeNs start, TimeNs stop = kTimeInfinity);
+  void install(EventQueue& ev, Link& link);
+
+  std::size_t cwnd() const noexcept { return cwnd_; }
+
+ private:
+  void top_up(Link& link, TimeNs t);
+
+  ClassId cls_;
+  Bytes pkt_len_;
+  std::size_t max_window_;
+  TimeNs start_;
+  TimeNs stop_;
+  std::size_t cwnd_ = 1;
+  std::size_t in_flight_ = 0;
+  std::size_t acked_ = 0;
+  std::uint64_t last_drops_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
 // Replays an explicit (time, len) schedule; the workhorse of the unit
 // tests and the Fig. 2 / Fig. 3 experiments.
 class TraceSource {

@@ -43,13 +43,15 @@ class Tandem {
         next->on_arrival(t, p);
       });
     }
-    // End-to-end accounting.
+    // End-to-end accounting.  Keyed on the explicit (cls, seq) pair: the
+    // historical folded key `seq ^ (cls << 48)` aliased distinct packets
+    // once seq crossed 2^48 (and for crafted cls/seq pairs), silently
+    // merging their entry times.
     links_.front()->add_arrival_hook([this](TimeNs t, const Packet& p) {
-      entry_[p.seq ^ (static_cast<std::uint64_t>(p.cls) << 48)] = t;
+      entry_[PacketKey{p.cls, p.seq}] = t;
     });
     links_.back()->add_departure_hook([this](TimeNs t, const Packet& p) {
-      const auto key = p.seq ^ (static_cast<std::uint64_t>(p.cls) << 48);
-      const auto it = entry_.find(key);
+      const auto it = entry_.find(PacketKey{p.cls, p.seq});
       if (it == entry_.end()) return;
       auto& s = e2e_[p.cls];
       s.delays.add(static_cast<double>(t - it->second) / 1e6);
@@ -88,9 +90,28 @@ class Tandem {
     Bytes bytes = 0;
   };
 
+  // Exact identity of an in-flight packet.  Equality compares both
+  // fields, so a hash collision can never alias two packets the way the
+  // old folded 64-bit key could.
+  struct PacketKey {
+    ClassId cls;
+    std::uint64_t seq;
+    bool operator==(const PacketKey& o) const noexcept {
+      return cls == o.cls && seq == o.seq;
+    }
+  };
+  struct PacketKeyHash {
+    std::size_t operator()(const PacketKey& k) const noexcept {
+      std::uint64_t h = k.seq;
+      h ^= (static_cast<std::uint64_t>(k.cls) + 0x9e3779b97f4a7c15ULL +
+            (h << 6) + (h >> 2));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   std::vector<std::unique_ptr<Scheduler>> scheds_;
   std::vector<std::unique_ptr<Link>> links_;
-  std::unordered_map<std::uint64_t, TimeNs> entry_;
+  std::unordered_map<PacketKey, TimeNs, PacketKeyHash> entry_;
   std::unordered_map<ClassId, E2e> e2e_;
 };
 

@@ -48,6 +48,9 @@ class SampleSet {
   // q in [0, 1]; nearest-rank on the sorted samples.  Returns 0 when empty.
   double quantile(double q) const;
 
+  // Raw samples in insertion order (histogram builders, set merging).
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
  private:
   std::vector<double> samples_;
   mutable bool sorted_ = false;

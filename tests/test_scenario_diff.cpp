@@ -1,0 +1,181 @@
+// Engine-equivalence pin for the topology refactor: every single-node
+// scenario must produce bit-identical results through the routed
+// Topology engine and through the legacy single-link engine (Simulator
+// driving one compiled hierarchy), including the H-FSC state digest.
+//
+// The legacy runner below is a faithful transcription of the pre-refactor
+// run_scenario body; it exists only here, as the reference the refactor
+// is measured against.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "config/hierarchy_spec.hpp"
+#include "core/checkpoint.hpp"
+#include "core/hfsc.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace hfsc {
+namespace {
+
+// The single-link engine exactly as it ran before the topology refactor
+// (same compile, install and gather order), plus the post-run state
+// digest the refactored engine now reports.
+ScenarioResult legacy_run(const Scenario& sc, SchedulerKind kind) {
+  const HierarchySpec spec = sc.to_hierarchy_spec();
+  HierarchySpec::CompileOptions copts;
+  HierarchySpec::Compiled compiled = spec.compile(kind, sc.link_rate, copts);
+  Scheduler& sched = *compiled.sched;
+  const HierarchySpec::IdMap& ids = compiled.ids;
+
+  Simulator sim(sc.link_rate, sched, sc.window);
+  for (const ScenarioSource& s : sc.sources) {
+    const ClassId cls = ids.at(s.cls);
+    switch (s.kind) {
+      case ScenarioSource::Kind::kCbr:
+        sim.add<CbrSource>(cls, s.rate, s.pkt_len, s.start, s.stop);
+        break;
+      case ScenarioSource::Kind::kPoisson:
+        sim.add<PoissonSource>(cls, s.rate, s.pkt_len, s.start, s.stop,
+                               s.seed);
+        break;
+      case ScenarioSource::Kind::kOnOff:
+        sim.add<OnOffSource>(cls, s.rate, s.pkt_len, s.mean_on, s.mean_off,
+                             s.start, s.stop, s.seed);
+        break;
+      case ScenarioSource::Kind::kGreedy:
+        sim.add<GreedySource>(cls, s.pkt_len, s.window, s.start, s.stop);
+        break;
+      case ScenarioSource::Kind::kVideo:
+        sim.add<VideoSource>(cls, s.fps, s.mean_frame, s.max_frame, s.mtu,
+                             s.start, s.stop, s.seed);
+        break;
+      case ScenarioSource::Kind::kPareto:
+        sim.add<ParetoBurstSource>(cls, s.rate, s.pkt_len, s.mean_on,
+                                   s.mean_off, s.alpha, s.start, s.stop,
+                                   s.seed);
+        break;
+      case ScenarioSource::Kind::kTcpish:
+        sim.add<TcpishSource>(cls, s.pkt_len, s.window, s.start, s.stop);
+        break;
+    }
+  }
+  sim.run(sc.duration);
+
+  ScenarioResult out;
+  out.scheduler = std::string(sched.name());
+  out.notes = std::move(compiled.notes);
+  const FlowTracker& t = sim.tracker();
+  for (const ScenarioClass& c : sc.classes) {
+    const auto it = ids.find(c.name);
+    if (it == ids.end()) continue;  // dropped by a flat mapping
+    const ClassId id = it->second;
+    if (!spec.is_leaf(c.name) && !t.has(id)) continue;  // interior class
+    ScenarioResult::PerClass pc;
+    pc.name = c.name;
+    pc.packets = t.packets(id);
+    pc.bytes = t.bytes(id);
+    pc.dropped = sched.class_drops(id);
+    pc.mean_delay_ms = t.mean_delay_ms(id);
+    pc.p99_delay_ms = t.delay_quantile_ms(id, 0.99);
+    pc.max_delay_ms = t.max_delay_ms(id);
+    pc.rate_mbps = t.rate_mbps(id, 0, sc.duration);
+    out.per_class.push_back(std::move(pc));
+  }
+  out.link_utilization = static_cast<double>(sim.link().busy_time()) /
+                         static_cast<double>(sc.duration);
+  if (compiled.hfsc != nullptr) {
+    out.state_digest = state_digest(*compiled.hfsc);
+  }
+  return out;
+}
+
+// Exact equality, doubles included: the refactor promises bit-identity,
+// not tolerance-identity.
+void expect_identical(const ScenarioResult& legacy,
+                      const ScenarioResult& now) {
+  ASSERT_EQ(legacy.per_class.size(), now.per_class.size());
+  for (std::size_t i = 0; i < legacy.per_class.size(); ++i) {
+    const auto& l = legacy.per_class[i];
+    const auto& n = now.per_class[i];
+    SCOPED_TRACE(l.name);
+    EXPECT_EQ(l.name, n.name);
+    EXPECT_EQ(l.packets, n.packets);
+    EXPECT_EQ(l.bytes, n.bytes);
+    EXPECT_EQ(l.dropped, n.dropped);
+    EXPECT_EQ(l.mean_delay_ms, n.mean_delay_ms);
+    EXPECT_EQ(l.p99_delay_ms, n.p99_delay_ms);
+    EXPECT_EQ(l.max_delay_ms, n.max_delay_ms);
+    EXPECT_EQ(l.rate_mbps, n.rate_mbps);
+  }
+  EXPECT_EQ(legacy.link_utilization, now.link_utilization);
+  EXPECT_EQ(legacy.state_digest, now.state_digest);
+  EXPECT_EQ(legacy.notes, now.notes);
+  // The rendered single-node table must be byte-for-byte what the old
+  // engine printed.
+  EXPECT_EQ(legacy.to_table(), now.to_table());
+}
+
+TEST(ScenarioDiff, ShippedSingleNodeScenariosAreBitIdentical) {
+  for (const char* path :
+       {"scenarios/campus.hfsc", "scenarios/voip.hfsc",
+        "scenarios/decoupling.hfsc", "scenarios/decoupling_vii.hfsc"}) {
+    SCOPED_TRACE(path);
+    const Scenario sc =
+        Scenario::parse_file(std::string(HFSC_SOURCE_DIR) + "/" + path);
+    const ScenarioResult legacy = legacy_run(sc, sc.scheduler);
+    const ScenarioResult now = run_scenario(sc);
+    expect_identical(legacy, now);
+  }
+}
+
+TEST(ScenarioDiff, EveryFamilyMatchesTheLegacyEngine) {
+  std::istringstream in(R"(
+link 10Mbps
+duration 2s
+class org   root ls linear 10Mbps
+class voice org  rt udr 160 5ms 64kbps  ls linear 64kbps
+class web   org  ls linear 5Mbps  qlimit 60
+class bulk  org  ls linear 4Mbps  ul linear 6Mbps  qlimit 60
+source cbr    voice 64kbps 160 0s 2s
+source pareto web   6Mbps 1200 20ms 60ms 1.5 0s 2s 9
+source tcpish bulk  1500 24 0s 2s
+source onoff  web   3Mbps 900 30ms 30ms 0.5s 2s 4
+)");
+  const Scenario sc = Scenario::parse(in);
+  for (const SchedulerKind kind :
+       {SchedulerKind::kHfsc, SchedulerKind::kHpfq, SchedulerKind::kCbq,
+        SchedulerKind::kDrr, SchedulerKind::kSced,
+        SchedulerKind::kVirtualClock, SchedulerKind::kFifo}) {
+    SCOPED_TRACE(to_string(kind));
+    const ScenarioResult legacy = legacy_run(sc, kind);
+    ScenarioRunOptions opts;
+    opts.scheduler = kind;
+    const ScenarioResult now = run_scenario(sc, opts);
+    expect_identical(legacy, now);
+  }
+}
+
+// The refactored engine additionally reports per-node conservation for
+// single-node runs; the identity must hold on the same runs the
+// bit-identity pin covers.
+TEST(ScenarioDiff, SingleNodeRunsAreConserved) {
+  for (const char* path :
+       {"scenarios/campus.hfsc", "scenarios/voip.hfsc",
+        "scenarios/decoupling.hfsc"}) {
+    SCOPED_TRACE(path);
+    const Scenario sc =
+        Scenario::parse_file(std::string(HFSC_SOURCE_DIR) + "/" + path);
+    const ScenarioResult r = run_scenario(sc);
+    ASSERT_EQ(r.nodes.size(), 1u);
+    EXPECT_TRUE(r.conserved())
+        << "offered " << r.offered() << " != sent " << r.sent()
+        << " + dropped " << r.dropped() << " + rejected " << r.rejected()
+        << " + backlog " << r.backlog();
+  }
+}
+
+}  // namespace
+}  // namespace hfsc

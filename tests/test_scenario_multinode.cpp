@@ -1,0 +1,368 @@
+// Tests for the topology-first scenario language: node blocks, routes,
+// timed `at` control events, the new source kinds, delay histograms,
+// the JSON report, the Section VII reconstruction and churn at scale.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "sim/scenario.hpp"
+
+namespace hfsc {
+namespace {
+
+void expect_parse_error(const std::string& text, const char* needle) {
+  std::istringstream in(text);
+  try {
+    (void)Scenario::parse(in);
+    FAIL() << "expected parse error containing '" << needle << "'\n" << text;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+// A two-node skeleton most negative tests below perturb.
+const char* kTwoNode = R"(
+duration 1s
+node a 10Mbps
+  class x root ls linear 10Mbps
+end
+node b 10Mbps
+  class x root ls linear 10Mbps
+end
+route x a b
+source cbr x 1Mbps 1000 0s 1s
+)";
+
+TEST(ScenarioMultiNode, ParsesNodesRoutesAndResolvesEntry) {
+  std::istringstream in(kTwoNode);
+  const Scenario sc = Scenario::parse(in);
+  EXPECT_TRUE(sc.multi_node);
+  ASSERT_EQ(sc.nodes.size(), 2u);
+  EXPECT_EQ(sc.nodes[0].name, "a");
+  EXPECT_EQ(sc.link_rate, mbps(10));  // first node's rate
+  ASSERT_EQ(sc.routes.size(), 1u);
+  EXPECT_EQ(sc.routes[0].nodes, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(sc.sources.size(), 1u);
+  EXPECT_EQ(sc.sources[0].node, "a");  // routed source enters at hop 1
+  EXPECT_EQ(sc.node_hierarchy_spec("a").classes.size(), 1u);
+}
+
+TEST(ScenarioMultiNode, SingleNodeFilesStillParseIdentically) {
+  std::istringstream in(R"(
+link 10Mbps
+duration 1s
+class a root ls linear 10Mbps
+source cbr a 1Mbps 1000 0s 1s
+)");
+  const Scenario sc = Scenario::parse(in);
+  EXPECT_FALSE(sc.multi_node);
+  ASSERT_EQ(sc.nodes.size(), 1u);  // implicit node materialized
+  EXPECT_EQ(sc.nodes[0].name, "link");
+  EXPECT_EQ(sc.classes[0].node, "link");
+  EXPECT_EQ(sc.sources[0].node, "link");
+}
+
+TEST(ScenarioMultiNode, ParserRejectsBadTopologies) {
+  // Route through a node that does not exist.
+  expect_parse_error(
+      "duration 1s\n"
+      "node a 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "node b 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "route x a nowhere\n",
+      "route through unknown node nowhere");
+  // Class missing on the route's first hop.
+  expect_parse_error(
+      "duration 1s\n"
+      "node a 10Mbps\n  class y root ls linear 1Mbps\nend\n"
+      "node b 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "route x a b\n",
+      "class x is not declared on its first hop a");
+  // Class missing on a later hop.
+  expect_parse_error(
+      "duration 1s\n"
+      "node a 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "node b 10Mbps\n  class y root ls linear 1Mbps\nend\n"
+      "route x a b\n",
+      "class x is not declared on hop b");
+  expect_parse_error(
+      "duration 1s\n"
+      "node a 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "route x a\n",
+      "route needs at least two nodes");
+  expect_parse_error(
+      "duration 1s\n"
+      "node a 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "node b 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "route x a b\nroute x b a\n",
+      "duplicate route for class x");
+  expect_parse_error(
+      "duration 1s\n"
+      "node a 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "node b 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "route x a b a\n",
+      "route visits node a twice");
+  expect_parse_error("duration 1s\nnode a 10Mbps\nnode b 10Mbps\n",
+                     "nested node block");
+  expect_parse_error("duration 1s\nnode a 10Mbps\nend\nnode a 10Mbps\nend\n",
+                     "duplicate node a");
+  expect_parse_error("link 10Mbps\nduration 1s\nend\n",
+                     "end outside a node block");
+  expect_parse_error("link 10Mbps\nduration 1s\nnode a 10Mbps\n",
+                     "cannot mix `node` blocks with `link`");
+  expect_parse_error("duration 1s\nnode a 10Mbps\nend\nlink 10Mbps\n",
+                     "cannot mix `link` with `node` blocks");
+  expect_parse_error("duration 1s\nnode a 10Mbps\n"
+                     "  class x root ls linear 1Mbps\n",
+                     "unterminated node block");
+  // Multi-node files scope class/at declarations to blocks.
+  expect_parse_error(
+      "duration 1s\nnode a 10Mbps\nend\nclass x root ls linear 1Mbps\n",
+      "class declared outside a node block");
+  // Routes need explicit nodes.
+  expect_parse_error(
+      "link 10Mbps\nduration 1s\nclass x root ls linear 1Mbps\n"
+      "route x a b\n",
+      "route needs `node` blocks");
+  // A class declared on two nodes without a route can't place a
+  // top-level source.
+  expect_parse_error(
+      "duration 1s\n"
+      "node a 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "node b 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "source cbr x 1Mbps 1000 0s 1s\n",
+      "declared on several nodes");
+  // A routed class's source can't enter mid-route.
+  expect_parse_error(
+      "duration 1s\n"
+      "node a 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "node b 10Mbps\n  class x root ls linear 1Mbps\n"
+      "  source cbr x 1Mbps 1000 0s 1s\nend\n"
+      "route x a b\n",
+      "must enter at its first hop a");
+}
+
+TEST(ScenarioMultiNode, ParserRejectsBadTimedEventsAndSources) {
+  expect_parse_error("link 10Mbps\nduration 1s\n"
+                     "class x root ls linear 1Mbps\n"
+                     "at 0.5s explode x\n",
+                     "unknown at-directive: explode");
+  expect_parse_error("link 10Mbps\nduration 1s\n"
+                     "class x root ls linear 1Mbps\n"
+                     "at 0.5s class x root ls linear 1Mbps\n",
+                     "timed class x duplicates a static class");
+  expect_parse_error("link 10Mbps\nduration 1s\n"
+                     "class x root ls linear 1Mbps\n"
+                     "at 0.5s class y nosuch ls linear 1Mbps\n",
+                     "unknown parent class nosuch");
+  expect_parse_error("link 10Mbps\nduration 1s\n"
+                     "class x root ls linear 1Mbps\n"
+                     "at 0.5s delete ghost\n",
+                     "unknown class ghost");
+  expect_parse_error("link 10Mbps\nduration 1s\n"
+                     "class x root ls linear 1Mbps\n"
+                     "at 0.5s source cbr ghost 1Mbps 100\n",
+                     "unknown class ghost");
+  expect_parse_error("link 10Mbps\nduration 1s\n"
+                     "class x root ls linear 1Mbps\n"
+                     "at 0.5s class y root ls linear 1Mbps shard 2\n",
+                     "shard pins are not allowed on timed classes");
+  expect_parse_error("link 10Mbps\nduration 1s\n"
+                     "class x root ls linear 1Mbps\n"
+                     "source pareto x 1Mbps 1000 10ms 10ms 0.9 0s 1s 7\n",
+                     "pareto alpha must be > 1");
+  expect_parse_error("link 10Mbps\nduration 1s\n"
+                     "class x root ls linear 1Mbps\n"
+                     "source tcpish x 1000 0 0s 1s\n",
+                     "tcpish max window must be > 0");
+  // Timed events are scoped like classes in multi-node files.
+  expect_parse_error(
+      "duration 1s\nnode a 10Mbps\n  class x root ls linear 1Mbps\nend\n"
+      "at 0.5s delete x\n",
+      "`at` event outside a node block");
+}
+
+TEST(ScenarioMultiNode, RunsRoutedTopologyWithEndToEndRows) {
+  std::istringstream in(kTwoNode);
+  const Scenario sc = Scenario::parse(in);
+  const ScenarioResult r = run_scenario(sc);
+  ASSERT_EQ(r.nodes.size(), 2u);
+  for (const auto& ns : r.nodes) {
+    SCOPED_TRACE(ns.name);
+    EXPECT_TRUE(ns.conserved());
+    EXPECT_EQ(ns.offered, 125u);
+    EXPECT_EQ(ns.sent, 125u);
+  }
+  ASSERT_EQ(r.e2e.size(), 1u);
+  EXPECT_EQ(r.e2e[0].cls, "x");
+  EXPECT_EQ(r.e2e[0].delivered, 125u);
+  // Two hops at 0.8 ms serialization each.
+  EXPECT_NEAR(r.e2e[0].mean_delay_ms, 1.6, 0.1);
+  // Per-node rows carry their owning node.
+  ASSERT_EQ(r.per_class.size(), 2u);
+  EXPECT_EQ(r.per_class[0].node, "a");
+  EXPECT_EQ(r.per_class[1].node, "b");
+  const std::string table = r.to_table();
+  EXPECT_NE(table.find("node a"), std::string::npos);
+  EXPECT_NE(table.find("end-to-end"), std::string::npos);
+  EXPECT_NE(table.find("a>b"), std::string::npos);
+}
+
+TEST(ScenarioMultiNode, ShippedTopologyScenariosRunConserved) {
+  for (const char* path :
+       {"scenarios/backbone.hfsc", "scenarios/churn_soak.hfsc"}) {
+    SCOPED_TRACE(path);
+    const Scenario sc =
+        Scenario::parse_file(std::string(HFSC_SOURCE_DIR) + "/" + path);
+    ScenarioRunOptions opts;
+    opts.audit_every = 512;  // auditor-clean or the run throws
+    const ScenarioResult r = run_scenario(sc, opts);
+    EXPECT_TRUE(r.conserved())
+        << "offered " << r.offered() << " != sent " << r.sent()
+        << " + dropped " << r.dropped() << " + rejected " << r.rejected()
+        << " + backlog " << r.backlog();
+    for (const auto& ns : r.nodes) {
+      EXPECT_TRUE(ns.conserved()) << ns.name;
+    }
+  }
+}
+
+TEST(ScenarioMultiNode, ChurnSoakAdmitsPartiallyAndStaysConserved) {
+  const Scenario sc = Scenario::parse_file(std::string(HFSC_SOURCE_DIR) +
+                                           "/scenarios/churn_soak.hfsc");
+  EXPECT_TRUE(sc.admission);
+  const ScenarioResult r = run_scenario(sc);
+  // The t=4s flash crowd offers three 4 Mb/s reservations to a 10 Mb/s
+  // link: per-class fallback admits two, rejects one.
+  EXPECT_EQ(r.classes_rejected, 1u);
+  EXPECT_TRUE(r.conserved());
+  // Deleted classes keep reporting their traffic.
+  bool saw_call1 = false;
+  for (const auto& pc : r.per_class) {
+    if (pc.name == "call1") {
+      saw_call1 = true;
+      EXPECT_GT(pc.packets, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_call1);
+}
+
+// The paper's Section VII claim, reconstructed: under H-FSC the audio
+// class's p99 delay is decoupled from its 64 kb/s reservation; under
+// H-PFQ delay stays coupled to rate, so its p99 must be strictly worse.
+TEST(ScenarioMultiNode, SectionViiDecouplingHfscBeatsHpfq) {
+  const Scenario sc = Scenario::parse_file(std::string(HFSC_SOURCE_DIR) +
+                                           "/scenarios/decoupling_vii.hfsc");
+  const CompareResult cmp =
+      run_compare(sc, {SchedulerKind::kHfsc, SchedulerKind::kHpfq});
+  ASSERT_EQ(cmp.runs.size(), 2u);
+  auto p99 = [](const ScenarioResult& r, const char* cls) {
+    for (const auto& pc : r.per_class) {
+      if (pc.name == cls) return pc.p99_delay_ms;
+    }
+    ADD_FAILURE() << "class " << cls << " missing";
+    return 0.0;
+  };
+  const double hfsc_p99 = p99(cmp.runs[0], "audio");
+  const double hpfq_p99 = p99(cmp.runs[1], "audio");
+  EXPECT_LT(hfsc_p99, hpfq_p99);
+  // And the decoupled delay actually honors the 5 ms service-curve knee.
+  EXPECT_LT(hfsc_p99, 6.3);
+  const std::string json = cmp.to_json();
+  EXPECT_NE(json.find("hfsc-sim-compare-v1"), std::string::npos);
+}
+
+TEST(ScenarioMultiNode, DelayHistogramBucketsAreExact) {
+  const auto& edges = delay_hist_edges_ms();
+  ASSERT_EQ(edges.size(), 25u);
+  EXPECT_DOUBLE_EQ(edges.front(), 0.001);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_DOUBLE_EQ(edges[i], edges[i - 1] * 2.0);
+  }
+  const auto h = delay_histogram({0.0005, 0.001, 0.0015, 1e9});
+  ASSERT_EQ(h.size(), edges.size() + 1);
+  EXPECT_EQ(h[0], 1u);         // below the first edge
+  EXPECT_EQ(h[1], 2u);         // [0.001, 0.002): edge value included
+  EXPECT_EQ(h.back(), 1u);     // at/above the last edge
+  std::uint64_t total = 0;
+  for (const auto c : h) total += c;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(ScenarioMultiNode, JsonReportCarriesSchemaAndHistograms) {
+  const Scenario sc = Scenario::parse_file(std::string(HFSC_SOURCE_DIR) +
+                                           "/scenarios/backbone.hfsc");
+  const ScenarioResult r = run_scenario(sc);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"schema\":\"hfsc-sim-report-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"hist_edges_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"e2e\""), std::string::npos);
+  EXPECT_NE(json.find("\"conserved\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"state_digest\""), std::string::npos);
+  for (const auto& pc : r.per_class) {
+    ASSERT_EQ(pc.hist.size(), delay_hist_edges_ms().size() + 1) << pc.name;
+    std::uint64_t total = 0;
+    for (const auto c : pc.hist) total += c;
+    EXPECT_EQ(total, pc.packets) << pc.name;
+  }
+}
+
+// Large-scale churn: batches of timed classes (each with its own timed
+// source) are created and torn down throughout the run, all through
+// Hfsc::Txn with admission on.  The default size keeps CI quick; set
+// HFSC_SOAK=1 for the full 100k-flow soak the issue's acceptance
+// criterion names.
+TEST(ScenarioMultiNode, HundredThousandFlowChurnRunsConserved) {
+  const bool soak =
+      std::getenv("HFSC_SOAK") && std::string(std::getenv("HFSC_SOAK")) == "1";
+  const std::size_t flows = soak ? 100'000 : 5'000;
+  const std::size_t batch = 1'000;
+  const std::size_t batches = (flows + batch - 1) / batch;
+  constexpr std::size_t kStepMs = 100;   // batch cadence
+  constexpr std::size_t kLifeMs = 300;   // flow lifetime
+
+  std::ostringstream sc_text;
+  sc_text << "link 100Mbps\nduration "
+          << (batches * kStepMs + kLifeMs + 200) << "ms\nadmission\n"
+          << "class pool root ls linear 90Mbps\n"
+          << "class base root ls linear 10Mbps\n"
+          << "source cbr base 5Mbps 1000 0s 1s\n";
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t born = b * kStepMs;
+    for (std::size_t i = 0; i < batch && b * batch + i < flows; ++i) {
+      const std::size_t f = b * batch + i;
+      // Flat rt curves: admission sums service curves pointwise, so a
+      // udr burst slope would oversubscribe the link across a whole
+      // 1000-flow batch even when the long-term rates fit.
+      sc_text << "at " << born << "ms class f" << f
+              << " pool rt linear 8kbps ls linear 64kbps\n"
+          << "at " << born << "ms source cbr f" << f << " 64kbps 200\n"
+          << "at " << (born + kLifeMs) << "ms delete f" << f << "\n";
+    }
+  }
+  std::istringstream in(sc_text.str());
+  const Scenario sc = Scenario::parse(in);
+  ScenarioRunOptions opts;
+  opts.audit_every = 100'000;  // periodic invariant audit, cheap at scale
+  const ScenarioResult r = run_scenario(sc, opts);
+
+  // At most three batches are alive at once (100 ms cadence, 300 ms
+  // lifetime, staged deletes freeing capacity first), so admission never
+  // rejects: 3000 * 8 kb/s = 24 Mb/s of rt on a 100 Mb/s link.
+  EXPECT_EQ(r.classes_rejected, 0u);
+  EXPECT_TRUE(r.conserved())
+      << "offered " << r.offered() << " != sent " << r.sent() << " + dropped "
+      << r.dropped() << " + rejected " << r.rejected() << " + backlog "
+      << r.backlog();
+  // Every flow that ran delivered traffic: offered covers the base load
+  // plus at least a handful of packets per churned flow.
+  EXPECT_GT(r.offered(), flows * 5);
+  EXPECT_NE(r.state_digest, 0u);
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -42,7 +42,10 @@
 # run explicitly after the suite so a CTEST_ARGS filter cannot silently
 # skip them.  The Release config also runs the scenario-lint gate (ctest
 # label "lint"): tools/hfsc_lint over every committed scenarios/*.hfsc,
-# so the example hierarchies stay diagnostic-clean.
+# so the example hierarchies stay diagnostic-clean; and the simulation
+# gate (ctest label "sim"): the Section VII reconstruction compared
+# across H-FSC and H-PFQ plus a timed-churn smoke under the invariant
+# auditor (the 100k-flow churn soak rides the opt-in "soak" label).
 #
 # The `tidy` stage runs clang-tidy (.clang-tidy at the repo root, with
 # WarningsAsErrors) over src/ tools/ bench/ against a compile_commands
@@ -98,6 +101,9 @@ case "${what}" in
     echo "=== Release: scenario lint gate ==="
     ctest --test-dir "${repo}/build-ci-release" --output-on-failure \
       -L lint
+    echo "=== Release: simulation gate (Section VII + churn smoke) ==="
+    ctest --test-dir "${repo}/build-ci-release" --output-on-failure \
+      -L sim
     echo "=== Release: perf smoke vs committed baseline ==="
     # A focused smoke run of the headline combination, compared against
     # the committed trajectory: > 10% regression warns, and fails the

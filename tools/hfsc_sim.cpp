@@ -1,8 +1,8 @@
 // hfsc_sim — run a scenario file and print per-class statistics.
 //
 //   $ hfsc_sim [--audit[=N]] [--admission] [--checkpoint=FILE]
-//              [--scheduler=KIND] scenario.hfsc
-//   $ hfsc_sim --compare=KIND[,KIND...] scenario.hfsc
+//              [--scheduler=KIND] [--json] scenario.hfsc
+//   $ hfsc_sim --compare=KIND[,KIND...] [--json] scenario.hfsc
 //   $ hfsc_sim --analyze scenario.hfsc
 //   $ hfsc_sim --restore=FILE
 //
@@ -23,6 +23,11 @@
 // --scheduler runs the same hierarchy under another family (hfsc, hpfq,
 // cbq, drr, sced, vclock, fifo), overriding the file's `scheduler`
 // directive; lossy-mapping notes go to stderr (docs/SCHEDULERS.md).
+// --json replaces the human table with a machine-readable report
+// (schema "hfsc-sim-report-v1", or "hfsc-sim-compare-v1" under
+// --compare) carrying per-class delay histograms, per-node conservation
+// counters and end-to-end route rows; docs/SCENARIOS.md documents the
+// schema.  Notes stay on stderr either way.
 // --compare runs the scenario through several families and prints one
 // side-by-side delay/throughput table.  Both are incompatible with
 // --checkpoint, which is an H-FSC-only feature.
@@ -51,8 +56,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--audit[=N]] [--admission] [--checkpoint=FILE] "
-               "[--scheduler=KIND] <scenario-file>\n"
-               "       %s --compare=KIND[,KIND...] <scenario-file>\n"
+               "[--scheduler=KIND] [--json] <scenario-file>\n"
+               "       %s --compare=KIND[,KIND...] [--json] <scenario-file>\n"
                "       %s --analyze <scenario-file>\n"
                "       %s --restore=FILE [--scheduler=KIND]\n"
                "       %s --chaos[=EPISODES] [--seed=N] [--soak[=SECONDS]]\n"
@@ -129,6 +134,7 @@ int main(int argc, char** argv) {
   std::size_t audit_every = 0;
   bool admission = false;
   bool analyze = false;
+  bool json = false;
   bool chaos = false;
   bool sharded = false;
   hfsc::ChaosConfig chaos_cfg;
@@ -153,6 +159,8 @@ int main(int argc, char** argv) {
       admission = true;
     } else if (std::strcmp(arg, "--analyze") == 0) {
       analyze = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
     } else if (std::strcmp(arg, "--chaos") == 0) {
       chaos = true;
     } else if (std::strncmp(arg, "--chaos=", 8) == 0) {
@@ -227,9 +235,9 @@ int main(int argc, char** argv) {
 
   try {
     if (chaos || sharded || chaos_cfg.soak) {
-      if (path != nullptr || admission || analyze || audit_every != 0 ||
-          !checkpoint_path.empty() || !restore_path.empty() || scheduler ||
-          !compare.empty()) {
+      if (path != nullptr || admission || analyze || json ||
+          audit_every != 0 || !checkpoint_path.empty() ||
+          !restore_path.empty() || scheduler || !compare.empty()) {
         return usage(argv[0]);
       }
       bool ok = true;
@@ -246,7 +254,7 @@ int main(int argc, char** argv) {
       return ok ? 0 : 1;
     }
     if (!restore_path.empty()) {
-      if (path != nullptr || admission || audit_every != 0 ||
+      if (path != nullptr || admission || json || audit_every != 0 ||
           !checkpoint_path.empty() || !compare.empty()) {
         return usage(argv[0]);
       }
@@ -254,7 +262,7 @@ int main(int argc, char** argv) {
     }
     if (path == nullptr) return usage(argv[0]);
     if (analyze) {
-      if (admission || audit_every != 0 || !checkpoint_path.empty() ||
+      if (admission || json || audit_every != 0 || !checkpoint_path.empty() ||
           scheduler || !compare.empty()) {
         return usage(argv[0]);
       }
@@ -286,14 +294,16 @@ int main(int argc, char** argv) {
                        note.c_str());
         }
       }
-      std::printf("%s", result.to_table().c_str());
+      std::printf("%s", json ? result.to_json().c_str()
+                             : result.to_table().c_str());
       return 0;
     }
     const hfsc::ScenarioResult result = hfsc::run_scenario(sc, opts);
     for (const std::string& note : result.notes) {
       std::fprintf(stderr, "note: %s\n", note.c_str());
     }
-    std::printf("%s", result.to_table().c_str());
+    std::printf("%s", json ? result.to_json().c_str()
+                           : result.to_table().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
