@@ -431,6 +431,272 @@ void check_portability(Ctx& ctx) {
   }
 }
 
+// ------------------------------------------------ end-to-end route walk
+
+// Effective guarantee of `cls` inside one node's hierarchy: the rt curve
+// capped by every upper limit on the root path (the same min-fold as
+// check_delay_bounds).  nullopt when the class is absent or has no rt
+// curve there — the hop then offers no guaranteed service at all.
+std::optional<PiecewiseLinear> hop_guarantee(const HierarchySpec& spec,
+                                             const std::string& cls) {
+  std::map<std::string, const ClassSpec*> by_name;
+  for (const ClassSpec& c : spec.classes) by_name[c.name] = &c;
+  const auto it = by_name.find(cls);
+  if (it == by_name.end() || it->second->rt.is_zero()) return std::nullopt;
+  PiecewiseLinear eff = PiecewiseLinear::from_service_curve(it->second->rt);
+  const ClassSpec* cur = it->second;
+  while (true) {
+    if (!cur->ul.is_zero()) {
+      eff = eff.min(PiecewiseLinear::from_service_curve(cur->ul));
+    }
+    if (ClassSpec::is_top_level(cur->parent)) break;
+    cur = by_name.at(cur->parent);
+  }
+  return eff;
+}
+
+// Largest packet a node can have on the wire: sources entering at the
+// node plus routed flows passing through it (their packets are forwarded
+// in unchanged).  Theorem 2's non-preemption term at that hop.
+Bytes node_max_pkt(const Scenario& sc, const std::string& node,
+                   Bytes fallback) {
+  Bytes m = fallback;
+  for (const ScenarioSource& s : sc.sources) {
+    const Bytes pkt =
+        s.kind == ScenarioSource::Kind::kVideo ? s.mtu : s.pkt_len;
+    bool touches = s.node == node;
+    if (!touches) {
+      if (const ScenarioRoute* r = sc.find_route(s.cls)) {
+        touches = std::find(r->nodes.begin(), r->nodes.end(), node) !=
+                  r->nodes.end();
+      }
+    }
+    if (touches) m = std::max(m, pkt);
+  }
+  return m;
+}
+
+// Largest packet the flow itself sends (qlimit capacity sizing).
+Bytes flow_max_pkt(const Scenario& sc, const std::string& cls,
+                   Bytes fallback) {
+  Bytes m = 0;
+  for (const ScenarioSource& s : sc.sources) {
+    if (s.cls != cls) continue;
+    m = std::max(
+        m, s.kind == ScenarioSource::Kind::kVideo ? s.mtu : s.pkt_len);
+  }
+  return m == 0 ? fallback : m;
+}
+
+const ScenarioClass* find_scenario_class(const Scenario& sc,
+                                         const std::string& node,
+                                         const std::string& cls) {
+  for (const ScenarioClass& c : sc.classes) {
+    if (c.node == node && c.name == cls) return &c;
+  }
+  return nullptr;
+}
+
+void push_diag(AnalysisReport& report, Severity sev, std::string id,
+               std::string cls, std::string message, SourceLoc loc) {
+  Diagnostic d;
+  d.severity = sev;
+  d.id = std::move(id);
+  d.cls = std::move(cls);
+  d.message = std::move(message);
+  d.loc = std::move(loc);
+  report.diagnostics.push_back(std::move(d));
+}
+
+// The tentpole: walk every route, compose the per-hop guarantees with
+// min-plus convolution, propagate the arrival envelope by deconvolution,
+// and report per-hop and end-to-end budgets.
+//
+// Per hop i the guarantee is S_i = min(rt, ul_self, ul_ancestors...)
+// delayed by one max-packet transmission time (folding Theorem 2's
+// non-preemption term into the curve).  Then, writing E_1 for the
+// declared first-hop envelope:
+//     hop delay_i    = h(E_i, S_i)        (horizontal deviation)
+//     hop backlog_i  = v(E_i, S_i)        (vertical deviation)
+//     E_{i+1}        = E_i (/) S_i        (output envelope, deconvolution)
+//     e2e delay      = h(E_1, S_1 (*) S_2 (*) ...)
+// The composed bound pays the burst only once, so it is never worse —
+// and usually much better — than the sum of the per-hop bounds.  Every
+// curve operation is conservative in the safe direction (convolution
+// floors service down, deconvolution rounds envelopes up), so the
+// reported bounds remain sound upper bounds.
+void check_routes(const Scenario& sc, const AnalysisOptions& opts,
+                  AnalysisReport& report) {
+  for (const ScenarioRoute& r : sc.routes) {
+    const SourceLoc rloc{sc.file, r.line};
+    const ScenarioClass* first =
+        find_scenario_class(sc, r.nodes.front(), r.cls);
+    if (first == nullptr) continue;  // parser rejects this; stay safe
+    if (first->env_burst == 0 && first->env_rate == 0) {
+      push_diag(report, Severity::kNote, "route-no-envelope", r.cls,
+                "routed flow has no arrival envelope at its first hop; "
+                "declare `envelope " + r.cls +
+                    " <burst> <rate>` inside node " + r.nodes.front() +
+                    " to obtain end-to-end delay and backlog bounds",
+                rloc);
+      continue;
+    }
+
+    FlowBudget fb;
+    fb.cls = r.cls;
+    fb.route = r.nodes;
+    fb.env_burst = first->env_burst;
+    fb.env_rate = first->env_rate;
+    fb.loc = rloc;
+
+    const PiecewiseLinear env =
+        PiecewiseLinear::token_bucket(first->env_burst, first->env_rate);
+    std::optional<PiecewiseLinear> hop_env = env;  // E_i
+    std::optional<PiecewiseLinear> e2e;            // S_1 (*) ... (*) S_i
+    bool all_hops_guaranteed = true;
+
+    for (const std::string& nname : r.nodes) {
+      const ScenarioNode* node = sc.find_node(nname);
+      if (node == nullptr) continue;  // parser rejects this too
+      HopBudget hb;
+      hb.node = nname;
+      if (hop_env) {
+        hb.in_burst = hop_env->pieces().front().y;
+        hb.in_rate = hop_env->tail_rate();
+      }
+      const auto g = hop_guarantee(sc.node_hierarchy_spec(nname), r.cls);
+      if (!g) {
+        push_diag(report, Severity::kNote, "route-hop-without-rt",
+                  nname + "." + r.cls,
+                  "hop " + nname + " gives the routed flow no rt "
+                  "guarantee; the end-to-end bound is unbounded",
+                  rloc);
+        all_hops_guaranteed = false;
+        fb.hops.push_back(std::move(hb));
+        break;
+      }
+      const PiecewiseLinear shifted = g->delayed(
+          tx_time(node_max_pkt(sc, nname, opts.default_max_pkt),
+                  node->rate));
+      e2e = e2e ? e2e->convolve(shifted) : shifted;
+      if (hop_env) {
+        hb.delay = hop_env->max_horizontal_gap(shifted);
+        hb.backlog = hop_env->max_vertical_gap(shifted);
+        const ScenarioClass* hc = find_scenario_class(sc, nname, r.cls);
+        if (hc != nullptr && hc->qlimit != 0 && hb.backlog) {
+          const Bytes pkt = flow_max_pkt(sc, r.cls, opts.default_max_pkt);
+          const Bytes capacity = static_cast<Bytes>(hc->qlimit) * pkt;
+          if (*hb.backlog > capacity) {
+            push_diag(
+                report, Severity::kWarning, "hop-backlog-over-qlimit",
+                nname + "." + r.cls,
+                "worst-case backlog of the routed flow at hop " + nname +
+                    " is " + std::to_string(*hb.backlog) +
+                    " B, more than the queue limit of " +
+                    std::to_string(hc->qlimit) + " packets (" +
+                    std::to_string(pkt) +
+                    " B each) can hold: conformant traffic can be "
+                    "tail-dropped mid-route",
+                SourceLoc{sc.file, hc->line});
+          }
+        }
+        hop_env = hop_env->deconvolve(shifted);
+      }
+      fb.hops.push_back(std::move(hb));
+    }
+
+    if (all_hops_guaranteed && e2e) {
+      fb.e2e_delay = env.max_horizontal_gap(*e2e);
+    }
+    Bytes total = 0;
+    bool have_total = !fb.hops.empty() && all_hops_guaranteed;
+    for (const HopBudget& h : fb.hops) {
+      if (!h.backlog) {
+        have_total = false;
+        break;
+      }
+      total = sat_add(total, *h.backlog);
+    }
+    if (have_total) fb.total_backlog = total;
+    report.flows.push_back(std::move(fb));
+  }
+}
+
+// `deadline` budgets: routed flows check against the route-composed
+// bound, single-hop classes against their Theorem 2 bound.  The error
+// anchors at the deadline directive itself (exact file:line).
+void check_deadlines(const Scenario& sc, AnalysisReport& report) {
+  for (const ScenarioDeadline& dl : sc.deadlines) {
+    const SourceLoc dloc{sc.file, dl.line};
+    if (sc.find_route(dl.cls) != nullptr) {
+      for (FlowBudget& f : report.flows) {
+        if (f.cls != dl.cls) continue;
+        f.deadline = dl.budget;
+        if (!f.e2e_delay) {
+          push_diag(report, Severity::kError, "e2e-budget-exceeded", dl.cls,
+                    "end-to-end delay of routed flow " + dl.cls +
+                        " is unbounded (no finite bound can meet the "
+                        "deadline of " + fmt_ms(dl.budget) + ")",
+                    dloc);
+        } else if (*f.e2e_delay > dl.budget) {
+          push_diag(report, Severity::kError, "e2e-budget-exceeded", dl.cls,
+                    "end-to-end delay bound " + fmt_ms(*f.e2e_delay) +
+                        " of routed flow " + dl.cls +
+                        " exceeds the declared deadline of " +
+                        fmt_ms(dl.budget),
+                    dloc);
+        }
+      }
+      // A routed class without a first-hop envelope has no FlowBudget
+      // row: the deadline is then unverifiable.
+      const bool has_row =
+          std::any_of(report.flows.begin(), report.flows.end(),
+                      [&](const FlowBudget& f) { return f.cls == dl.cls; });
+      if (!has_row) {
+        push_diag(report, Severity::kWarning, "deadline-unverifiable",
+                  dl.cls,
+                  "deadline declared for routed flow " + dl.cls +
+                      " but its first hop has no arrival envelope, so no "
+                      "end-to-end bound can be derived",
+                  dloc);
+      }
+      continue;
+    }
+    // Unrouted class: compare every per-node Theorem 2 bound ("cls" in
+    // single-node reports, "node.cls" in multi-node ones).
+    bool found = false;
+    for (const LeafDelayBound& b : report.delay_bounds) {
+      const bool match =
+          b.cls == dl.cls ||
+          (b.cls.size() > dl.cls.size() + 1 &&
+           b.cls.compare(b.cls.size() - dl.cls.size() - 1,
+                         std::string::npos, "." + dl.cls) == 0);
+      if (!match) continue;
+      found = true;
+      if (!b.bound) {
+        push_diag(report, Severity::kError, "e2e-budget-exceeded", b.cls,
+                  "worst-case delay of " + b.cls +
+                      " is unbounded (no finite bound can meet the "
+                      "deadline of " + fmt_ms(dl.budget) + ")",
+                  dloc);
+      } else if (*b.bound > dl.budget) {
+        push_diag(report, Severity::kError, "e2e-budget-exceeded", b.cls,
+                  "worst-case delay bound " + fmt_ms(*b.bound) + " of " +
+                      b.cls + " exceeds the declared deadline of " +
+                      fmt_ms(dl.budget),
+                  dloc);
+      }
+    }
+    if (!found) {
+      push_diag(report, Severity::kWarning, "deadline-unverifiable", dl.cls,
+                "deadline declared for " + dl.cls +
+                    " but no delay bound is derivable (the class needs "
+                    "both an rt curve and an arrival envelope)",
+                dloc);
+    }
+  }
+}
+
 AnalysisReport analyze_impl(const HierarchySpec& spec, RateBps link_rate,
                             const Scenario* scenario,
                             const AnalysisOptions& opts) {
@@ -555,7 +821,9 @@ AnalysisReport analyze(const Scenario& sc, const AnalysisOptions& opts) {
         }
       }
     }
+    check_routes(sc, opts, report);
   }
+  check_deadlines(sc, report);
   if (!sc.events.empty()) {
     Diagnostic d;
     d.severity = Severity::kNote;
@@ -624,6 +892,30 @@ std::string AnalysisReport::to_text() const {
          << fmt_mbps(b.env_rate) << ")\n";
     }
   }
+  if (!flows.empty()) {
+    os << "end-to-end budgets (min-plus route composition):\n";
+    for (const FlowBudget& f : flows) {
+      os << "  " << f.cls << " via";
+      for (const std::string& n : f.route) os << " " << n;
+      os << ": delay "
+         << (f.e2e_delay ? fmt_ms(*f.e2e_delay) : std::string("unbounded"));
+      if (f.total_backlog) {
+        os << ", backlog <= " << *f.total_backlog << " B";
+      }
+      if (f.deadline) os << ", deadline " << fmt_ms(*f.deadline);
+      os << "  (envelope burst " << f.env_burst << " B, rate "
+         << fmt_mbps(f.env_rate) << ")\n";
+      for (const HopBudget& h : f.hops) {
+        os << "    " << h.node << ": delay "
+           << (h.delay ? fmt_ms(*h.delay) : std::string("unbounded"))
+           << ", backlog "
+           << (h.backlog ? std::to_string(*h.backlog) + " B"
+                         : std::string("unbounded"))
+           << "  (in burst " << h.in_burst << " B, rate "
+           << fmt_mbps(h.in_rate) << ")\n";
+      }
+    }
+  }
   if (!portability.empty()) {
     os << "portability:";
     for (const PortabilityEntry& e : portability) {
@@ -665,11 +957,26 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// `"key_ns": N,"key_ms": x` (or null/null) for an optional duration.
+void json_opt_time(std::ostringstream& os, const char* key,
+                   const std::optional<TimeNs>& t) {
+  if (t) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"%s_ns\": %llu,\"%s_ms\": %.6g", key,
+                  static_cast<unsigned long long>(*t), key,
+                  static_cast<double>(*t) / 1e6);
+    os << buf;
+  } else {
+    os << "\"" << key << "_ns\": null,\"" << key << "_ms\": null";
+  }
+}
+
 }  // namespace
 
 std::string AnalysisReport::to_json() const {
   std::ostringstream os;
   os << "{";
+  os << "\"schema\": \"hfsc-lint-report-v2\",";
   os << "\"file\": \"" << json_escape(file) << "\",";
   os << "\"classes\": " << num_classes << ",";
   os << "\"link_rate_Bps\": " << link_rate << ",";
@@ -714,6 +1021,45 @@ std::string AnalysisReport::to_json() const {
     }
   }
   os << "],";
+  os << "\"flows\": [";
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowBudget& f = flows[i];
+    if (i != 0) os << ",";
+    os << "{\"class\": \"" << json_escape(f.cls) << "\",\"route\": [";
+    for (std::size_t j = 0; j < f.route.size(); ++j) {
+      if (j != 0) os << ",";
+      os << "\"" << json_escape(f.route[j]) << "\"";
+    }
+    os << "],\"env_burst_bytes\": " << f.env_burst
+       << ",\"env_rate_Bps\": " << f.env_rate << ",";
+    json_opt_time(os, "e2e_bound", f.e2e_delay);
+    os << ",\"total_backlog_bytes\": ";
+    if (f.total_backlog) {
+      os << *f.total_backlog;
+    } else {
+      os << "null";
+    }
+    os << ",";
+    json_opt_time(os, "deadline", f.deadline);
+    os << ",\"hops\": [";
+    for (std::size_t j = 0; j < f.hops.size(); ++j) {
+      const HopBudget& h = f.hops[j];
+      if (j != 0) os << ",";
+      os << "{\"node\": \"" << json_escape(h.node)
+         << "\",\"in_burst_bytes\": " << h.in_burst
+         << ",\"in_rate_Bps\": " << h.in_rate << ",";
+      json_opt_time(os, "delay", h.delay);
+      os << ",\"backlog_bytes\": ";
+      if (h.backlog) {
+        os << *h.backlog;
+      } else {
+        os << "null";
+      }
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "],";
   os << "\"portability\": [";
   for (std::size_t i = 0; i < portability.size(); ++i) {
     const PortabilityEntry& e = portability[i];
@@ -729,6 +1075,61 @@ std::string AnalysisReport::to_json() const {
     os << "]}";
   }
   os << "]}";
+  return os.str();
+}
+
+std::string to_sarif(const std::vector<AnalysisReport>& reports) {
+  // One run, one result per diagnostic; rules collected in first-seen
+  // order so ruleIndex stays stable across the document.
+  std::vector<std::string> rules;
+  std::map<std::string, std::size_t> rule_index;
+  for (const AnalysisReport& r : reports) {
+    for (const Diagnostic& d : r.diagnostics) {
+      if (rule_index.emplace(d.id, rules.size()).second) {
+        rules.push_back(d.id);
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "{\"$schema\": "
+        "\"https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/"
+        "sarif-schema-2.1.0.json\","
+     << "\"version\": \"2.1.0\",\"runs\": [{\"tool\": {\"driver\": {"
+     << "\"name\": \"hfsc_lint\","
+     << "\"informationUri\": \"docs/ANALYSIS.md\",\"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "{\"id\": \"" << json_escape(rules[i]) << "\"}";
+  }
+  os << "]}},\"results\": [";
+  bool first = true;
+  for (const AnalysisReport& r : reports) {
+    for (const Diagnostic& d : r.diagnostics) {
+      if (!first) os << ",";
+      first = false;
+      const char* level = "note";
+      if (d.severity == Severity::kError) level = "error";
+      if (d.severity == Severity::kWarning) level = "warning";
+      os << "{\"ruleId\": \"" << json_escape(d.id) << "\","
+         << "\"ruleIndex\": " << rule_index.at(d.id) << ","
+         << "\"level\": \"" << level << "\","
+         << "\"message\": {\"text\": \""
+         << json_escape((d.cls.empty() ? "" : d.cls + ": ") + d.message)
+         << "\"}";
+      const std::string& uri = d.loc.file.empty() ? r.file : d.loc.file;
+      if (!uri.empty()) {
+        os << ",\"locations\": [{\"physicalLocation\": "
+              "{\"artifactLocation\": {\"uri\": \""
+           << json_escape(uri) << "\"}";
+        if (d.loc.line != 0) {
+          os << ",\"region\": {\"startLine\": " << d.loc.line << "}";
+        }
+        os << "}}]";
+      }
+      os << "}";
+    }
+  }
+  os << "]}]}";
   return os.str();
 }
 

@@ -72,6 +72,46 @@ struct LeafDelayBound {
   SourceLoc loc;
 };
 
+// One hop of a routed flow's end-to-end budget.  The hop's guarantee is
+// the class's effective curve min(rt, ul_self, ul_ancestors...) at that
+// node, delayed by one max-packet transmission time (Theorem 2's
+// non-preemption term folded into the curve), so convolving the hop
+// curves along the route yields an end-to-end service curve whose
+// horizontal deviation already includes every per-hop transmission term.
+struct HopBudget {
+  std::string node;
+  // Input envelope at this hop: the declared envelope at the first hop,
+  // then the deconvolved output envelope of each upstream hop.
+  Bytes in_burst = 0;
+  RateBps in_rate = 0;
+  // Per-hop delay h(E_i, S_i) and backlog v(E_i, S_i) bounds; nullopt
+  // when the input envelope overruns the hop guarantee (unbounded).
+  std::optional<TimeNs> delay;
+  std::optional<Bytes> backlog;
+};
+
+// End-to-end network-calculus budget of one routed flow: the arrival
+// envelope propagated hop by hop (output envelope E_{i+1} = E_i (/) S_i),
+// the per-hop deviations, and the route-composed bound h(E_1, S_1 (*)
+// S_2 (*) ...) — tighter than summing per-hop delays because the burst
+// is paid only once.
+struct FlowBudget {
+  std::string cls;
+  std::vector<std::string> route;  // node names along the path
+  Bytes env_burst = 0;             // declared envelope at the first hop
+  RateBps env_rate = 0;
+  // Route-composed end-to-end delay bound; nullopt = unbounded (some hop
+  // has no rt guarantee or the envelope overruns it).
+  std::optional<TimeNs> e2e_delay;
+  // Sum of the per-hop backlog bounds (a sound bound on the flow's total
+  // buffered bytes across the path).
+  std::optional<Bytes> total_backlog;
+  // Declared `deadline` budget, if any.
+  std::optional<TimeNs> deadline;
+  std::vector<HopBudget> hops;
+  SourceLoc loc;  // the route directive
+};
+
 // Which of the scheduler families the spec compiles to losslessly
 // (hierarchy_spec's strict-mode loss taxonomy, statically evaluated).
 struct PortabilityEntry {
@@ -109,6 +149,9 @@ struct AnalysisReport {
   double rt_utilization = 0.0;
 
   std::vector<LeafDelayBound> delay_bounds;
+  // End-to-end budgets for every routed flow with a first-hop envelope
+  // (multi-node scenarios only).
+  std::vector<FlowBudget> flows;
   std::vector<PortabilityEntry> portability;
 
   std::size_t errors() const noexcept;
@@ -119,9 +162,15 @@ struct AnalysisReport {
 
   // Human-readable report: diagnostics, verdict, bounds, portability.
   std::string to_text() const;
-  // Machine-readable report (schema in docs/ANALYSIS.md).
+  // Machine-readable report, schema "hfsc-lint-report-v2"
+  // (docs/ANALYSIS.md).
   std::string to_json() const;
 };
+
+// SARIF 2.1.0 document over one or more reports (one run, one result per
+// diagnostic, file:line as region.startLine) — hfsc_lint --sarif; the
+// rule/level mapping is documented in docs/ANALYSIS.md.
+std::string to_sarif(const std::vector<AnalysisReport>& reports);
 
 // Analyzes a bare spec (no sources: source-aware checks are skipped).
 AnalysisReport analyze(const HierarchySpec& spec, RateBps link_rate,

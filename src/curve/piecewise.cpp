@@ -256,6 +256,145 @@ std::optional<TimeNs> PiecewiseLinear::max_horizontal_gap(
   return worst;
 }
 
+std::optional<Bytes> PiecewiseLinear::max_vertical_gap(
+    const PiecewiseLinear& service) const {
+  const PiecewiseLinear& arrival = *this;
+  if (arrival.tail_rate() > service.tail_rate()) return std::nullopt;
+  // The difference A - S is piecewise linear, so its maximum lands on a
+  // breakpoint of either curve; with the arrival tail rate <= the service
+  // tail rate it cannot keep growing beyond the last breakpoint of both.
+  unsigned __int128 worst = 0;  // nanobytes
+  auto consider = [&](TimeNs t) {
+    const unsigned __int128 a = nanobytes_at(arrival.pieces_, t);
+    const unsigned __int128 s = nanobytes_at(service.pieces_, t);
+    if (a > s) worst = std::max(worst, a - s);
+  };
+  for (const Piece& p : arrival.pieces_) consider(p.x);
+  for (const Piece& p : service.pieces_) consider(p.x);
+  // Round up to whole bytes: the backlog bound may overshoot by < 1 byte,
+  // never undershoot.
+  const unsigned __int128 bytes = (worst + (kNsPerSec - 1)) / kNsPerSec;
+  if (bytes > kBytesInfinity) return kBytesInfinity;
+  return static_cast<Bytes>(bytes);
+}
+
+bool PiecewiseLinear::is_concave() const noexcept {
+  for (std::size_t i = 0; i + 1 < pieces_.size(); ++i) {
+    const Piece& p = pieces_[i];
+    const Piece& q = pieces_[i + 1];
+    if (q.slope > p.slope) return false;
+    if (q.y != sat_add(p.y, seg_x2y(q.x - p.x, p.slope))) return false;
+  }
+  return true;
+}
+
+PiecewiseLinear PiecewiseLinear::delayed(TimeNs d) const {
+  if (d == 0) return *this;
+  std::vector<Piece> out;
+  out.reserve(pieces_.size() + 1);
+  out.push_back(Piece{0, pieces_.front().y, 0});
+  for (const Piece& p : pieces_) {
+    out.push_back(Piece{sat_add(p.x, d), p.y, p.slope});
+  }
+  return PiecewiseLinear(std::move(out));
+}
+
+PiecewiseLinear PiecewiseLinear::plus(Bytes c) const {
+  if (c == 0) return *this;
+  std::vector<Piece> out = pieces_;
+  for (Piece& p : out) p.y = sat_add(p.y, c);
+  return PiecewiseLinear(std::move(out));
+}
+
+PiecewiseLinear PiecewiseLinear::convolve(const PiecewiseLinear& other) const {
+  // See the header: the infimum of the linear-in-s objective always lands
+  // on an operand breakpoint, so each breakpoint (x, y) contributes the
+  // whole-curve term other.delayed(x).plus(y) (and symmetrically).  For
+  // t < x such a term evaluates to y + other(0), which the x = 0 term
+  // already dominates, so folding full curves keeps the result exact.
+  std::optional<PiecewiseLinear> acc;
+  auto fold = [&acc](PiecewiseLinear term) {
+    acc = acc ? acc->min(term) : std::move(term);
+  };
+  for (const Piece& p : pieces_) fold(other.delayed(p.x).plus(p.y));
+  for (const Piece& p : other.pieces_) fold(delayed(p.x).plus(p.y));
+  return *acc;  // both operands always have at least one piece
+}
+
+std::optional<PiecewiseLinear> PiecewiseLinear::deconvolve(
+    const PiecewiseLinear& service) const {
+  if (tail_rate() > service.tail_rate()) return std::nullopt;
+
+  // Affine components l_i = sigma_i + rho_i * t covering the arrival
+  // curve: exactly the extended pieces when the curve is concave
+  // (arrival = min_i l_i, all intercepts exact in nanobytes), a single
+  // dominating majorant line otherwise.
+  struct Line {
+    unsigned __int128 sigma_nb = 0;  // intercept at t = 0, nanobytes
+    RateBps rho = 0;
+  };
+  constexpr unsigned __int128 kMax = ~static_cast<unsigned __int128>(0);
+  std::vector<Line> lines;
+  if (is_concave()) {
+    for (const Piece& p : pieces_) {
+      const unsigned __int128 y_nb =
+          static_cast<unsigned __int128>(p.y) * kNsPerSec;
+      const unsigned __int128 run =
+          static_cast<unsigned __int128>(p.slope) * p.x;
+      lines.push_back(Line{y_nb > run ? y_nb - run : 0, p.slope});
+    }
+  } else {
+    Line maj;
+    for (const Piece& p : pieces_) maj.rho = std::max(maj.rho, p.slope);
+    for (const Piece& p : pieces_) {
+      const unsigned __int128 y_nb =
+          static_cast<unsigned __int128>(p.y) * kNsPerSec;
+      const unsigned __int128 run =
+          static_cast<unsigned __int128>(maj.rho) * p.x;
+      if (y_nb > run) maj.sigma_nb = std::max(maj.sigma_nb, y_nb - run);
+    }
+    lines.push_back(maj);
+  }
+
+  // l (/) g = (sigma + D) + rho * t with D = sup_u [rho * u - g(u)]:
+  // piecewise linear in u, so the supremum lands on a breakpoint of g
+  // (for rho equal to g's tail rate the objective is constant beyond the
+  // last breakpoint, already covered; components with rho above the tail
+  // rate diverge and are dropped — dropping a term of the min is exact,
+  // their deviation is infinite).
+  std::optional<PiecewiseLinear> acc;
+  for (const Line& l : lines) {
+    if (l.rho > service.tail_rate()) continue;
+    unsigned __int128 dev = 0;  // D, nanobytes, clamped at >= 0
+    for (const Piece& p : service.pieces_) {
+      if (l.rho != 0 &&
+          static_cast<unsigned __int128>(p.x) > kMax / l.rho) {
+        dev = kMax;  // saturate upward: conservative for an envelope
+        break;
+      }
+      const unsigned __int128 ru =
+          static_cast<unsigned __int128>(l.rho) * p.x;
+      const unsigned __int128 y_nb =
+          static_cast<unsigned __int128>(p.y) * kNsPerSec;
+      if (ru > y_nb) dev = std::max(dev, ru - y_nb);
+    }
+    // Component burst, rounded up, plus one byte of padding so the min()
+    // fold below (which may floor synthesized crossings one byte down)
+    // can never dip under the exact deconvolution.
+    const unsigned __int128 total_nb =
+        l.sigma_nb > kMax - dev ? kMax : l.sigma_nb + dev;
+    unsigned __int128 burst = (total_nb + (kNsPerSec - 1)) / kNsPerSec;
+    burst = burst >= kBytesInfinity ? kBytesInfinity : burst + 1;
+    const PiecewiseLinear term =
+        PiecewiseLinear::token_bucket(static_cast<Bytes>(burst), l.rho);
+    acc = acc ? acc->min(term) : term;
+  }
+  // A concave arrival always keeps its tail component (rho == tail rate,
+  // checked above); only the non-concave majorant can outrun the service.
+  if (!acc) return std::nullopt;
+  return acc;
+}
+
 bool AdmissionControl::admit(const ServiceCurve& sc) {
   assert(sc.is_supported());
   const PiecewiseLinear cand =

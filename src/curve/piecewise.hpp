@@ -81,6 +81,60 @@ class PiecewiseLinear {
   std::optional<TimeNs> max_horizontal_gap(
       const PiecewiseLinear& service) const;
 
+  // Maximum vertical deviation sup_t [ this(t) - service(t) ], rounded UP
+  // to whole bytes: the worst-case backlog of a session with arrival
+  // envelope *this and guaranteed service curve `service` (Cruz's backlog
+  // bound v(A, S)).  nullopt when unbounded (arrival tail rate exceeds
+  // the service tail rate).
+  std::optional<Bytes> max_vertical_gap(const PiecewiseLinear& service) const;
+
+  // True iff the stored breakpoints describe a concave function: slopes
+  // nonincreasing and every breakpoint value continuous with its
+  // predecessor piece.  Synthesized crossings from min() may sit one byte
+  // below the exact continuation and then fail the continuity test; the
+  // algebra below only uses concavity to pick exact shortcuts, so a false
+  // negative costs a little precision, never soundness.
+  bool is_concave() const noexcept;
+
+  // The curve delayed by d: (delta_d (*) this)(t) = this((t - d)^+), flat
+  // at this(0) on [0, d) and the original shape shifted right by d after.
+  // Exact (the min-plus convolution with the pure-delay curve delta_d).
+  PiecewiseLinear delayed(TimeNs d) const;
+
+  // The curve raised by a constant: this(t) + c, saturating.  Exact.
+  PiecewiseLinear plus(Bytes c) const;
+
+  // Min-plus convolution
+  //     (this (*) other)(t) = inf_{0 <= s <= t} this(s) + other(t - s).
+  // Computed symbolically: the objective is linear in s wherever neither
+  // operand crosses a breakpoint, so the infimum always lands with s on a
+  // breakpoint of *this or t - s on a breakpoint of other.  The
+  // convolution is therefore exactly the pointwise minimum of the n + m
+  // whole-curve terms  other.delayed(x_i).plus(y_i)  and
+  // this.delayed(x_j).plus(y_j)  over both operands' breakpoints — for
+  // any piecewise-linear operands, concave or not.  Each fold step goes
+  // through min(), so the result inherits its discipline: values at
+  // synthesized crossings may sit a few bytes BELOW the exact convolution,
+  // never above — conservative for service curves, where a lower
+  // guarantee only widens the analyzer's delay and backlog bounds.
+  PiecewiseLinear convolve(const PiecewiseLinear& other) const;
+
+  // Min-plus deconvolution
+  //     (this (/) other)(t) = sup_{u >= 0} this(t + u) - other(u),
+  // the tightest envelope of a flow with arrival envelope *this after a
+  // server guaranteeing service curve `other`.  Returns a curve that is
+  // >= the exact deconvolution everywhere (conservative for envelopes: a
+  // larger envelope only widens downstream bounds), exact modulo <= 2
+  // bytes of deliberate upward rounding when *this is affine — which the
+  // analyzer's propagated envelopes always are, since the result of an
+  // affine deconvolution is again a single token bucket.  Concave
+  // multi-piece envelopes decompose into affine components l_i with
+  // (min_i l_i) (/) g <= min_i (l_i (/) g); non-concave envelopes fall
+  // back to one affine majorant.  nullopt when the deviation is unbounded
+  // (arrival tail rate exceeds the service tail rate, or the majorant
+  // outruns the service tail).
+  std::optional<PiecewiseLinear> deconvolve(const PiecewiseLinear& other) const;
+
   const std::vector<Piece>& pieces() const noexcept { return pieces_; }
   RateBps tail_rate() const noexcept { return pieces_.back().slope; }
 

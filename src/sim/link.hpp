@@ -55,6 +55,11 @@ class Link {
   //     offered == sent + dropped + rejected + backlog + in_service
   // when a run is cut mid-transmission.
   std::uint64_t in_service() const noexcept { return busy_ ? 1 : 0; }
+  // Bytes of the packet currently on the wire (0 when idle) — the
+  // byte-valued companion of in_service(), used by the peak-backlog
+  // accounting that the analyzer's vertical-deviation bounds are
+  // validated against.
+  Bytes in_service_bytes() const noexcept { return busy_ ? in_service_len_ : 0; }
   // Total time the transmitter spent busy (link utilization numerator).
   TimeNs busy_time() const noexcept { return busy_time_; }
 
@@ -67,6 +72,7 @@ class Link {
       return;
     }
     busy_ = true;
+    in_service_len_ = pkt->len;
     const TimeNs done = now + tx_time(pkt->len, capacity_);
     busy_time_ += done - now;
     ev_.schedule(done, [this, p = *pkt](TimeNs t) {
@@ -97,6 +103,7 @@ class Link {
   std::vector<DepartureHook> hooks_;
   std::vector<DepartureHook> arrival_hooks_;
   bool busy_ = false;
+  Bytes in_service_len_ = 0;
   Bytes bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;
   TimeNs busy_time_ = 0;

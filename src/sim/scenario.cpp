@@ -388,6 +388,22 @@ Scenario Scenario::parse(std::istream& in, const std::string& name) {
         fail_at(name, line, "envelope must have a non-zero burst or rate");
       }
       c->env_line = line;
+    } else if (directive == "deadline") {
+      // Per-flow end-to-end budget: the class name identifies the flow
+      // (across all hops for routed classes), so the directive is not
+      // node-scoped.  Existence is validated after the whole file is
+      // read — the class may be declared in a later node block.
+      std::string cls, t;
+      if (!(ls >> cls >> t)) {
+        fail_at(name, line, "deadline needs <class> <time>");
+      }
+      no_trailing();
+      ScenarioDeadline d;
+      d.cls = cls;
+      d.budget = parse_time(t);
+      if (d.budget == 0) fail_at(name, line, "deadline must be positive");
+      d.line = line;
+      sc.deadlines.push_back(std::move(d));
     } else if (directive == "source") {
       std::string kind, cls;
       if (!(ls >> kind >> cls)) {
@@ -548,6 +564,25 @@ Scenario Scenario::parse(std::istream& in, const std::string& name) {
       if (!routed.insert({nn, r.cls}).second) {
         fail_at(name, r.line,
                 "class " + r.cls + " already routed at node " + nn);
+      }
+    }
+  }
+
+  // Deadline validation: the class must exist somewhere, one budget per
+  // class.
+  {
+    std::set<std::string> budgeted;
+    for (const ScenarioDeadline& d : sc.deadlines) {
+      bool known = false;
+      for (const ScenarioClass& c : sc.classes) {
+        if (c.name == d.cls) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) fail_at(name, d.line, "unknown class " + d.cls);
+      if (!budgeted.insert(d.cls).second) {
+        fail_at(name, d.line, "duplicate deadline for class " + d.cls);
       }
     }
   }
@@ -1145,6 +1180,8 @@ ScenarioResult run_scenario(const Scenario& sc,
     }
     ns.rejected = sched.counters().rejected_packets();
     ns.backlog = sched.backlog_packets() + link.in_service();
+    ns.peak_backlog_pkts = topo.peak_backlog_packets(nr.idx);
+    ns.peak_backlog_bytes = topo.peak_backlog_bytes(nr.idx);
     out.nodes.push_back(std::move(ns));
   }
 
@@ -1363,6 +1400,8 @@ std::string ScenarioResult::to_json() const {
     os << ",\"offered\":" << ns.offered << ",\"sent\":" << ns.sent
        << ",\"dropped\":" << ns.dropped << ",\"rejected\":" << ns.rejected
        << ",\"backlog\":" << ns.backlog
+       << ",\"peak_backlog_pkts\":" << ns.peak_backlog_pkts
+       << ",\"peak_backlog_bytes\":" << ns.peak_backlog_bytes
        << ",\"conserved\":" << (ns.conserved() ? "true" : "false");
     os << ",\"classes\":[";
     bool first = true;
@@ -1404,6 +1443,12 @@ std::string ScenarioResult::to_json() const {
     json_num(os, ee.p99_delay_ms);
     os << ",\"max_delay_ms\":";
     json_num(os, ee.max_delay_ms);
+    if (ee.bound_ms >= 0) {
+      // Static end-to-end delay bound from the analyzer (attached by
+      // tools/hfsc_sim); additive — readers of the v1 schema ignore it.
+      os << ",\"bound_ms\":";
+      json_num(os, ee.bound_ms);
+    }
     os << ",\"hist\":";
     json_hist(os, ee.hist);
     os << "}";

@@ -68,6 +68,10 @@
 //       (token-bucket arrival envelope A(t) = burst + rate*t the class's
 //        traffic is promised to conform to; the static analyzer derives
 //        the worst-case delay bound of Theorem 2 from it)
+//     deadline <class> <time>
+//       (end-to-end delay budget for the class's flow: the static
+//        analyzer emits e2e-budget-exceeded when the analytic bound —
+//        across the whole route for routed classes — exceeds it)
 //
 // Units: rates `bps|kbps|Mbps|Gbps` (decimal allowed), times
 // `ns|us|ms|s`, byte counts plain integers.
@@ -152,6 +156,15 @@ struct ScenarioRoute {
   std::size_t line = 0;
 };
 
+// End-to-end delay budget for one class (`deadline` directive).  The
+// static analyzer checks its route-composed (or single-hop) delay bound
+// against this and reports e2e-budget-exceeded at `line` on overrun.
+struct ScenarioDeadline {
+  std::string cls;
+  TimeNs budget = 0;
+  std::size_t line = 0;
+};
+
 // A timed control directive (`at <time> ...`).  Class create/delete run
 // through Hfsc::Txn at simulation time; source start/stop are resolved
 // statically (a stop truncates the effective stop time of the class's
@@ -191,6 +204,7 @@ struct Scenario {
   std::vector<ScenarioClass> classes;
   std::vector<ScenarioSource> sources;
   std::vector<ScenarioRoute> routes;
+  std::vector<ScenarioDeadline> deadlines;
   std::vector<ScenarioEvent> events;
 
   // Parses a scenario; throws std::runtime_error with a line number on
@@ -246,6 +260,11 @@ struct ScenarioResult {
     std::uint64_t dropped = 0;
     std::uint64_t rejected = 0;
     std::uint64_t backlog = 0;
+    // Peak occupancy over the run (scheduler backlog plus the packet on
+    // the wire), sampled at arrivals — what the analyzer's per-node
+    // backlog bounds are validated against.
+    std::uint64_t peak_backlog_pkts = 0;
+    Bytes peak_backlog_bytes = 0;
     bool conserved() const noexcept {
       return offered == sent + dropped + rejected + backlog;
     }
@@ -260,6 +279,11 @@ struct ScenarioResult {
     double p99_delay_ms = 0;
     double max_delay_ms = 0;
     std::vector<std::uint64_t> hist;
+    // Static end-to-end delay bound in milliseconds, attached by
+    // tools/hfsc_sim from the analyzer when the scenario carries an
+    // envelope for the flow (< 0 = none) — rendered as "bound_ms" next
+    // to the measured percentiles in the JSON report.
+    double bound_ms = -1;
   };
 
   // Every reported class across all nodes, declaration order (timed

@@ -1,5 +1,6 @@
 #include "sim/topology.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace hfsc {
@@ -86,6 +87,15 @@ std::size_t Topology::in_flight(std::size_t route) const {
 void Topology::on_node_arrival(NodeIndex n, TimeNs t, const Packet& p) {
   Node& node = *nodes_[n];
   ++node.offered;
+  // Arrival hooks run before the scheduler sees the packet, so the
+  // occupancy right after this arrival is the scheduler backlog plus the
+  // wire plus the packet itself (see peak_backlog_packets()).
+  node.peak_backlog_pkts =
+      std::max(node.peak_backlog_pkts,
+               node.sched->backlog_packets() + 1 + node.link->in_service());
+  node.peak_backlog_bytes = std::max(
+      node.peak_backlog_bytes,
+      node.sched->backlog_bytes() + p.len + node.link->in_service_bytes());
   const auto it = node.entry.find(p.cls);
   if (it == node.entry.end()) return;
   routes_[it->second].entries[PacketKey{it->second, p.seq}].push_back(t);

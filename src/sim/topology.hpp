@@ -87,6 +87,20 @@ class Topology {
   // identity.
   std::uint64_t offered(NodeIndex n) const { return nodes_.at(n)->offered; }
 
+  // Peak node occupancy (scheduler backlog plus the packet on the wire),
+  // sampled at every arrival — occupancy only grows at arrivals, so
+  // arrival sampling captures the true peak.  The sample charges the
+  // arriving packet before the scheduler rules on it, so a packet the
+  // scheduler immediately drops still counts: the measurement can only
+  // overstate, which is the safe direction for validating the analyzer's
+  // backlog bounds (measured <= bound).
+  std::uint64_t peak_backlog_packets(NodeIndex n) const {
+    return nodes_.at(n)->peak_backlog_pkts;
+  }
+  Bytes peak_backlog_bytes(NodeIndex n) const {
+    return nodes_.at(n)->peak_backlog_bytes;
+  }
+
   // --- End-to-end route statistics ---------------------------------------
   std::uint64_t delivered(std::size_t route) const {
     return routes_.at(route).delays_ms.count();
@@ -122,6 +136,8 @@ class Topology {
     std::unique_ptr<Link> link;
     FlowTracker tracker;
     std::uint64_t offered = 0;
+    std::uint64_t peak_backlog_pkts = 0;
+    Bytes peak_backlog_bytes = 0;
     // Per-class routing at this node.  `routing` covers every hop
     // (forward or exit); `entry` marks first hops (record entry time on
     // arrival).

@@ -1,0 +1,308 @@
+// Tests for the min-plus curve algebra behind Analyzer 2.0: convolution
+// ((*)), deconvolution ((/)), the vertical deviation (backlog bound) and
+// the delayed/plus/is_concave helpers on PiecewiseLinear.
+//
+// Reference semantics: the real-valued piecewise-linear curve defined by
+// the stored breakpoints.  convolve() is exact up to the documented
+// conservative floor (values never ABOVE the exact convolution, at most
+// a few bytes below at synthesized crossings); deconvolve() is exact up
+// to <= 2 bytes of deliberate upward rounding for affine envelopes and
+// conservative (never below the exact deconvolution) in general.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "curve/piecewise.hpp"
+
+namespace hfsc {
+namespace {
+
+using Piece = PiecewiseLinear::Piece;
+
+// Rate-latency service curve beta_{R,T}.
+PiecewiseLinear beta(RateBps rate, TimeNs latency) {
+  return PiecewiseLinear::from_service_curve(
+      ServiceCurve{0, latency, rate});
+}
+
+// Brute-force (f (*) g)(t): the infimum of the linear-in-s objective is
+// attained with s on a breakpoint of f or t - s on a breakpoint of g (or
+// at the interval ends), so enumerating those candidates is exact modulo
+// eval()'s <= 1-byte floor.
+Bytes brute_convolve(const PiecewiseLinear& f, const PiecewiseLinear& g,
+                     TimeNs t) {
+  Bytes best = kBytesInfinity;
+  auto consider = [&](TimeNs s) {
+    if (s > t) return;
+    best = std::min(best, sat_add(f.eval(s), g.eval(t - s)));
+  };
+  consider(0);
+  consider(t);
+  for (const Piece& p : f.pieces()) consider(p.x);
+  for (const Piece& p : g.pieces()) {
+    if (p.x <= t) consider(t - p.x);
+  }
+  return best;
+}
+
+// Brute-force (f (/) g)(t) = sup_u f(t+u) - g(u), clamped at 0.  The
+// supremum lands with u on a breakpoint of g or t + u on a breakpoint of
+// f; a far probe covers the constant tail when the rates tie.
+Bytes brute_deconvolve(const PiecewiseLinear& f, const PiecewiseLinear& g,
+                       TimeNs t) {
+  __int128 best = 0;
+  auto consider = [&](TimeNs u) {
+    const __int128 v = static_cast<__int128>(f.eval(sat_add(t, u))) -
+                       static_cast<__int128>(g.eval(u));
+    best = std::max(best, v);
+  };
+  consider(0);
+  for (const Piece& p : g.pieces()) consider(p.x);
+  for (const Piece& p : f.pieces()) {
+    if (p.x > t) consider(p.x - t);
+  }
+  consider(std::max(f.pieces().back().x, g.pieces().back().x) + sec(2));
+  return static_cast<Bytes>(std::max<__int128>(best, 0));
+}
+
+TEST(MinPlus, DelayedShiftsAndClamps) {
+  const auto tb = PiecewiseLinear::token_bucket(5000, mbps(1));
+  const auto d = tb.delayed(msec(3));
+  EXPECT_EQ(d.eval(0), 5000u);
+  EXPECT_EQ(d.eval(msec(3) - 1), 5000u);
+  for (TimeNs t = msec(3); t < msec(20); t += usec(137)) {
+    ASSERT_EQ(d.eval(t), tb.eval(t - msec(3))) << t;
+  }
+  // d == 0 is the identity.
+  EXPECT_EQ(tb.delayed(0), tb);
+}
+
+TEST(MinPlus, PlusRaisesByConstant) {
+  const auto sc =
+      PiecewiseLinear::from_service_curve({mbps(10), msec(8), mbps(2)});
+  const auto r = sc.plus(777);
+  for (TimeNs t = 0; t < msec(20); t += usec(211)) {
+    ASSERT_EQ(r.eval(t), sc.eval(t) + 777) << t;
+  }
+}
+
+TEST(MinPlus, IsConcaveClassifiesShapes) {
+  EXPECT_TRUE(PiecewiseLinear::token_bucket(1000, mbps(1)).is_concave());
+  EXPECT_TRUE(PiecewiseLinear::from_service_curve({mbps(10), msec(5), mbps(2)})
+                  .is_concave());
+  // Rate-latency (flat then rising) is convex, not concave.
+  EXPECT_FALSE(beta(mbps(10), msec(5)).is_concave());
+  // The zero curve and any single line are (weakly) concave.
+  EXPECT_TRUE(PiecewiseLinear().is_concave());
+}
+
+TEST(MinPlus, RateLatencyConvolutionComposes) {
+  // beta_{R1,T1} (*) beta_{R2,T2} = beta_{min(R1,R2), T1+T2} — the
+  // concatenation result behind pay-bursts-only-once.
+  const auto a = beta(mbps(10), msec(4));
+  const auto b = beta(mbps(4), msec(6));
+  const auto c = a.convolve(b);
+  const auto expect = beta(mbps(4), msec(10));
+  for (TimeNs t = 0; t < msec(40); t += usec(173)) {
+    ASSERT_EQ(c.eval(t), expect.eval(t)) << t;
+  }
+  EXPECT_EQ(c.tail_rate(), mbps(4));
+}
+
+TEST(MinPlus, TokenBucketThroughRateLatencyIsDelayed) {
+  // tb(b, r) (*) beta_{R,T} with r <= R: the envelope simply shifted by
+  // the latency (flat at b before T).
+  const auto tb = PiecewiseLinear::token_bucket(3000, mbps(2));
+  const auto sc = beta(mbps(10), msec(7));
+  const auto c = tb.convolve(sc);
+  const auto expect = tb.delayed(msec(7));
+  for (TimeNs t = 0; t < msec(30); t += usec(97)) {
+    ASSERT_EQ(c.eval(t), expect.eval(t)) << t;
+  }
+}
+
+TEST(MinPlus, ConvolutionMatchesBruteForceOnMixedShapes) {
+  const PiecewiseLinear curves[] = {
+      PiecewiseLinear::token_bucket(9000, mbps(3)),
+      beta(mbps(8), msec(2)),
+      PiecewiseLinear::from_service_curve({mbps(12), msec(5), mbps(1)}),
+      // Non-convex, non-concave: rising, flat, rising faster.
+      PiecewiseLinear({Piece{0, 0, mbps(2)}, Piece{msec(2), 500, 0},
+                       Piece{msec(6), 500, mbps(5)}}),
+  };
+  for (const auto& f : curves) {
+    for (const auto& g : curves) {
+      const auto c = f.convolve(g);
+      for (TimeNs t = 0; t < msec(25); t += usec(331)) {
+        const Bytes exact = brute_convolve(f, g, t);
+        const Bytes got = c.eval(t);
+        // Conservative floor: never above exact (modulo eval's own
+        // 1-byte floor in the brute force), at most a few bytes below.
+        ASSERT_LE(got, sat_add(exact, 1)) << t;
+        ASSERT_GE(sat_add(got, 4), exact) << t;
+      }
+    }
+  }
+}
+
+TEST(MinPlus, ConvolutionIsAssociativeWithinFloorSlack) {
+  const auto f = PiecewiseLinear::token_bucket(4000, mbps(6));
+  const auto g = beta(mbps(10), msec(3));
+  const auto h = PiecewiseLinear::from_service_curve({mbps(9), msec(4),
+                                                      mbps(2)});
+  const auto lhs = f.convolve(g).convolve(h);
+  const auto rhs = f.convolve(g.convolve(h));
+  for (TimeNs t = 0; t < msec(40); t += usec(257)) {
+    const Bytes a = lhs.eval(t);
+    const Bytes b = rhs.eval(t);
+    ASSERT_LE(a > b ? a - b : b - a, 4u) << t;
+  }
+}
+
+TEST(MinPlus, DeconvolveTokenBucketThroughRateLatency) {
+  // tb(b, r) (/) beta_{R,T} = tb(b + r*T, r) exactly; the implementation
+  // may round the burst up by <= 2 bytes (ceil + crossing pad).
+  const Bytes b = 6000;
+  const RateBps r = mbps(2);
+  const auto out =
+      PiecewiseLinear::token_bucket(b, r).deconvolve(beta(mbps(10), msec(5)));
+  ASSERT_TRUE(out.has_value());
+  const Bytes exact_burst = b + seg_x2y(msec(5), r);
+  EXPECT_GE(out->eval(0), exact_burst);
+  EXPECT_LE(out->eval(0), exact_burst + 2);
+  EXPECT_EQ(out->tail_rate(), r);
+}
+
+TEST(MinPlus, DeconvolveIsConservativeAndTight) {
+  const PiecewiseLinear envelopes[] = {
+      PiecewiseLinear::token_bucket(8000, mbps(1)),
+      // Concave two-piece envelope.
+      PiecewiseLinear::from_service_curve({mbps(8), msec(3), mbps(1)})
+          .plus(1500),
+  };
+  const PiecewiseLinear services[] = {
+      beta(mbps(10), msec(4)),
+      PiecewiseLinear::from_service_curve({mbps(6), msec(2), mbps(3)}),
+  };
+  for (const auto& f : envelopes) {
+    for (const auto& g : services) {
+      const auto out = f.deconvolve(g);
+      ASSERT_TRUE(out.has_value());
+      for (TimeNs t = 0; t < msec(30); t += usec(389)) {
+        const Bytes exact = brute_deconvolve(f, g, t);
+        // Never below the exact deconvolution (soundness, always)...
+        ASSERT_GE(sat_add(out->eval(t), 1), exact) << t;
+        // ... and within a few bytes of it for affine envelopes — the
+        // analyzer's case.  Multi-piece concave envelopes decompose per
+        // component and may legitimately overshoot near t = 0.
+        if (f.pieces().size() == 1) {
+          ASSERT_LE(out->eval(t), sat_add(exact, 8)) << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(MinPlus, DeconvolveThenConvolveDominates) {
+  // (f (/) g) (*) g >= f — the fundamental duality sanity check.
+  const auto f = PiecewiseLinear::token_bucket(5000, mbps(3));
+  const auto g = beta(mbps(12), msec(6));
+  const auto out = f.deconvolve(g);
+  ASSERT_TRUE(out.has_value());
+  const auto back = out->convolve(g);
+  for (TimeNs t = 0; t < msec(40); t += usec(449)) {
+    // Allow the convolution's conservative floor (a few bytes down).
+    ASSERT_GE(sat_add(back.eval(t), 4), f.eval(t)) << t;
+  }
+}
+
+TEST(MinPlus, DeconvolveUnboundedWhenArrivalOutrunsService) {
+  const auto fast = PiecewiseLinear::token_bucket(100, mbps(20));
+  EXPECT_FALSE(fast.deconvolve(beta(mbps(10), msec(1))).has_value());
+  // Non-concave arrival (slope rises mid-curve) whose affine majorant
+  // outruns the service tail even though its own tail does not.
+  const PiecewiseLinear zigzag({Piece{0, 0, mbps(5)},
+                                Piece{msec(1), 625, mbps(20)},
+                                Piece{msec(2), 3125, mbps(10)}});
+  ASSERT_FALSE(zigzag.is_concave());
+  EXPECT_FALSE(zigzag.deconvolve(beta(mbps(10), msec(1))).has_value());
+}
+
+TEST(MinPlus, VerticalGapClosedForms) {
+  // tb(b, r) vs beta_{R,T} with r <= R: worst backlog at t = T is
+  // b + r*T (the bound may round one byte up).
+  const Bytes b = 4000;
+  const RateBps r = mbps(2);
+  const auto gap =
+      PiecewiseLinear::token_bucket(b, r).max_vertical_gap(
+          beta(mbps(10), msec(5)));
+  ASSERT_TRUE(gap.has_value());
+  const Bytes exact = b + seg_x2y(msec(5), r);
+  EXPECT_GE(*gap, exact);
+  EXPECT_LE(*gap, exact + 1);
+  // tb vs a plain rate r <= R: worst backlog is the burst itself.
+  const auto flat_gap = PiecewiseLinear::token_bucket(b, r).max_vertical_gap(
+      PiecewiseLinear::from_service_curve(ServiceCurve::linear(mbps(10))));
+  ASSERT_TRUE(flat_gap.has_value());
+  EXPECT_EQ(*flat_gap, b);
+  // Arrival tail above the service tail: unbounded.
+  EXPECT_FALSE(PiecewiseLinear::token_bucket(b, mbps(20))
+                   .max_vertical_gap(beta(mbps(10), msec(5)))
+                   .has_value());
+}
+
+TEST(MinPlus, VerticalGapEqualTailRates) {
+  // Equal tails: the gap levels off past the last breakpoint and must be
+  // read there, not at infinity.
+  const auto a = PiecewiseLinear::token_bucket(2000, mbps(5));
+  const auto s = beta(mbps(5), msec(4));
+  const auto gap = a.max_vertical_gap(s);
+  ASSERT_TRUE(gap.has_value());
+  const Bytes exact = 2000 + seg_x2y(msec(4), mbps(5));
+  EXPECT_GE(*gap, exact);
+  EXPECT_LE(*gap, exact + 1);
+}
+
+// Mirror of PR 8's saturation-horizon regressions: enormous rates and
+// breakpoints must saturate through the 128-bit paths instead of
+// overflowing (UBSan-clean) and stay on the conservative side.
+TEST(MinPlus, SaturationHorizonConvolve) {
+  const auto huge = PiecewiseLinear(
+      {Piece{0, 0, gbps(80)},
+       Piece{sec(3600) * 24, kBytesInfinity / 2, gbps(80)}});
+  const auto tb = PiecewiseLinear::token_bucket(kBytesInfinity / 4, gbps(40));
+  const auto c = tb.convolve(huge);
+  // Monotone nondecreasing and below both operands' endpoint terms.
+  Bytes prev = 0;
+  for (TimeNs t = 0; t < sec(10); t += sec(1)) {
+    const Bytes v = c.eval(t);
+    ASSERT_GE(v, prev);
+    ASSERT_LE(v, sat_add(tb.eval(t), huge.pieces().front().y));
+    prev = v;
+  }
+}
+
+TEST(MinPlus, SaturationHorizonDeconvolve) {
+  // A breakpoint far enough out that rho * x would overflow 128 bits
+  // saturates the deviation upward (conservative) instead of wrapping.
+  const auto service = PiecewiseLinear(
+      {Piece{0, 0, 0}, Piece{kTimeInfinity - 1, 0, gbps(80)}});
+  const auto out = PiecewiseLinear::token_bucket(1000, gbps(40))
+                       .deconvolve(service);
+  ASSERT_TRUE(out.has_value());
+  // The deviation saturated: the resulting burst is pinned at infinity.
+  EXPECT_EQ(out->eval(0), kBytesInfinity);
+}
+
+TEST(MinPlus, ConvolveWithZeroCurveCaps) {
+  // f (*) 0 = f(0) everywhere (the zero curve absorbs all service).
+  const auto tb = PiecewiseLinear::token_bucket(1234, mbps(3));
+  const auto c = tb.convolve(PiecewiseLinear());
+  for (TimeNs t = 0; t < msec(10); t += usec(503)) {
+    ASSERT_EQ(c.eval(t), 1234u) << t;
+  }
+}
+
+}  // namespace
+}  // namespace hfsc

@@ -29,7 +29,12 @@
 # the real-thread suites by an order of magnitude.
 #
 # The randomized long-running suites carry the ctest label "fuzz"
-# (tests/CMakeLists.txt); exclude them for a quick local gate with
+# (tests/CMakeLists.txt) — fault injection, transaction atomicity,
+# batched/eligible-set ablation, the min-plus curve-operator fuzz
+# (test_curve_minplus_fuzz) and the analyzer-vs-simulator topology fuzz
+# (test_analysis_topology_fuzz: measured delay/backlog never exceed the
+# analytic route bounds).  They run in every configuration; exclude them
+# for a quick local gate with
 #   $ CTEST_ARGS="-LE fuzz" tools/ci_check.sh release
 #
 # The Release config additionally runs the throughput-bench smoke (ctest
@@ -42,7 +47,9 @@
 # run explicitly after the suite so a CTEST_ARGS filter cannot silently
 # skip them.  The Release config also runs the scenario-lint gate (ctest
 # label "lint"): tools/hfsc_lint over every committed scenarios/*.hfsc,
-# so the example hierarchies stay diagnostic-clean; and the simulation
+# so the example hierarchies stay diagnostic-clean — plus the negative
+# fixture (scenarios/overbudget.hfsc), which passes only when the
+# e2e-budget-exceeded route-deadline diagnostic fires; and the simulation
 # gate (ctest label "sim"): the Section VII reconstruction compared
 # across H-FSC and H-PFQ plus a timed-churn smoke under the invariant
 # auditor (the 100k-flow churn soak rides the opt-in "soak" label).

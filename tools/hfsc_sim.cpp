@@ -3,7 +3,7 @@
 //   $ hfsc_sim [--audit[=N]] [--admission] [--checkpoint=FILE]
 //              [--scheduler=KIND] [--json] scenario.hfsc
 //   $ hfsc_sim --compare=KIND[,KIND...] [--json] scenario.hfsc
-//   $ hfsc_sim --analyze scenario.hfsc
+//   $ hfsc_sim --analyze [--json] scenario.hfsc
 //   $ hfsc_sim --restore=FILE
 //
 // --audit enables the runtime invariant auditor (core/auditor.hpp) every
@@ -16,9 +16,14 @@
 //
 // --analyze runs the static hierarchy analyzer (analysis/analyzer.hpp)
 // over the scenario instead of simulating it: rt admissibility, Theorem 2
-// delay bounds from `envelope` directives, curve-shape lints and the
+// delay bounds from `envelope` directives, route-composed end-to-end
+// budgets against `deadline` directives, curve-shape lints and the
 // family portability pre-flight (tools/hfsc_lint is the multi-file
-// front-end with --json).  Exits 0 when clean, 1 on errors/warnings.
+// front-end, with --sarif).  With --json the analyzer report is emitted
+// as "hfsc-lint-report-v2" JSON.  Exits 0 when clean, 1 on
+// errors/warnings.  A plain --json run of a routed scenario also calls
+// the analyzer to attach each route's static delay bound ("bound_ms")
+// beside the measured percentiles.
 //
 // --scheduler runs the same hierarchy under another family (hfsc, hpfq,
 // cbq, drr, sced, vclock, fifo), overriding the file's `scheduler`
@@ -262,13 +267,17 @@ int main(int argc, char** argv) {
     }
     if (path == nullptr) return usage(argv[0]);
     if (analyze) {
-      if (admission || json || audit_every != 0 || !checkpoint_path.empty() ||
+      if (admission || audit_every != 0 || !checkpoint_path.empty() ||
           scheduler || !compare.empty()) {
         return usage(argv[0]);
       }
       const hfsc::Scenario sc = hfsc::Scenario::parse_file(path);
       const hfsc::AnalysisReport report = hfsc::analyze(sc);
-      std::printf("%s", report.to_text().c_str());
+      if (json) {
+        std::printf("%s\n", report.to_json().c_str());
+      } else {
+        std::printf("%s", report.to_text().c_str());
+      }
       return report.clean() ? 0 : 1;
     }
     if (!checkpoint_path.empty() &&
@@ -298,9 +307,27 @@ int main(int argc, char** argv) {
                              : result.to_table().c_str());
       return 0;
     }
-    const hfsc::ScenarioResult result = hfsc::run_scenario(sc, opts);
+    hfsc::ScenarioResult result = hfsc::run_scenario(sc, opts);
     for (const std::string& note : result.notes) {
       std::fprintf(stderr, "note: %s\n", note.c_str());
+    }
+    // Put the analyzer's route-composed delay bound next to the measured
+    // end-to-end percentiles ("bound_ms" in the JSON rows).  Analysis
+    // failures never fail the run — the bound is advisory decoration.
+    if (json && !result.e2e.empty()) {
+      try {
+        hfsc::AnalysisOptions aopts;
+        aopts.portability = false;
+        const hfsc::AnalysisReport rep = hfsc::analyze(sc, aopts);
+        for (hfsc::ScenarioResult::EndToEnd& ee : result.e2e) {
+          for (const hfsc::FlowBudget& f : rep.flows) {
+            if (f.cls == ee.cls && f.e2e_delay) {
+              ee.bound_ms = static_cast<double>(*f.e2e_delay) / 1e6;
+            }
+          }
+        }
+      } catch (const std::exception&) {
+      }
     }
     std::printf("%s", json ? result.to_json().c_str()
                            : result.to_table().c_str());
